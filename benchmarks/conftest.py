@@ -1,0 +1,35 @@
+"""Shared benchmark plumbing.
+
+Benchmarks execute the figure-reproduction functions once (simulations are
+deterministic; repeated rounds would only re-measure the same virtual run)
+and print the regenerated rows so the harness output can be compared
+against the paper's figures directly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figures import FigureData
+from repro.metrics.report import format_table
+
+#: benchmark scale: the paper-shaped configuration
+SCALE = "paper"
+SEED = 0
+
+
+def run_figure(benchmark, fig_fn) -> FigureData:
+    """Run a figure function under pytest-benchmark (single round)."""
+    return benchmark.pedantic(fig_fn, args=(SCALE, SEED), rounds=1, iterations=1)
+
+
+def print_figure(data: FigureData) -> None:
+    print()
+    print(format_table(data.headers, data.rows, title=f"=== {data.figure} ==="))
+    for key, value in data.notes.items():
+        print(f"{data.figure} note - {key}: {value}")
+
+
+@pytest.fixture
+def figure_printer():
+    return print_figure

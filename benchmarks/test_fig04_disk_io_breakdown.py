@@ -1,0 +1,21 @@
+"""Fig. 4: disk I/O share of accumulated task time, MEM+DISK Spark.
+
+Paper shares: PR ~70 %, SVD++ 56 %, CC 45 %, GBT 39 %, KMeans 32 %, LR 3 %.
+Shape: PR is disk-dominated (> 50 %), LR is compute-dominated (< 15 %),
+and PR's share is the largest of all applications.
+"""
+
+from conftest import print_figure, run_figure
+
+from repro.experiments.figures import fig4_disk_io_breakdown
+
+
+def test_fig4_disk_io_breakdown(benchmark):
+    data = run_figure(benchmark, fig4_disk_io_breakdown)
+    print_figure(data)
+
+    shares = {row[0]: row[3] for row in data.rows}
+    assert shares["PR"] > 50, "PR is dominated by disk I/O for caching"
+    assert shares["LR"] < 15, "LR is compute-bound"
+    assert shares["PR"] == max(shares.values()), "PR has the largest disk share"
+    assert shares["LR"] == min(shares.values()), "LR has the smallest disk share"

@@ -1,0 +1,23 @@
+"""Fig. 5: recomputation time grows over PR iterations under MEM_ONLY.
+
+Paper: later iterations pay substantially more recomputation because
+evicted partitions have progressively longer lineages to replay.
+Shape: recomputation appears after the warm-up iterations and the later
+third of iterations costs more than the earlier third.
+"""
+
+from conftest import print_figure, run_figure
+
+from repro.experiments.figures import fig5_recompute_growth
+
+
+def test_fig5_recompute_growth(benchmark):
+    data = run_figure(benchmark, fig5_recompute_growth)
+    print_figure(data)
+
+    series = [row[1] for row in data.rows]
+    assert len(series) == 10, "ten PR iterations"
+    assert sum(series) > 0, "MEM_ONLY PR must recompute evicted data"
+    early = sum(series[:3])
+    late = sum(series[-3:])
+    assert late > early, "recomputation grows with lineage depth"

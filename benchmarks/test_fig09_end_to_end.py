@@ -1,0 +1,44 @@
+"""Fig. 9: end-to-end ACT across six systems and six applications.
+
+Paper headline: Blaze is 2.02-2.52x faster than MEM_ONLY Spark and
+1.08-2.86x faster than MEM+DISK Spark.  Shape assertions:
+
+- Blaze is the fastest system on every application;
+- the speedup bands overlap the paper's (every app >= 1.4x vs MEM_ONLY,
+  >= 1.05x vs MEM+DISK; PR shows the largest MEM+DISK gap, LR the
+  smallest);
+- MEM+DISK is *slower* than MEM_ONLY on PR (disk-dominated) while the
+  relation flips on CC.
+"""
+
+from conftest import print_figure, run_figure
+
+from repro.experiments.figures import FIG9_SYSTEMS, fig9_end_to_end
+
+
+def test_fig9_end_to_end(benchmark):
+    data = run_figure(benchmark, fig9_end_to_end)
+    print_figure(data)
+
+    blaze_col = 1 + FIG9_SYSTEMS.index("blaze")
+    mem_col = 1 + FIG9_SYSTEMS.index("spark_mem_only")
+    md_col = 1 + FIG9_SYSTEMS.index("spark_mem_disk")
+
+    by_app = {row[0]: row for row in data.rows}
+    for app, row in by_app.items():
+        acts = row[1:]
+        assert min(acts) == row[blaze_col], f"Blaze must be fastest on {app}"
+
+    speedups = data.notes["speedups"]
+    for app, s in speedups.items():
+        assert s["vs_mem_only"] >= 1.4, f"{app}: vs MEM_ONLY {s['vs_mem_only']:.2f}"
+        assert s["vs_mem_disk"] >= 1.05, f"{app}: vs MEM+DISK {s['vs_mem_disk']:.2f}"
+
+    md = {a: s["vs_mem_disk"] for a, s in speedups.items()}
+    assert max(md, key=md.get) == "pr", "PR shows the largest MEM+DISK speedup"
+    assert min(md, key=md.get) == "lr", "LR shows the smallest MEM+DISK speedup"
+
+    # Disk-dominated PR: two-tier Spark loses to recompute-only Spark.
+    assert by_app["PR"][md_col] > by_app["PR"][mem_col]
+    # Compute-lighter CC: the relation flips (recomputation hurts more).
+    assert by_app["CC"][md_col] < by_app["CC"][mem_col]

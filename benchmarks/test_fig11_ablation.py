@@ -1,0 +1,24 @@
+"""Fig. 11: performance breakdown MEM+DISK -> +AutoCache -> +CostAware -> Blaze.
+
+Paper: each added component helps (auto-caching 1.01-1.15x, cost-aware
+eviction up to 1.69x, the unified/ILP decisions up to 1.61x more).
+Shape: the progression never regresses on any app, and the full Blaze
+configuration improves on plain MEM+DISK Spark everywhere.
+"""
+
+from conftest import print_figure, run_figure
+
+from repro.experiments.figures import fig11_ablation
+
+
+def test_fig11_ablation(benchmark):
+    data = run_figure(benchmark, fig11_ablation)
+    print_figure(data)
+
+    for row in data.rows:
+        app, md, autocache, costaware, blaze = row
+        tolerance = 1.02  # equal-within-noise steps are allowed
+        assert autocache <= md * tolerance, f"{app}: +AutoCache must not regress"
+        assert costaware <= autocache * tolerance, f"{app}: +CostAware must not regress"
+        assert blaze <= costaware * tolerance, f"{app}: full Blaze must not regress"
+        assert blaze < md, f"{app}: Blaze beats MEM+DISK Spark end-to-end"

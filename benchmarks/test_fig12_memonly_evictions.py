@@ -1,0 +1,29 @@
+"""Fig. 12: evictions and recomputation time with memory-only storage.
+
+Paper: without disk support, Blaze still beats the MEM_ONLY baselines by
+auto-caching only reused partitions and choosing cheap victims: LR shows
+zero Blaze evictions, and Blaze's total recomputation time stays well
+below plain Spark's on every app.
+"""
+
+from conftest import print_figure, run_figure
+
+from repro.experiments.figures import fig12_memonly_evictions
+
+
+def test_fig12_memonly_evictions(benchmark):
+    data = run_figure(benchmark, fig12_memonly_evictions)
+    print_figure(data)
+
+    cell = {(row[0], row[1]): (row[2], row[3]) for row in data.rows}
+    apps = {row[0] for row in data.rows}
+    for app in apps:
+        spark_ev, spark_rec = cell[(app, "Spark (MEM)")]
+        blaze_ev, blaze_rec = cell[(app, "Blaze (MEM)")]
+        assert blaze_rec <= spark_rec, f"{app}: Blaze recomputes less than Spark(MEM)"
+        assert blaze_ev <= spark_ev, f"{app}: Blaze evicts no more than Spark(MEM)"
+
+    # LR: auto-cached working set fits -> no Blaze evictions at all (§7.4).
+    assert cell[("LR", "Blaze (MEM)")][0] == 0
+    # PR: plain Spark suffers heavy recomputation.
+    assert cell[("PR", "Spark (MEM)")][1] > 10 * max(cell[("PR", "Blaze (MEM)")][1], 1.0)

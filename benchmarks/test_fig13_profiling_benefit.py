@@ -1,0 +1,23 @@
+"""Fig. 13: Blaze with vs without the dependency-extraction phase.
+
+Paper (normalized ACT, with/without): PR 0.61, CC 0.77, LR 1.00,
+SVD++ 0.92 — profiling helps most where partitions are referenced across
+many jobs (the graph workloads) and not at all for LR.
+"""
+
+from conftest import print_figure, run_figure
+
+from repro.experiments.figures import fig13_profiling_benefit
+
+
+def test_fig13_profiling_benefit(benchmark):
+    data = run_figure(benchmark, fig13_profiling_benefit)
+    print_figure(data)
+
+    normalized = {row[0]: row[3] for row in data.rows}
+    for app, value in normalized.items():
+        assert value <= 1.1, f"{app}: profiling should not hurt materially ({value:.2f})"
+    assert normalized["PR"] < 0.9, "profiling clearly helps PR"
+    assert normalized["CC"] < 0.9, "profiling clearly helps CC"
+    assert normalized["LR"] > 0.9, "LR barely benefits (single reused dataset)"
+    assert normalized["PR"] < normalized["LR"], "graph apps benefit most"

@@ -1,0 +1,68 @@
+"""Writing and plugging in a custom eviction policy.
+
+Run:  python examples/custom_policy.py
+
+Implements a size-biased eviction policy ("biggest block goes first"),
+registers it, and races it against LRU and Blaze on the Connected
+Components workload — demonstrating the policy extension surface a
+downstream user would build on.
+"""
+
+from repro.caching.manager import SparkCacheManager
+from repro.caching.policy import EvictionPolicy, register_policy
+from repro.caching.storage_level import StorageMode
+from repro.core.udl import BlazeCacheManager
+from repro.dataflow.context import BlazeContext
+from repro.experiments.runner import tiny_cluster
+from repro.metrics.report import format_table
+from repro.workloads.registry import make_workload
+
+
+@register_policy("biggest-first")
+class BiggestFirstPolicy(EvictionPolicy):
+    """Evict the largest resident block first.
+
+    Frees the most space per eviction event, at the price of throwing away
+    the partitions that are most expensive to write back — a deliberately
+    naive cost-agnostic heuristic to contrast with Blaze.
+    """
+
+    def on_access(self, block, now):
+        block.last_access = max(block.last_access, now)
+
+    def victim_priority(self, block, now):
+        return -block.size_bytes  # smallest priority evicts first
+
+
+def run(label: str, manager) -> list:
+    ctx = BlazeContext(tiny_cluster(), manager, seed=5)
+    result = make_workload("cc", "tiny").run(ctx)
+    m = ctx.metrics
+    return [
+        label,
+        ctx.now,
+        m.total_evictions,
+        m.disk_bytes_written_total / 2**20,
+        result.final_value,
+    ]
+
+
+def main() -> None:
+    rows = [
+        run("LRU", SparkCacheManager(StorageMode.MEM_AND_DISK, "lru")),
+        run("biggest-first", SparkCacheManager(StorageMode.MEM_AND_DISK, "biggest-first")),
+        run("Blaze", BlazeCacheManager()),
+    ]
+    print(
+        format_table(
+            ["policy", "virtual ACT (s)", "evictions", "disk MiB", "components"],
+            rows,
+            title="Connected Components under custom eviction policies",
+        )
+    )
+    print("\nAll systems find the same number of components — caching only")
+    print("changes *when* data is recomputed or re-read, never the results.")
+
+
+if __name__ == "__main__":
+    main()

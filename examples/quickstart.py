@@ -1,0 +1,80 @@
+"""Quickstart: build a dataflow, run it under two caching systems, compare.
+
+Run:  python examples/quickstart.py
+
+Builds a small iterative computation on the simulator's RDD API, executes
+it once under plain MEM+DISK Spark (annotation-driven LRU caching) and once
+under Blaze (automatic cost-aware caching), and prints the virtual
+completion times plus cache behavior of each run.
+"""
+
+from repro import BlazeContext
+from repro.caching.manager import SparkCacheManager
+from repro.caching.storage_level import StorageMode
+from repro.config import ClusterConfig, DiskConfig, MiB, GiB
+from repro.core.udl import BlazeCacheManager
+from repro.dataflow.operators import OpCost, SizeModel
+
+
+def cluster() -> ClusterConfig:
+    """Four executors whose memory store is deliberately tight."""
+    return ClusterConfig(
+        num_executors=4,
+        slots_per_executor=2,
+        memory_store_bytes=48 * MiB,
+        disk=DiskConfig(capacity_bytes=10 * GiB),
+    )
+
+
+def iterative_workload(ctx: BlazeContext, iterations: int = 5) -> float:
+    """A toy iterative model refinement with Spark-style annotations.
+
+    The ``data`` set is reused every iteration; the per-iteration
+    ``scored`` datasets are annotated for caching but never reused — the
+    wasteful pattern Blaze's automatic caching ignores.
+    """
+    data = ctx.source(
+        lambda split, rng: [(split * 100 + i, float(rng.random())) for i in range(50)],
+        4,
+        op_cost=OpCost(per_element_out=0.01),  # expensive to regenerate
+        size_model=SizeModel(bytes_per_element=1.2 * MiB),
+        name="data",
+    )
+    data.cache()
+
+    model = 1.0
+    for i in range(iterations):
+        m = model
+        scored = data.map_values(
+            lambda v, m=m: v * m,
+            size_model=SizeModel(bytes_per_element=1.2 * MiB),
+            name=f"scored{i}",
+        )
+        scored.cache()  # annotated, but never read again
+        total = sum(ctx.run_job(scored, lambda _s, part: sum(v for _k, v in part)))
+        model = 0.5 * model + 0.5 * (total / 200.0)
+        scored.unpersist()
+    return model
+
+
+def run(name: str, manager) -> None:
+    ctx = BlazeContext(cluster(), manager, seed=7)
+    model = iterative_workload(ctx)
+    m = ctx.metrics
+    print(f"{name:24s} model={model:.4f}  virtual ACT={ctx.now:8.2f}s  "
+          f"evictions={m.total_evictions:3d}  disk written={m.disk_bytes_written_total / MiB:7.1f} MiB  "
+          f"recompute={m.total.recompute_seconds:6.2f}s")
+    ctx.stop()
+
+
+def main() -> None:
+    print("Same workload, two caching systems (times are simulated seconds):\n")
+    run("Spark (MEM+DISK, LRU)", SparkCacheManager(StorageMode.MEM_AND_DISK, "lru"))
+    run("Blaze (no profiling)", BlazeCacheManager())
+    print("\nBlaze learns on the run that only `data` is reused, caches it at")
+    print("partition granularity, and never wastes memory or disk on the")
+    print("single-use per-iteration datasets.")
+
+
+if __name__ == "__main__":
+    main()

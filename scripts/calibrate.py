@@ -1,0 +1,52 @@
+"""Calibration helper: paper-target vs measured shape table.
+
+Run:  python scripts/calibrate.py [pr cc lr kmeans gbt svdpp]
+
+Targets from the paper's section 7.2:
+- speedup of Blaze vs MEM_ONLY Spark / MEM+DISK Spark per app,
+- MEM+DISK disk-time share of accumulated task time,
+- disk-byte reduction of Blaze vs MEM+DISK.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments.runner import run_experiment
+
+TARGETS = {
+    # app: (mem_speedup, memdisk_speedup, disk_share_%, disk_reduction_%)
+    "pr": (2.52, 2.86, 70, 83),
+    "cc": (2.02, 1.57, 45, 81),
+    "lr": (2.38, 1.08, 3, 100),
+    "kmeans": (2.11, 1.31, 32, 96),
+    "gbt": (2.15, 1.49, 39, 96),
+    "svdpp": (2.42, 2.15, 56, 97),
+}
+
+SYS = ["spark_mem_only", "spark_mem_disk", "blaze"]
+
+
+def main(apps: list[str]) -> None:
+    print(f"{'app':7s} {'metric':18s} {'target':>8s} {'actual':>8s}")
+    for wl in apps:
+        rows = {}
+        for sysk in SYS:
+            rows[sysk] = run_experiment(sysk, wl, scale="paper", seed=1)
+        blaze = rows["blaze"]
+        mem = rows["spark_mem_only"]
+        md = rows["spark_mem_disk"]
+        t_mem, t_md, t_share, t_red = TARGETS[wl]
+        share = 100 * md.disk_io_seconds / max(md.total_task_seconds, 1e-9)
+        red = 100 * (1 - blaze.disk_bytes_written_total / max(md.disk_bytes_written_total, 1e-9))
+        print(f"{wl:7s} {'mem speedup':18s} {t_mem:8.2f} {mem.act_seconds / blaze.act_seconds:8.2f}")
+        print(f"{wl:7s} {'mem+disk speedup':18s} {t_md:8.2f} {md.act_seconds / blaze.act_seconds:8.2f}")
+        print(f"{wl:7s} {'disk share %':18s} {t_share:8.0f} {share:8.1f}")
+        print(f"{wl:7s} {'disk reduction %':18s} {t_red:8.0f} {red:8.1f}")
+        print(f"{wl:7s} ACTs: mem={mem.act_seconds:.0f} m+d={md.act_seconds:.0f} blaze={blaze.act_seconds:.0f} "
+              f"(blaze ev={blaze.eviction_count}, rec={blaze.recompute_seconds:.0f})")
+        print()
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:] or list(TARGETS))

@@ -1,0 +1,32 @@
+"""Blaze (EuroSys '24) reproduction: holistic caching for iterative data
+processing, on a from-scratch discrete-event dataflow simulator.
+
+Public API tour:
+
+- :class:`repro.BlazeContext` — build RDDs and run jobs;
+- :mod:`repro.systems` — presets for every system in the evaluation
+  (``spark_mem_only``, ``spark_mem_disk``, ``spark_alluxio``, ``spark_lrc``,
+  ``spark_mrd``, ``blaze``, ablations);
+- :mod:`repro.workloads` — the six paper applications (PR, CC, LR,
+  KMeans, GBT, SVD++);
+- :mod:`repro.experiments` — the figure-by-figure benchmark harness.
+"""
+
+from .config import BlazeConfig, ClusterConfig, DiskConfig, NetworkConfig
+from .dataflow.context import BlazeContext
+from .dataflow.operators import OpCost, SizeModel
+from .errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BlazeContext",
+    "BlazeConfig",
+    "ClusterConfig",
+    "DiskConfig",
+    "NetworkConfig",
+    "OpCost",
+    "SizeModel",
+    "ReproError",
+    "__version__",
+]

@@ -1,0 +1,37 @@
+"""Baseline caching stack: storage modes and the eviction-policy zoo.
+
+These are the systems Blaze is compared against in the paper's evaluation:
+plain Spark (LRU) in ``MEM_ONLY`` / ``MEM_AND_DISK`` modes, an Alluxio-like
+serialized tiered store, and the dependency-aware LRC and MRD policies,
+plus the conventional policies the paper surveys (FIFO, LFU/LFUDA,
+GDWheel-style GreedyDual, TinyLFU, LeCaR).
+"""
+
+from .fifo import FIFOPolicy
+from .gdwheel import GreedyDualPolicy
+from .lecar import LeCaRPolicy
+from .lfu import LFUDAPolicy, LFUPolicy
+from .lrc import LRCPolicy
+from .lru import LRUPolicy
+from .manager import SparkCacheManager
+from .mrd import MRDPolicy
+from .policy import EvictionPolicy, POLICY_REGISTRY, make_policy
+from .storage_level import StorageMode
+from .tinylfu import TinyLFUPolicy
+
+__all__ = [
+    "EvictionPolicy",
+    "POLICY_REGISTRY",
+    "make_policy",
+    "StorageMode",
+    "SparkCacheManager",
+    "LRUPolicy",
+    "FIFOPolicy",
+    "LFUPolicy",
+    "LFUDAPolicy",
+    "GreedyDualPolicy",
+    "TinyLFUPolicy",
+    "LeCaRPolicy",
+    "LRCPolicy",
+    "MRDPolicy",
+]

@@ -1,0 +1,18 @@
+"""First-in-first-out eviction (oldest insertion evicts first)."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from .policy import EvictionPolicy, register_policy
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..cluster.blocks import Block
+
+
+@register_policy("fifo")
+class FIFOPolicy(EvictionPolicy):
+    """Evict blocks in insertion order, ignoring accesses."""
+
+    def victim_priority(self, block: "Block", now: float) -> float:
+        return float(block.policy_data.get("seq", 0))

@@ -1,0 +1,92 @@
+"""LeCaR: learning cache replacement with two experts (LRU and LFU).
+
+LeCaR keeps ghost histories of blocks recently evicted by each expert and
+adjusts expert weights with a regret signal: a miss on a block found in an
+expert's ghost list means that expert's advice was wrong, so the *other*
+expert gains weight.  The original samples the expert from the weight
+distribution; for simulator determinism this implementation always follows
+the currently heavier expert (documented deviation; with two experts the
+argmax tracks the sampled behaviour closely).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import OrderedDict
+from typing import TYPE_CHECKING
+
+from ..cluster.blocks import BlockId
+from .policy import EvictionPolicy, register_policy
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..cluster.blocks import Block
+
+
+@register_policy("lecar")
+class LeCaRPolicy(EvictionPolicy):
+    """Adaptive LRU/LFU mixture with ghost-list regret learning."""
+
+    def __init__(self, learning_rate: float = 0.45, ghost_capacity: int = 256) -> None:
+        super().__init__()
+        self._lr = learning_rate
+        self._w_lru = 0.5
+        self._w_lfu = 0.5
+        self._ghost_lru: OrderedDict[BlockId, None] = OrderedDict()
+        self._ghost_lfu: OrderedDict[BlockId, None] = OrderedDict()
+        self._ghost_capacity = ghost_capacity
+
+    # ------------------------------------------------------------------
+    def _remember_ghost(self, ghost: OrderedDict, block_id: BlockId) -> None:
+        ghost[block_id] = None
+        ghost.move_to_end(block_id)
+        while len(ghost) > self._ghost_capacity:
+            ghost.popitem(last=False)
+
+    def _reward(self, loser: str) -> None:
+        """Shift weight away from the expert whose eviction caused a miss."""
+        boost = math.exp(self._lr)
+        if loser == "lru":
+            self._w_lfu *= boost
+        else:
+            self._w_lru *= boost
+        total = self._w_lru + self._w_lfu
+        self._w_lru /= total
+        self._w_lfu /= total
+
+    # ------------------------------------------------------------------
+    def on_insert(self, block: "Block", now: float) -> None:
+        super().on_insert(block, now)
+        block.last_access = max(block.last_access, now)
+        if block.block_id in self._ghost_lru:
+            del self._ghost_lru[block.block_id]
+            self._reward("lru")
+        if block.block_id in self._ghost_lfu:
+            del self._ghost_lfu[block.block_id]
+            self._reward("lfu")
+
+    def on_access(self, block: "Block", now: float) -> None:
+        block.last_access = max(block.last_access, now)
+
+    def on_remove(self, block: "Block") -> None:
+        expert = block.policy_data.pop("lecar_expert", None)
+        if expert == "lru":
+            self._remember_ghost(self._ghost_lru, block.block_id)
+        elif expert == "lfu":
+            self._remember_ghost(self._ghost_lfu, block.block_id)
+
+    # ------------------------------------------------------------------
+    @property
+    def active_expert(self) -> str:
+        return "lru" if self._w_lru >= self._w_lfu else "lfu"
+
+    def victim_priority(self, block: "Block", now: float) -> float:
+        expert = self.active_expert
+        block.policy_data["lecar_expert"] = expert
+        if expert == "lru":
+            return block.last_access
+        return float(block.access_count)
+
+    @property
+    def weights(self) -> tuple[float, float]:
+        """(w_lru, w_lfu) — exposed for tests and introspection."""
+        return self._w_lru, self._w_lfu

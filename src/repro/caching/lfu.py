@@ -1,0 +1,47 @@
+"""Frequency-based eviction: plain LFU and LFU with dynamic aging.
+
+LFUDA (Arlitt et al.) counters LFU's cache pollution by adding a global age
+to each block's effective value: ``priority = age_at_last_access + count``,
+where the age rises to an evicted block's priority, so long-idle frequent
+blocks eventually become evictable.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from .policy import EvictionPolicy, register_policy
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..cluster.blocks import Block
+
+
+@register_policy("lfu")
+class LFUPolicy(EvictionPolicy):
+    """Evict the least frequently accessed block; ties go to the oldest."""
+
+    def victim_priority(self, block: "Block", now: float) -> float:
+        return float(block.access_count)
+
+
+@register_policy("lfuda")
+class LFUDAPolicy(EvictionPolicy):
+    """LFU with dynamic aging (the LFUDA web-proxy variant)."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._age = 0.0
+
+    def on_insert(self, block: "Block", now: float) -> None:
+        super().on_insert(block, now)
+        block.policy_data["lfuda_value"] = self._age + 1.0
+
+    def on_access(self, block: "Block", now: float) -> None:
+        block.policy_data["lfuda_value"] = self._age + block.access_count + 1.0
+
+    def on_remove(self, block: "Block") -> None:
+        # The cache age climbs to the evicted block's value.
+        self._age = max(self._age, block.policy_data.get("lfuda_value", 0.0))
+
+    def victim_priority(self, block: "Block", now: float) -> float:
+        return float(block.policy_data.get("lfuda_value", 0.0))

@@ -1,0 +1,57 @@
+"""LRC: least-reference-count eviction (Yu et al., INFOCOM'17).
+
+LRC tracks, per dataset, how many *downstream references* remain in the
+DAG of the currently submitted job and evicts the block whose dataset has
+the fewest.  As the paper notes, LRC only sees the current job's lineage —
+it cannot anticipate reuse in future iterations — and breaks ties
+arbitrarily (here: LRU order), ignoring the very different recovery costs
+of equal-count partitions.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from .policy import EvictionPolicy, register_policy
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..cluster.blocks import Block
+    from ..dataflow.dag import Job, Stage
+
+
+@register_policy("lrc")
+class LRCPolicy(EvictionPolicy):
+    """Evict the smallest remaining reference count within the current job."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._ref_counts: dict[int, int] = {}
+        self._stage_refs: dict[int, list[int]] = {}
+
+    def on_job_references(self, ref_sets: list[tuple[int, list[int]]]) -> None:
+        """Reset counts to the new job's remaining stage references."""
+        self._ref_counts = {}
+        self._stage_refs = {seq: list(ids) for seq, ids in ref_sets}
+        for _seq, ids in ref_sets:
+            for rdd_id in ids:
+                self._ref_counts[rdd_id] = self._ref_counts.get(rdd_id, 0) + 1
+
+    def on_stage_complete(self, stage: "Stage") -> None:
+        """Consume one reference from every dataset the stage read."""
+        for rdd_id in self._stage_refs.get(stage.seq_in_job, ()):
+            count = self._ref_counts.get(rdd_id)
+            if count:
+                self._ref_counts[rdd_id] = count - 1
+
+    def reference_count(self, rdd_id: int) -> int:
+        return self._ref_counts.get(rdd_id, 0)
+
+    def on_access(self, block: "Block", now: float) -> None:
+        block.last_access = max(block.last_access, now)
+
+    def victim_priority(self, block: "Block", now: float) -> float:
+        # Primary key: remaining references; tie-break: LRU recency folded
+        # in as a fractional component (bounded below 1).
+        refs = float(self.reference_count(block.rdd_id))
+        recency = block.last_access / (1.0 + block.last_access)
+        return refs + recency * 0.5

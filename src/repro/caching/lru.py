@@ -1,0 +1,25 @@
+"""Least-recently-used eviction (Spark's default, paper section 3.1)."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from .policy import EvictionPolicy, register_policy
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..cluster.blocks import Block
+
+
+@register_policy("lru")
+class LRUPolicy(EvictionPolicy):
+    """Evict the block with the oldest last access."""
+
+    def on_insert(self, block: "Block", now: float) -> None:
+        super().on_insert(block, now)
+        block.last_access = max(block.last_access, now)
+
+    def on_access(self, block: "Block", now: float) -> None:
+        block.last_access = max(block.last_access, now)
+
+    def victim_priority(self, block: "Block", now: float) -> float:
+        return block.last_access

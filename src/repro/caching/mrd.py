@@ -1,0 +1,68 @@
+"""MRD: most-reference-distance eviction with prefetching (Perez et al.).
+
+MRD orders blocks by how many stages remain until their dataset is next
+referenced within the current job: the block whose next use is furthest
+away evicts first, and when memory frees up, disk-resident blocks with the
+*nearest* next use are prefetched back.  Like LRC it only sees the current
+job's DAG.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from .policy import EvictionPolicy, register_policy
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..cluster.blocks import Block
+    from ..dataflow.dag import Job, Stage
+
+#: Distance assigned to datasets with no remaining reference in the job.
+_NO_FUTURE_USE = 1_000_000.0
+
+
+@register_policy("mrd")
+class MRDPolicy(EvictionPolicy):
+    """Evict the largest stage distance to next reference; prefetch smallest."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        # rdd_id -> ordered stage sequence numbers at which it is referenced
+        self._reference_stages: dict[int, list[int]] = {}
+        self._current_stage_seq = 0
+
+    def on_job_references(self, ref_sets: list[tuple[int, list[int]]]) -> None:
+        self._reference_stages = {}
+        self._current_stage_seq = 0
+        for seq, ids in ref_sets:
+            for rdd_id in ids:
+                self._reference_stages.setdefault(rdd_id, []).append(seq)
+
+    def on_stage_complete(self, stage: "Stage") -> None:
+        self._current_stage_seq = stage.seq_in_job + 1
+
+    def reference_distance(self, rdd_id: int) -> float:
+        """Stages until the dataset's next reference (inf-like if none)."""
+        stages = self._reference_stages.get(rdd_id, ())
+        for seq in stages:
+            if seq >= self._current_stage_seq:
+                return float(seq - self._current_stage_seq)
+        return _NO_FUTURE_USE
+
+    def on_access(self, block: "Block", now: float) -> None:
+        block.last_access = max(block.last_access, now)
+
+    def victim_priority(self, block: "Block", now: float) -> float:
+        # Furthest next use evicts first -> smallest priority value.
+        distance = self.reference_distance(block.rdd_id)
+        recency = block.last_access / (1.0 + block.last_access)
+        return -distance + recency * 0.5
+
+    # ------------------------------------------------------------------
+    @property
+    def wants_prefetch(self) -> bool:
+        return True
+
+    def prefetch_priority(self, block: "Block", now: float) -> float:
+        """Prefetch blocks whose next reference is nearest."""
+        return self.reference_distance(block.rdd_id)

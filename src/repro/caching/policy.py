@@ -1,0 +1,142 @@
+"""Eviction-policy interface and shared machinery.
+
+A policy instance manages one executor's memory store.  The cache manager
+calls the hooks; ``select_victims`` is the core decision: given a space
+deficit, return blocks to evict (never blocks of the RDD being admitted —
+Spark's same-RDD guard) or ``None`` when the deficit cannot be met.
+
+Priorities are expressed through :meth:`EvictionPolicy.victim_priority`:
+blocks with the *smallest* priority value evict first.  Policies needing
+richer behaviour (admission gates, prefetching, adaptive experts) override
+the relevant hooks.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Callable
+
+from ..errors import PolicyError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..cluster.blocks import Block
+    from ..cluster.stores import BlockStore
+    from ..dataflow.dag import Job, Stage
+
+
+class EvictionPolicy(ABC):
+    """Per-executor eviction logic."""
+
+    name = "abstract"
+
+    def __init__(self) -> None:
+        self._insert_seq = 0
+
+    # ------------------------------------------------------------------
+    # Bookkeeping hooks
+    # ------------------------------------------------------------------
+    def on_insert(self, block: "Block", now: float) -> None:
+        """A block entered the memory store."""
+        self._insert_seq += 1
+        block.policy_data["seq"] = self._insert_seq
+        block.policy_data.setdefault("insert_time", now)
+
+    def on_access(self, block: "Block", now: float) -> None:  # noqa: B027
+        """A block was read from the memory store."""
+
+    def on_remove(self, block: "Block") -> None:  # noqa: B027
+        """A block left the memory store (evicted or unpersisted)."""
+
+    # ------------------------------------------------------------------
+    # Lineage-awareness hooks (LRC / MRD use these)
+    # ------------------------------------------------------------------
+    def on_job_submit(self, job: "Job") -> None:  # noqa: B027
+        """A new job's DAG is available."""
+
+    def on_job_references(self, ref_sets: list[tuple[int, list[int]]]) -> None:  # noqa: B027
+        """Per-stage expected dataset references for the new job.
+
+        ``ref_sets`` is ``[(stage_seq, [rdd_ids]), ...]`` in execution
+        order, first-touch aware (see ``dag.job_reference_sets``).
+        """
+
+    def on_stage_complete(self, stage: "Stage") -> None:  # noqa: B027
+        """A stage of the current job finished."""
+
+    # ------------------------------------------------------------------
+    # Decisions
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def victim_priority(self, block: "Block", now: float) -> float:
+        """Smaller value == evicted sooner."""
+
+    def admit(self, incoming_size: float, incoming_rdd_id: int, victims: list["Block"]) -> bool:
+        """Whether the incoming block may displace ``victims`` (TinyLFU gate)."""
+        return True
+
+    def select_victims(
+        self,
+        store: "BlockStore",
+        needed_bytes: float,
+        incoming_rdd_id: int,
+        now: float,
+    ) -> list["Block"] | None:
+        """Pick blocks to evict to free ``needed_bytes``.
+
+        Returns the victims in eviction order, or ``None`` when even
+        evicting every eligible block would not free enough space.
+        """
+        if needed_bytes <= 0:
+            return []
+        eligible = [b for b in store.blocks() if b.rdd_id != incoming_rdd_id]
+        eligible.sort(key=lambda b: (self.victim_priority(b, now), b.policy_data.get("seq", 0)))
+        victims: list[Block] = []
+        freed = 0.0
+        for block in eligible:
+            if freed >= needed_bytes:
+                break
+            victims.append(block)
+            freed += block.size_bytes
+        if freed < needed_bytes:
+            return None
+        return victims
+
+    # ------------------------------------------------------------------
+    # Prefetch support (MRD)
+    # ------------------------------------------------------------------
+    @property
+    def wants_prefetch(self) -> bool:
+        return False
+
+    def prefetch_priority(self, block: "Block", now: float) -> float:
+        """Smaller value == prefetched sooner (only if ``wants_prefetch``)."""
+        raise PolicyError(f"{self.name} does not prefetch")
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__}>"
+
+
+#: name -> zero-argument factory
+POLICY_REGISTRY: dict[str, Callable[[], EvictionPolicy]] = {}
+
+
+def register_policy(name: str) -> Callable[[type], type]:
+    """Class decorator adding a policy to :data:`POLICY_REGISTRY`."""
+
+    def wrap(cls: type) -> type:
+        cls.name = name
+        POLICY_REGISTRY[name] = cls
+        return cls
+
+    return wrap
+
+
+def make_policy(name: str) -> EvictionPolicy:
+    """Instantiate a registered policy by name."""
+    try:
+        factory = POLICY_REGISTRY[name]
+    except KeyError:
+        raise PolicyError(
+            f"unknown policy {name!r}; known: {sorted(POLICY_REGISTRY)}"
+        ) from None
+    return factory()

@@ -1,0 +1,31 @@
+"""Storage modes: what happens to evicted cache data (paper section 3.2)."""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class StorageMode(Enum):
+    """How a system uses the storage tiers for cached data.
+
+    - ``MEM_ONLY``: victims are discarded; misses are recomputed through
+      lineage (Spark's default).
+    - ``MEM_AND_DISK``: victims are serialized and spilled to disk; misses
+      read back from disk when present.
+    - ``ALLUXIO``: a tiered external store holding *serialized* data even in
+      the memory tier, so every memory read/write pays (de)serialization —
+      the paper's Spark+Alluxio configuration (also standing in for
+      ``MEMORY_AND_DISK_SER`` / ``OFF_HEAP``).
+    """
+
+    MEM_ONLY = "mem_only"
+    MEM_AND_DISK = "mem_and_disk"
+    ALLUXIO = "alluxio"
+
+    @property
+    def spills_to_disk(self) -> bool:
+        return self is not StorageMode.MEM_ONLY
+
+    @property
+    def serialized_in_memory(self) -> bool:
+        return self is StorageMode.ALLUXIO

@@ -1,0 +1,78 @@
+"""TinyLFU: a frequency-sketch admission gate in front of LRU eviction.
+
+TinyLFU's contribution is *admission*: an incoming block only displaces a
+victim whose estimated frequency is lower.  Frequencies are approximated
+with a count-min sketch that is periodically halved (the "reset" aging of
+the paper), keeping the state tiny.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..cluster.blocks import BlockId
+from .policy import EvictionPolicy, register_policy
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..cluster.blocks import Block
+
+
+class CountMinSketch:
+    """A small count-min sketch with periodic halving."""
+
+    def __init__(self, width: int = 512, depth: int = 4, reset_after: int = 4096) -> None:
+        self._table = np.zeros((depth, width), dtype=np.int64)
+        self._width = width
+        self._depth = depth
+        self._reset_after = reset_after
+        self._additions = 0
+
+    def _rows(self, key: BlockId) -> list[int]:
+        h = hash(key) & 0xFFFFFFFFFFFF
+        return [(h ^ (0x9E3779B9 * (i + 1))) % self._width for i in range(self._depth)]
+
+    def add(self, key: BlockId) -> None:
+        for i, col in enumerate(self._rows(key)):
+            self._table[i, col] += 1
+        self._additions += 1
+        if self._additions >= self._reset_after:
+            self._table //= 2
+            self._additions = 0
+
+    def estimate(self, key: BlockId) -> int:
+        return int(min(self._table[i, col] for i, col in enumerate(self._rows(key))))
+
+
+@register_policy("tinylfu")
+class TinyLFUPolicy(EvictionPolicy):
+    """LRU eviction order guarded by a TinyLFU admission filter."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._sketch = CountMinSketch()
+
+    def on_insert(self, block: "Block", now: float) -> None:
+        super().on_insert(block, now)
+        block.last_access = max(block.last_access, now)
+        self._sketch.add(block.block_id)
+
+    def on_access(self, block: "Block", now: float) -> None:
+        block.last_access = max(block.last_access, now)
+        self._sketch.add(block.block_id)
+
+    def victim_priority(self, block: "Block", now: float) -> float:
+        return block.last_access
+
+    def admit(self, incoming_size: float, incoming_rdd_id: int, victims: list["Block"]) -> bool:
+        """Admit only when the newcomer is at least as hot as its victims."""
+        if not victims:
+            return True
+        incoming_freq = self._sketch.estimate((incoming_rdd_id, -1))
+        victim_freq = max(self._sketch.estimate(v.block_id) for v in victims)
+        return incoming_freq >= victim_freq
+
+    def record_candidate(self, incoming_rdd_id: int) -> None:
+        """Feed the sketch with admission attempts (rdd-level key)."""
+        self._sketch.add((incoming_rdd_id, -1))

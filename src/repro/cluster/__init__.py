@@ -1,0 +1,9 @@
+"""Simulated cluster: executors, block stores, shuffle, scheduler, driver."""
+
+from .blocks import Block, BlockId
+from .blockmanager import BlockManager
+from .cachemanager import CacheManager
+from .cluster import Cluster
+from .executor import Executor
+
+__all__ = ["Block", "BlockId", "BlockManager", "CacheManager", "Cluster", "Executor"]

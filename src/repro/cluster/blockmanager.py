@@ -1,0 +1,163 @@
+"""Per-executor block manager: the memory/disk tiers plus charged movement.
+
+All block movement goes through these primitives so that every byte crossing
+the disk boundary is charged ((de)serialization + throughput) and every
+cache event is counted.  Decision-making lives in the cache managers; this
+class only executes decisions.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from ..errors import StorageError
+from .blocks import Block, BlockId, BlockLocation
+from .stores import BlockStore
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..config import ClusterConfig
+    from ..metrics.collector import MetricsCollector, TaskMetrics
+
+
+class BlockManager:
+    """Storage tiers of one executor."""
+
+    def __init__(
+        self,
+        executor_id: int,
+        config: "ClusterConfig",
+        metrics: "MetricsCollector",
+    ) -> None:
+        self.executor_id = executor_id
+        self._config = config
+        self._metrics = metrics
+        self.memory = BlockStore(config.memory_store_bytes, f"mem[{executor_id}]")
+        self.disk = BlockStore(config.disk.capacity_bytes, f"disk[{executor_id}]")
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def location_of(self, block_id: BlockId) -> BlockLocation | None:
+        if block_id in self.memory:
+            return BlockLocation.MEMORY
+        if block_id in self.disk:
+            return BlockLocation.DISK
+        return None
+
+    def get(self, block_id: BlockId) -> Block | None:
+        return self.memory.get(block_id) or self.disk.get(block_id)
+
+    # ------------------------------------------------------------------
+    # Charging helpers
+    # ------------------------------------------------------------------
+    def charge_disk_write(self, block: Block, tm: "TaskMetrics", include_ser: bool = True) -> None:
+        """Serialize + write ``block`` to the executor disk (time only).
+
+        ``include_ser=False`` skips the serialization charge for stores that
+        already hold serialized bytes in memory (the Alluxio-like mode).
+        """
+        disk = self._config.disk
+        if include_ser:
+            tm.ser_seconds += block.size_bytes * disk.ser_seconds_per_byte * block.ser_factor
+        tm.cache_disk_write_seconds += block.size_bytes / disk.write_bytes_per_sec
+        tm.cache_bytes_written += block.size_bytes
+
+    def charge_disk_read(self, block: Block, tm: "TaskMetrics") -> None:
+        """Read + deserialize ``block`` from the executor disk (time only)."""
+        disk = self._config.disk
+        tm.cache_disk_read_seconds += block.size_bytes / disk.read_bytes_per_sec
+        tm.deser_seconds += block.size_bytes * disk.deser_seconds_per_byte * block.ser_factor
+        tm.cache_bytes_read += block.size_bytes
+
+    def charge_memory_ser(self, block: Block, tm: "TaskMetrics") -> None:
+        """Serialization charged on memory writes (Alluxio-style stores)."""
+        disk = self._config.disk
+        tm.ser_seconds += block.size_bytes * disk.ser_seconds_per_byte * block.ser_factor
+
+    def charge_memory_deser(self, block: Block, tm: "TaskMetrics") -> None:
+        """Deserialization charged on memory reads (Alluxio-style stores)."""
+        disk = self._config.disk
+        tm.deser_seconds += block.size_bytes * disk.deser_seconds_per_byte * block.ser_factor
+
+    # ------------------------------------------------------------------
+    # Movement primitives (callers decide *when*)
+    # ------------------------------------------------------------------
+    def insert_memory(self, block: Block) -> None:
+        """Admit a block to the memory tier (space must exist)."""
+        self.memory.put(block)
+
+    def insert_disk(self, block: Block, tm: "TaskMetrics", include_ser: bool = True) -> None:
+        """Write a freshly produced block straight to disk, charging I/O."""
+        self._ensure_disk_space(block.size_bytes)
+        self.charge_disk_write(block, tm, include_ser)
+        self.disk.put(block)
+        self._metrics.record_disk_put(block.size_bytes)
+
+    def spill_to_disk(self, block_id: BlockId, tm: "TaskMetrics", include_ser: bool = True) -> Block:
+        """Evict a memory block to the disk tier, charging write I/O."""
+        block = self.memory.remove(block_id)
+        self._ensure_disk_space(block.size_bytes)
+        self.charge_disk_write(block, tm, include_ser)
+        self.disk.put(block)
+        self._metrics.record_disk_put(block.size_bytes)
+        self._metrics.record_eviction_to_disk(self.executor_id, block.size_bytes)
+        return block
+
+    def discard(self, block_id: BlockId, *, evicted: bool) -> Block:
+        """Remove a block from whichever tier holds it.
+
+        ``evicted=True`` counts it as a capacity-driven unpersist (the
+        paper's m->u transition); ``False`` is a driver/API unpersist.
+        """
+        loc = self.location_of(block_id)
+        if loc is BlockLocation.MEMORY:
+            block = self.memory.remove(block_id)
+        elif loc is BlockLocation.DISK:
+            block = self.disk.remove(block_id)
+            self._metrics.record_disk_remove(block.size_bytes)
+        else:
+            raise StorageError(f"discard of unknown block {block_id}")
+        self._metrics.record_unpersist(self.executor_id, block.size_bytes, evicted=evicted)
+        return block
+
+    def read_from_disk(self, block_id: BlockId, tm: "TaskMetrics") -> Block:
+        """Charge a disk read of ``block_id`` and return the block."""
+        block = self.disk.get(block_id)
+        if block is None:
+            raise StorageError(f"disk read of missing block {block_id}")
+        self.charge_disk_read(block, tm)
+        return block
+
+    def promote_to_memory(self, block_id: BlockId) -> Block | None:
+        """Move a disk block into memory if it fits (no charge: data is
+        already deserialized in the reading task).  Returns the block when
+        promoted, else ``None``."""
+        block = self.disk.get(block_id)
+        if block is None:
+            raise StorageError(f"promote of missing block {block_id}")
+        if not self.memory.fits(block.size_bytes):
+            return None
+        self.disk.remove(block_id)
+        self._metrics.record_disk_remove(block.size_bytes)
+        self.memory.put(block)
+        return block
+
+    def _ensure_disk_space(self, size_bytes: float) -> None:
+        """Free disk space FIFO when the disk tier itself is full."""
+        while not self.disk.fits(size_bytes) and len(self.disk):
+            victim = next(iter(self.disk.blocks()))
+            self.disk.remove(victim.block_id)
+            self._metrics.record_disk_remove(victim.size_bytes)
+            self._metrics.record_unpersist(self.executor_id, victim.size_bytes, evicted=True)
+        if not self.disk.fits(size_bytes):
+            raise StorageError(
+                f"disk[{self.executor_id}] cannot fit a {size_bytes:.0f}B block at all"
+            )
+
+    # ------------------------------------------------------------------
+    def cached_blocks(self) -> list[Block]:
+        """All blocks on this executor (memory first, then disk)."""
+        return list(self.memory.blocks()) + list(self.disk.blocks())
+
+    def __repr__(self) -> str:
+        return f"<BlockManager exec={self.executor_id} {self.memory!r} {self.disk!r}>"

@@ -1,0 +1,57 @@
+"""Cached partition blocks.
+
+A block is one materialized RDD partition held by an executor's block
+manager, identified by ``(rdd_id, split)`` exactly like Spark's
+``RDDBlockId``.  The block keeps the *real* elements (so cache hits return
+correct data) alongside the *modeled* size used for capacity accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any
+
+
+BlockId = tuple[int, int]
+"""(rdd_id, split) — identifies one partition of one dataset."""
+
+
+class BlockLocation(Enum):
+    """Where a block currently lives."""
+
+    MEMORY = "memory"
+    DISK = "disk"
+
+
+@dataclass
+class Block:
+    """A materialized partition plus its cache metadata."""
+
+    block_id: BlockId
+    data: list[Any]
+    size_bytes: float
+    ser_factor: float = 1.0
+    rdd_name: str = ""
+    #: virtual time the block was last read (policy input)
+    last_access: float = 0.0
+    #: number of reads since caching (policy input)
+    access_count: int = 0
+    #: metadata bag used by policies (e.g. GDWheel credits)
+    policy_data: dict = field(default_factory=dict)
+
+    @property
+    def rdd_id(self) -> int:
+        return self.block_id[0]
+
+    @property
+    def split(self) -> int:
+        return self.block_id[1]
+
+    def touch(self, now: float) -> None:
+        """Record an access at virtual time ``now``."""
+        self.last_access = now
+        self.access_count += 1
+
+    def __repr__(self) -> str:
+        return f"<Block R{self.rdd_id}.{self.split} {self.size_bytes:.0f}B>"

@@ -1,0 +1,110 @@
+"""The cache-manager seam between the execution engine and caching logic.
+
+Every system under test (plain Spark modes, LRC/MRD variants, Blaze and its
+ablations) is a :class:`CacheManager` implementation.  The driver calls the
+hooks at well-defined points:
+
+- ``on_job_submit`` — a new job (iteration) was submitted; policies refresh
+  lineage-derived state, Blaze triggers the ILP;
+- ``on_stage_complete`` — a stage finished; Blaze auto-caches/unpersists;
+- ``handle_cache`` — a task materialized a partition of a cache candidate;
+  the manager decides admission, victims, and victim states;
+- ``on_memory_hit`` / ``on_disk_hit`` — accesses, for recency/frequency
+  bookkeeping and promote-on-read.
+
+The engine itself never embeds policy: all caching, eviction, and recovery
+*decisions* flow through this interface, which is precisely the separation
+the paper's "three operational layers" discussion is about.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..dataflow.dag import Job, Stage
+    from ..dataflow.rdd import RDD
+    from ..metrics.collector import TaskMetrics
+    from .blocks import Block
+    from .cluster import Cluster
+    from .executor import Executor
+
+
+class CacheManager(ABC):
+    """Unified seam for caching, eviction, and recovery decisions."""
+
+    name = "abstract"
+
+    def __init__(self) -> None:
+        self.cluster: "Cluster | None" = None
+
+    def attach(self, cluster: "Cluster") -> None:
+        """Bind to the cluster before the first job runs."""
+        self.cluster = cluster
+
+    # ------------------------------------------------------------------
+    # Candidate selection (the caching layer)
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def is_cache_candidate(self, rdd: "RDD") -> bool:
+        """Should materialized partitions of ``rdd`` go through the cache?"""
+
+    # ------------------------------------------------------------------
+    # Lifecycle hooks
+    # ------------------------------------------------------------------
+    def on_job_submit(self, job: "Job") -> None:  # noqa: B027 - optional hook
+        """Called before the job's first stage executes."""
+
+    def on_stage_start(self, stage: "Stage") -> None:  # noqa: B027
+        """Called right before a stage's first task starts."""
+
+    def on_stage_complete(self, stage: "Stage") -> None:  # noqa: B027
+        """Called after every stage's last task finishes."""
+
+    def on_job_complete(self, job: "Job") -> None:  # noqa: B027
+        """Called after the job's result stage finishes."""
+
+    # ------------------------------------------------------------------
+    # Data-path hooks
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def handle_cache(
+        self,
+        executor: "Executor",
+        rdd: "RDD",
+        split: int,
+        data: list[Any],
+        size_bytes: float,
+        tm: "TaskMetrics",
+    ) -> None:
+        """A task produced a candidate partition; decide where it goes.
+
+        Implementations may cache it in memory (possibly evicting victims),
+        write it straight to disk, or drop it.  All I/O incurred must be
+        charged to ``tm`` (it happens inside the producing task).
+        """
+
+    def on_partition_computed(
+        self,
+        rdd: "RDD",
+        split: int,
+        n_in: int,
+        n_out: int,
+        compute_seconds: float,
+        size_weight: float,
+    ) -> None:  # noqa: B027
+        """Per-partition profiling feed (sizes and compute times, §5.3/§6).
+
+        Called for *every* operator execution, so metric trackers see both
+        first materializations and recomputations.
+        """
+
+    def on_memory_hit(self, executor: "Executor", block: "Block", tm: "TaskMetrics") -> None:  # noqa: B027
+        """A task read ``block`` from executor memory."""
+
+    def on_disk_hit(self, executor: "Executor", block: "Block", tm: "TaskMetrics") -> None:  # noqa: B027
+        """A task read ``block`` from executor disk (after charging I/O)."""
+
+    def on_block_removed(self, executor: "Executor", block: "Block") -> None:  # noqa: B027
+        """A block left the executor entirely (driver unpersist etc.)."""

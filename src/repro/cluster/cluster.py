@@ -1,0 +1,81 @@
+"""The simulated cluster: executors, clock, shuffle plane, metrics."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..config import ClusterConfig
+from ..metrics.collector import MetricsCollector
+from ..sim.clock import VirtualClock
+from .blocks import Block, BlockId, BlockLocation
+from .executor import Executor
+from .shuffle import ShuffleManager
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..metrics.collector import TaskMetrics
+
+
+class Cluster:
+    """Owns the executors and the shared simulation state."""
+
+    def __init__(self, config: ClusterConfig, metrics: MetricsCollector | None = None) -> None:
+        self.config = config
+        self.clock = VirtualClock()
+        self.metrics = metrics or MetricsCollector()
+        self.executors = [
+            Executor(i, config, self.metrics) for i in range(config.num_executors)
+        ]
+        self.shuffle = ShuffleManager(config)
+
+    # ------------------------------------------------------------------
+    def executor_for(self, split: int) -> Executor:
+        """Deterministic home executor of a partition index.
+
+        Co-indexed partitions of co-partitioned datasets land on the same
+        executor, which is how locality-aware scheduling keeps cache reads
+        local across iterations (section 6 of the paper).
+        """
+        return self.executors[split % len(self.executors)]
+
+    # ------------------------------------------------------------------
+    def find_block(self, block_id: BlockId) -> tuple[Executor, BlockLocation] | None:
+        """Locate a block anywhere in the cluster (home executor first)."""
+        home = self.executor_for(block_id[1])
+        loc = home.bm.location_of(block_id)
+        if loc is not None:
+            return home, loc
+        for executor in self.executors:
+            if executor is home:
+                continue
+            loc = executor.bm.location_of(block_id)
+            if loc is not None:
+                return executor, loc
+        return None
+
+    def charge_remote_read(self, block: Block, tm: "TaskMetrics") -> None:
+        """Network transfer of a remotely cached block (rare under locality)."""
+        net = self.config.network
+        tm.remote_read_seconds += net.latency_seconds + block.size_bytes / net.bytes_per_sec
+
+    # ------------------------------------------------------------------
+    def drop_rdd_blocks(self, rdd_id: int, *, evicted: bool = False) -> int:
+        """Remove every cached partition of ``rdd_id`` cluster-wide."""
+        dropped = 0
+        for executor in self.executors:
+            for block in executor.bm.cached_blocks():
+                if block.rdd_id == rdd_id:
+                    executor.bm.discard(block.block_id, evicted=evicted)
+                    dropped += 1
+        return dropped
+
+    def memory_used_bytes(self) -> float:
+        return sum(e.bm.memory.used_bytes for e in self.executors)
+
+    def disk_used_bytes(self) -> float:
+        return sum(e.bm.disk.used_bytes for e in self.executors)
+
+    def __repr__(self) -> str:
+        return (
+            f"<Cluster {len(self.executors)} executors, "
+            f"mem={self.memory_used_bytes() / 1e6:.1f}MB disk={self.disk_used_bytes() / 1e6:.1f}MB>"
+        )

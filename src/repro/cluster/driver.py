@@ -1,0 +1,287 @@
+"""The driver: job submission, stage execution, and the cache-aware data path.
+
+This is the execution half of the DAGScheduler.  ``materialize`` is the
+single entry point through which every partition is obtained and is where
+the three operational layers of the paper meet:
+
+- *caching*: candidate partitions produced by tasks are offered to the
+  cache manager (admission, victim selection, victim state);
+- *eviction*: performed inside the cache manager via block-manager
+  primitives, charged to the task that triggered it (Spark semantics);
+- *recovery*: a miss falls back to disk read or recursive recomputation
+  through lineage, including re-running upstream map stages when shuffle
+  outputs have been cleaned up.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING, Any, Callable
+
+from ..dataflow.dag import Job, Stage, build_job
+from ..dataflow.dependencies import ShuffleDependency
+from ..errors import DataflowError
+from ..metrics.collector import TaskMetrics
+from .blocks import Block, BlockId, BlockLocation
+from .scheduler import SlotScheduler, TaskSlot
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..dataflow.rdd import RDD
+    from .cachemanager import CacheManager
+    from .cluster import Cluster
+    from .executor import Executor
+
+
+class Driver:
+    """Plans and executes jobs on the simulated cluster."""
+
+    def __init__(self, cluster: "Cluster", cache_manager: "CacheManager") -> None:
+        self.cluster = cluster
+        self.cache_manager = cache_manager
+        self.metrics = cluster.metrics
+        self.scheduler = SlotScheduler(cluster.clock)
+        self.job_log: list[Job] = []
+        self._job_ids = itertools.count()
+        #: block ids ever admitted to any store — a later materialization of
+        #: one of these is a *recovery* and its compute time counts as
+        #: recomputation cost.
+        self._was_cached: set[BlockId] = set()
+        #: hooks run after every completed job (profiler timeout budget)
+        self.post_job_hooks: list[Callable[[Job], None]] = []
+        cache_manager.attach(cluster)
+
+    # ------------------------------------------------------------------
+    # Job execution
+    # ------------------------------------------------------------------
+    def run_job(self, final_rdd: "RDD", action_fn: Callable[[int, list], Any]) -> list:
+        """Plan, schedule, and run one action; returns per-partition results."""
+        job = build_job(next(self._job_ids), final_rdd, action_fn)
+        job.stages_to_run = self._select_stages(job)
+        self.job_log.append(job)
+        self.cache_manager.on_job_submit(job)
+
+        results: list = [None] * final_rdd.num_partitions
+        for stage in job.stages_to_run:
+            if not stage.is_result and self.cluster.shuffle.is_complete(stage.shuffle_dep):
+                continue  # skipped stage: shuffle outputs already exist
+            self.cache_manager.on_stage_start(stage)
+            self._run_stage(stage, job, results)
+            self.cache_manager.on_stage_complete(stage)
+
+        self.cache_manager.on_job_complete(job)
+        self.metrics.record_job()
+        min_keep = job.job_id - self.cluster.config.shuffle_retention_jobs + 1
+        self.cluster.shuffle.cleanup_older_than(min_keep)
+        for hook in list(self.post_job_hooks):
+            hook(job)
+        return results
+
+    def _select_stages(self, job: Job) -> list[Stage]:
+        """Spark's missing-parent-stage pruning.
+
+        Walk the lineage from the final RDD; a dataset whose partitions are
+        all cached truncates the walk (its ancestors will not be touched),
+        and a completed shuffle truncates into its map stage.  Only stages
+        reachable through actually-missing data are submitted.  Skipping is
+        conservative-safe: a stage mispredicted as unnecessary is recovered
+        at runtime by the on-demand shuffle recomputation path.
+        """
+        needed_shuffles: set[int] = set()
+        visited: set[int] = set()
+
+        def fully_cached(rdd: "RDD") -> bool:
+            if not self.cache_manager.is_cache_candidate(rdd):
+                return False
+            for split in range(rdd.num_partitions):
+                home = self.cluster.executor_for(split)
+                if home.bm.location_of((rdd.rdd_id, split)) is None:
+                    return False
+            return True
+
+        def visit(rdd: "RDD") -> None:
+            if rdd.rdd_id in visited:
+                return
+            visited.add(rdd.rdd_id)
+            if fully_cached(rdd):
+                return  # tasks will read it; ancestors stay untouched
+            for dep in rdd.narrow_deps:
+                visit(dep.parent)
+            for dep in rdd.shuffle_deps:
+                if not self.cluster.shuffle.is_complete(dep):
+                    needed_shuffles.add(dep.shuffle_id)
+                    visit(dep.parent)
+
+        visit(job.final_rdd)
+        return [
+            stage
+            for stage in job.stages
+            if stage.is_result or stage.shuffle_dep.shuffle_id in needed_shuffles
+        ]
+
+    def _run_stage(self, stage: Stage, job: Job, results: list) -> None:
+        tasks = [
+            TaskSlot(split=s, executor=self.cluster.executor_for(s))
+            for s in range(stage.num_tasks)
+        ]
+
+        def execute(task: TaskSlot) -> float:
+            tm = TaskMetrics()
+            self._task_memo: dict[BlockId, list] = {}
+            self._recovery_depth = 0
+            data = self.materialize(stage.rdd, task.split, task.executor, tm)
+            if stage.is_result:
+                results[task.split] = job.action_fn(task.split, data)
+            else:
+                self.cluster.shuffle.write(
+                    stage.shuffle_dep, task.split, data, tm, job.job_id
+                )
+            self.metrics.record_task(job.job_id, task.executor.executor_id, tm)
+            return tm.duration_seconds
+
+        self.scheduler.run_stage(tasks, execute)
+
+    # ------------------------------------------------------------------
+    # The cache-aware data path
+    # ------------------------------------------------------------------
+    def materialize(
+        self,
+        rdd: "RDD",
+        split: int,
+        executor: "Executor",
+        tm: TaskMetrics,
+    ) -> list:
+        """Obtain one partition: memory hit, disk hit, remote hit, or compute."""
+        block_id: BlockId = (rdd.rdd_id, split)
+        memo = self._task_memo.get(block_id)
+        if memo is not None:
+            return memo
+
+        candidate = self.cache_manager.is_cache_candidate(rdd)
+        if candidate:
+            hit = self._lookup(block_id, executor, tm)
+            if hit is not None:
+                self._task_memo[block_id] = hit
+                return hit
+
+        is_recovery = candidate and block_id in self._was_cached
+        if is_recovery:
+            self._recovery_depth += 1
+        try:
+            data = self._compute(rdd, split, executor, tm)
+        finally:
+            if is_recovery:
+                self._recovery_depth -= 1
+
+        if candidate and self.cluster.find_block(block_id) is None:
+            size = rdd.size_model.bytes_for(rdd.size_weight(data))
+            self.cache_manager.handle_cache(executor, rdd, split, data, size, tm)
+            if self.cluster.find_block(block_id) is not None:
+                self._was_cached.add(block_id)
+        self._task_memo[block_id] = data
+        return data
+
+    def _lookup(
+        self,
+        block_id: BlockId,
+        executor: "Executor",
+        tm: TaskMetrics,
+    ) -> list | None:
+        """Find a cached block locally, then cluster-wide; charge the read."""
+        now = self.cluster.clock.now
+        loc = executor.bm.location_of(block_id)
+        if loc is BlockLocation.MEMORY:
+            block = executor.bm.memory.get(block_id)
+            block.touch(now)
+            self.cache_manager.on_memory_hit(executor, block, tm)
+            return block.data
+        if loc is BlockLocation.DISK:
+            block = executor.bm.read_from_disk(block_id, tm)
+            block.touch(now)
+            self.cache_manager.on_disk_hit(executor, block, tm)
+            return block.data
+        if not self.cluster.config.allow_remote_cache_reads:
+            return None
+        found = self.cluster.find_block(block_id)
+        if found is None:
+            return None
+        owner, loc = found
+        block = owner.bm.get(block_id)
+        if loc is BlockLocation.DISK:
+            owner.bm.charge_disk_read(block, tm)
+            block.touch(now)
+            self.cache_manager.on_disk_hit(owner, block, tm)
+        else:
+            block.touch(now)
+            self.cache_manager.on_memory_hit(owner, block, tm)
+        self.cluster.charge_remote_read(block, tm)
+        return block.data
+
+    def _compute(
+        self,
+        rdd: "RDD",
+        split: int,
+        executor: "Executor",
+        tm: TaskMetrics,
+    ) -> list:
+        """Run the operator body, resolving inputs recursively."""
+        narrow_data = [
+            self.materialize(parent, ps, executor, tm)
+            for parent, ps in rdd.narrow_inputs(split)
+        ]
+        shuffle_data = []
+        for dep in rdd.shuffle_deps:
+            if not self.cluster.shuffle.is_complete(dep):
+                self._recompute_shuffle(dep, executor, tm)
+            shuffle_data.append(self.cluster.shuffle.fetch(dep, split, tm))
+
+        n_in = sum(len(d) for d in narrow_data) + sum(len(s) for s in shuffle_data)
+        out = rdd.compute(split, narrow_data, shuffle_data)
+        if not isinstance(out, list):
+            raise DataflowError(f"{rdd!r}.compute must return a list")
+        seconds = rdd.op_cost.seconds(n_in, len(out))
+        tm.compute_seconds += seconds
+        if self._recovery_depth > 0:
+            tm.recompute_seconds += seconds
+        self.cache_manager.on_partition_computed(
+            rdd, split, n_in, len(out), seconds, rdd.size_weight(out)
+        )
+        return out
+
+    def _recompute_shuffle(
+        self,
+        dep: ShuffleDependency,
+        executor: "Executor",
+        tm: TaskMetrics,
+    ) -> None:
+        """Regenerate missing shuffle map outputs (the deep recovery path).
+
+        The requesting task is charged the full upstream work (it lands in
+        the accumulated task time), but on a real cluster a resubmitted map
+        stage runs its tasks in parallel across the slots — so all but the
+        critical path is marked *offloaded* and does not extend the
+        requesting task's duration.  The regenerated outputs are registered
+        so sibling reduce tasks reuse them.
+        """
+        job_id = self.job_log[-1].job_id if self.job_log else 0
+        missing = self.cluster.shuffle.missing_map_splits(dep)
+        before = tm.total_seconds
+        for map_split in missing:
+            data = self.materialize(dep.parent, map_split, executor, tm)
+            self.cluster.shuffle.write(dep, map_split, data, tm, job_id)
+        regenerated = tm.total_seconds - before
+        parallelism = min(len(missing), self.cluster.config.total_slots)
+        if parallelism > 1 and regenerated > 0:
+            tm.offloaded_seconds += regenerated * (1.0 - 1.0 / parallelism)
+
+    # ------------------------------------------------------------------
+    def unpersist_rdd(self, rdd: "RDD") -> None:
+        """Driver-side unpersist: drop all the dataset's blocks everywhere."""
+        for ex in self.cluster.executors:
+            for block in ex.bm.cached_blocks():
+                if block.rdd_id == rdd.rdd_id:
+                    ex.bm.discard(block.block_id, evicted=False)
+                    self.cache_manager.on_block_removed(ex, block)
+
+    @property
+    def current_job_id(self) -> int:
+        return self.job_log[-1].job_id if self.job_log else -1

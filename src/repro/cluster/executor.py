@@ -1,0 +1,47 @@
+"""A simulated executor: task slots plus a block manager.
+
+Executors do not run Python threads; the driver's slot scheduler advances
+the virtual clock.  ``busy_until`` lets out-of-task work (Blaze's ILP
+migrations, MRD prefetches) delay the executor's next task without being
+attributed to any particular task.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from .blockmanager import BlockManager
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..config import ClusterConfig
+    from ..metrics.collector import MetricsCollector
+
+
+class Executor:
+    """One executor process with its storage tiers."""
+
+    def __init__(
+        self,
+        executor_id: int,
+        config: "ClusterConfig",
+        metrics: "MetricsCollector",
+    ) -> None:
+        self.executor_id = executor_id
+        self.block_manager = BlockManager(executor_id, config, metrics)
+        self.num_slots = config.slots_per_executor
+        #: virtual time before which no new task may start on this executor
+        #: (background block migrations extend it)
+        self.busy_until = 0.0
+
+    @property
+    def bm(self) -> BlockManager:
+        return self.block_manager
+
+    def charge_background(self, now: float, seconds: float) -> None:
+        """Occupy the executor with out-of-task work for ``seconds``."""
+        if seconds < 0:
+            raise ValueError("background charge must be non-negative")
+        self.busy_until = max(self.busy_until, now) + seconds
+
+    def __repr__(self) -> str:
+        return f"<Executor {self.executor_id} slots={self.num_slots}>"

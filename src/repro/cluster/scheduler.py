@@ -1,0 +1,86 @@
+"""Deterministic slot-timeline scheduling of one stage's tasks.
+
+Each executor exposes ``slots_per_executor`` slots; tasks are pinned to
+their partition's home executor (locality-aware scheduling) and drain in
+partition order.  The scheduler advances the virtual clock event-by-event:
+ties break on (time, executor, slot) so identical inputs replay identically.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, TYPE_CHECKING
+
+from ..errors import SchedulerError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..sim.clock import VirtualClock
+    from .executor import Executor
+
+
+@dataclass(frozen=True)
+class TaskSlot:
+    """One stage task bound to an executor."""
+
+    split: int
+    executor: "Executor"
+
+
+class SlotScheduler:
+    """Runs a list of tasks over executor slots on the virtual clock."""
+
+    def __init__(self, clock: "VirtualClock") -> None:
+        self._clock = clock
+
+    def run_stage(
+        self,
+        tasks: list[TaskSlot],
+        execute: Callable[[TaskSlot], float],
+    ) -> float:
+        """Execute all ``tasks``; returns the stage makespan in seconds.
+
+        ``execute`` runs a task *atomically at its start time* (mutating
+        stores, charging metrics) and returns its virtual duration.  The
+        slot stays busy for that duration, which serializes tasks per slot
+        and yields the stage's critical path.
+        """
+        if not tasks:
+            return 0.0
+        stage_start = self._clock.now
+        queues: dict[int, deque[TaskSlot]] = {}
+        executors: dict[int, "Executor"] = {}
+        for task in tasks:
+            queues.setdefault(task.executor.executor_id, deque()).append(task)
+            executors[task.executor.executor_id] = task.executor
+
+        # (slot_free_time, executor_id, slot_index)
+        heap: list[tuple[float, int, int]] = []
+        for eid, executor in sorted(executors.items()):
+            ready = max(stage_start, executor.busy_until)
+            for slot in range(executor.num_slots):
+                heap.append((ready, eid, slot))
+        heapq.heapify(heap)
+
+        stage_end = stage_start
+        remaining = len(tasks)
+        while remaining:
+            if not heap:
+                raise SchedulerError("ran out of slots with tasks remaining")
+            free_at, eid, slot = heapq.heappop(heap)
+            queue = queues[eid]
+            if not queue:
+                continue  # this executor is done; retire the slot
+            task = queue.popleft()
+            remaining -= 1
+            self._clock.advance_to(free_at)
+            duration = execute(task)
+            if duration < 0:
+                raise SchedulerError(f"task {task.split} reported negative duration")
+            done_at = free_at + duration
+            stage_end = max(stage_end, done_at)
+            heapq.heappush(heap, (done_at, eid, slot))
+
+        self._clock.advance_to(stage_end)
+        return stage_end - stage_start

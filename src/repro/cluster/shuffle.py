@@ -1,0 +1,136 @@
+"""Shuffle data plane: map-output catalog, write/fetch with cost charging.
+
+Map tasks bucket their output records by the dependency's partitioner and
+register the buckets here; reduce tasks fetch and merge the buckets for
+their split.  Outputs persist across jobs (Spark's shuffle-file reuse, which
+makes repeated stages "skipped") until the driver cleans them up per the
+``shuffle_retention_jobs`` setting — after that, recomputation must re-run
+the upstream map work, which is the expensive-recovery path the paper's
+cost model reasons about.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from ..dataflow.dependencies import ShuffleDependency
+from ..errors import ShuffleError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..config import ClusterConfig
+    from ..metrics.collector import TaskMetrics
+
+
+class ShuffleManager:
+    """Global catalog of shuffle map outputs (the simulator's shuffle files)."""
+
+    def __init__(self, config: "ClusterConfig") -> None:
+        self._config = config
+        # shuffle_id -> map_split -> reduce_split -> list of (k, v) records
+        self._outputs: dict[int, dict[int, dict[int, list]]] = {}
+        # shuffle_id -> id of the job whose execution produced the outputs
+        self._producer_job: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    def is_map_output_present(self, dep: ShuffleDependency, map_split: int) -> bool:
+        return map_split in self._outputs.get(dep.shuffle_id, {})
+
+    def is_complete(self, dep: ShuffleDependency) -> bool:
+        """True when every map partition has registered its buckets."""
+        present = self._outputs.get(dep.shuffle_id)
+        return present is not None and len(present) == dep.parent.num_partitions
+
+    def missing_map_splits(self, dep: ShuffleDependency) -> list[int]:
+        present = self._outputs.get(dep.shuffle_id, {})
+        return [s for s in range(dep.parent.num_partitions) if s not in present]
+
+    # ------------------------------------------------------------------
+    def write(
+        self,
+        dep: ShuffleDependency,
+        map_split: int,
+        elements: list[Any],
+        tm: "TaskMetrics",
+        job_id: int,
+    ) -> None:
+        """Bucket ``elements`` (key, value pairs) and register the output.
+
+        Charges map-side combine happens here when the dependency carries a
+        combiner (reduceByKey), shrinking the shuffled bytes like Spark.
+        """
+        buckets: dict[int, list] = {}
+        partitioner = dep.partitioner
+        if dep.combiner is not None:
+            combined: dict[Any, Any] = {}
+            for k, v in elements:
+                combined[k] = dep.combiner(combined[k], v) if k in combined else v
+            records: list[tuple[Any, Any]] = list(combined.items())
+        else:
+            records = list(elements)
+        for k, v in records:
+            buckets.setdefault(partitioner.partition_for(k), []).append((k, v))
+
+        bytes_out = dep.parent.size_model.bytes_for(len(records))
+        ser = self._config.disk.ser_seconds_per_byte * dep.parent.size_model.ser_factor
+        tm.shuffle_write_seconds += bytes_out / self._config.disk.write_bytes_per_sec
+        tm.shuffle_write_seconds += bytes_out * ser
+        tm.shuffle_bytes += bytes_out
+
+        self._outputs.setdefault(dep.shuffle_id, {})[map_split] = buckets
+        self._producer_job.setdefault(dep.shuffle_id, job_id)
+
+    def fetch(
+        self,
+        dep: ShuffleDependency,
+        reduce_split: int,
+        tm: "TaskMetrics",
+    ) -> list[tuple[Any, Any]]:
+        """Gather and merge this reduce split's records from all map outputs.
+
+        Returns ``(k, combined)`` pairs when the dependency has a combiner,
+        otherwise ``(k, [values])`` groups.  Charges network fetch time plus
+        deserialization.
+        """
+        if not self.is_complete(dep):
+            raise ShuffleError(
+                f"shuffle {dep.shuffle_id} fetch with missing map outputs: "
+                f"{self.missing_map_splits(dep)}"
+            )
+        per_map = self._outputs[dep.shuffle_id]
+        n_records = 0
+        merged: dict[Any, Any] = {}
+        for map_split in range(dep.parent.num_partitions):
+            for k, v in per_map[map_split].get(reduce_split, ()):
+                n_records += 1
+                if dep.combiner is not None:
+                    merged[k] = dep.combiner(merged[k], v) if k in merged else v
+                else:
+                    merged.setdefault(k, []).append(v)
+
+        bytes_in = dep.parent.size_model.bytes_for(n_records)
+        deser = self._config.disk.deser_seconds_per_byte * dep.parent.size_model.ser_factor
+        tm.shuffle_read_seconds += self._config.network.latency_seconds
+        tm.shuffle_read_seconds += bytes_in / self._config.network.bytes_per_sec
+        tm.shuffle_read_seconds += bytes_in * deser
+        tm.shuffle_bytes += bytes_in
+        return list(merged.items())
+
+    # ------------------------------------------------------------------
+    def cleanup_older_than(self, min_job_id: int) -> list[int]:
+        """Drop outputs produced by jobs older than ``min_job_id``.
+
+        Models Spark's ContextCleaner reclaiming shuffle files once the
+        producing datasets fall out of scope.  Returns the dropped ids.
+        """
+        stale = [sid for sid, jid in self._producer_job.items() if jid < min_job_id]
+        for sid in stale:
+            self._outputs.pop(sid, None)
+            self._producer_job.pop(sid, None)
+        return stale
+
+    def drop(self, shuffle_id: int) -> None:
+        self._outputs.pop(shuffle_id, None)
+        self._producer_job.pop(shuffle_id, None)
+
+    def registered_shuffles(self) -> list[int]:
+        return sorted(self._outputs.keys())

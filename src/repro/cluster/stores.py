@@ -1,0 +1,84 @@
+"""Capacity-accounted block stores (memory tier and disk tier).
+
+Stores only track membership and bytes; *when* something is admitted or
+evicted is the cache manager's decision, and the I/O time for moving blocks
+is charged by the block manager.  Both stores preserve insertion order so
+that iteration (and therefore policy tie-breaking) is deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..errors import StorageError
+from .blocks import Block, BlockId
+
+
+class BlockStore:
+    """An ordered, capacity-limited map of blocks."""
+
+    def __init__(self, capacity_bytes: float, name: str) -> None:
+        if capacity_bytes <= 0:
+            raise StorageError(f"{name} capacity must be positive")
+        self.capacity_bytes = float(capacity_bytes)
+        self.name = name
+        self._blocks: dict[BlockId, Block] = {}
+        self._used = 0.0
+
+    @property
+    def used_bytes(self) -> float:
+        return self._used
+
+    @property
+    def free_bytes(self) -> float:
+        return self.capacity_bytes - self._used
+
+    def fits(self, size_bytes: float) -> bool:
+        return size_bytes <= self.free_bytes
+
+    def put(self, block: Block) -> None:
+        """Insert a block; the caller must have made room first."""
+        if block.block_id in self._blocks:
+            raise StorageError(f"{self.name}: duplicate put of {block.block_id}")
+        if not self.fits(block.size_bytes):
+            raise StorageError(
+                f"{self.name}: block {block.block_id} ({block.size_bytes:.0f}B) "
+                f"does not fit in {self.free_bytes:.0f}B free"
+            )
+        self._blocks[block.block_id] = block
+        self._used += block.size_bytes
+
+    def get(self, block_id: BlockId) -> Block | None:
+        return self._blocks.get(block_id)
+
+    def __contains__(self, block_id: BlockId) -> bool:
+        return block_id in self._blocks
+
+    def remove(self, block_id: BlockId) -> Block:
+        """Remove and return a block; raises if absent."""
+        block = self._blocks.pop(block_id, None)
+        if block is None:
+            raise StorageError(f"{self.name}: remove of missing block {block_id}")
+        self._used -= block.size_bytes
+        # Tolerance scales with capacity: GiB-magnitude float64 arithmetic
+        # accumulates rounding on the order of capacity * eps per op.
+        if self._used < -max(1e-6, 1e-6 * self.capacity_bytes):
+            raise StorageError(f"{self.name}: negative occupancy after remove")
+        self._used = max(0.0, self._used)
+        return block
+
+    def blocks(self) -> Iterator[Block]:
+        """Blocks in insertion order."""
+        return iter(list(self._blocks.values()))
+
+    def block_ids(self) -> list[BlockId]:
+        return list(self._blocks.keys())
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def __repr__(self) -> str:
+        return (
+            f"<{self.name} {len(self._blocks)} blocks "
+            f"{self._used / 1e6:.1f}/{self.capacity_bytes / 1e6:.1f} MB>"
+        )

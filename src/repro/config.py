@@ -1,0 +1,169 @@
+"""Configuration objects for the simulated cluster and the Blaze stack.
+
+The defaults model the paper's testbed (11 r5a.2xlarge nodes, 20 executors,
+a 170 GB aggregate memory store and gp2 SSDs) scaled down so the simulation
+runs on a laptop.  All capacities are in *modeled* bytes: workloads declare
+per-element sizes so the working set can exceed the memory store without the
+Python process actually holding gigabytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .errors import ConfigError
+
+KiB = 1024
+MiB = 1024 * KiB
+GiB = 1024 * MiB
+
+
+@dataclass(frozen=True)
+class DiskConfig:
+    """Performance model of the per-executor disk caching store.
+
+    ``read_bytes_per_sec``/``write_bytes_per_sec`` model the sequential
+    throughput of the paper's gp2 SSD.  Serialization costs are charged per
+    byte on every disk write, deserialization on every read, scaled by the
+    workload-specific ``ser_factor`` of the partition being moved (the paper
+    observes SVD++ partitions serialize 2.5-6.4x slower than others).
+    """
+
+    read_bytes_per_sec: float = 250.0 * MiB
+    write_bytes_per_sec: float = 200.0 * MiB
+    ser_seconds_per_byte: float = 1.0 / (400.0 * MiB)
+    deser_seconds_per_byte: float = 1.0 / (500.0 * MiB)
+    capacity_bytes: float = 100.0 * GiB
+
+    def __post_init__(self) -> None:
+        if self.read_bytes_per_sec <= 0 or self.write_bytes_per_sec <= 0:
+            raise ConfigError("disk throughput must be positive")
+        if self.capacity_bytes <= 0:
+            raise ConfigError("disk capacity must be positive")
+
+
+@dataclass(frozen=True)
+class NetworkConfig:
+    """Network model used for shuffle fetches and remote cache reads."""
+
+    bytes_per_sec: float = 1.25 * GiB  # 10 Gbps
+    latency_seconds: float = 0.001
+
+    def __post_init__(self) -> None:
+        if self.bytes_per_sec <= 0:
+            raise ConfigError("network throughput must be positive")
+        if self.latency_seconds < 0:
+            raise ConfigError("network latency must be non-negative")
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Shape of the simulated cluster.
+
+    The paper runs 20 executors with 25 GB each and empirically caps the
+    aggregate memory store at 170 GB (8.5 GB per executor).  The default
+    here keeps the same *ratios* at one tenth of the absolute scale.
+    """
+
+    num_executors: int = 10
+    slots_per_executor: int = 4
+    memory_store_bytes: float = 8.5 * GiB
+    disk: DiskConfig = field(default_factory=DiskConfig)
+    network: NetworkConfig = field(default_factory=NetworkConfig)
+    # How many completed jobs keep their shuffle outputs alive.  Spark's
+    # ContextCleaner drops shuffle files once the producing RDDs go out of
+    # scope; one job of retention reproduces the iterative-workload pattern
+    # where recomputation has to re-run upstream map stages.
+    shuffle_retention_jobs: int = 1
+    # Remote cache reads are allowed (Spark semantics) but tasks are
+    # scheduled for locality, so they are rare.
+    allow_remote_cache_reads: bool = True
+
+    def __post_init__(self) -> None:
+        if self.num_executors <= 0:
+            raise ConfigError("num_executors must be positive")
+        if self.slots_per_executor <= 0:
+            raise ConfigError("slots_per_executor must be positive")
+        if self.memory_store_bytes <= 0:
+            raise ConfigError("memory_store_bytes must be positive")
+        if self.shuffle_retention_jobs < 0:
+            raise ConfigError("shuffle_retention_jobs must be >= 0")
+
+    @property
+    def total_memory_store_bytes(self) -> float:
+        return self.memory_store_bytes * self.num_executors
+
+    @property
+    def total_slots(self) -> int:
+        return self.slots_per_executor * self.num_executors
+
+
+@dataclass(frozen=True)
+class BlazeConfig:
+    """Tunables of the Blaze unified decision layer (paper section 5)."""
+
+    # Dependency-extraction phase (section 5.1 / 7.5).
+    profiling_enabled: bool = True
+    profiling_timeout_seconds: float = 10.0
+    profiling_sample_fraction: float = 0.01
+
+    # ILP (section 5.5): optimize partitions of the current job plus this
+    # many upcoming jobs; the paper uses the current and the next job.
+    ilp_horizon_jobs: int = 2
+    ilp_time_budget_seconds: float = 5.0
+    ilp_backend: str = "exact"  # "exact" (branch and bound) or "greedy"
+    # Re-solve with updated recomputation costs until the memory set is
+    # stable, at most this many rounds (cost_r depends on residency).
+    ilp_refinement_rounds: int = 3
+
+    # Whether disk capacity enters the ILP as a second constraint.
+    constrain_disk: bool = False
+
+    # Automatic caching (section 5.6).
+    autocache_enabled: bool = True
+    # Unified admission / cost-aware eviction (sections 4.1, 4.2).  The
+    # evaluation's ablations toggle these:
+    #   +AutoCache  = cost_aware/recompute/ilp/admission all off
+    #   +CostAware  = cost_aware on, recompute/ilp/admission off
+    #   Blaze       = everything on
+    cost_aware_enabled: bool = True
+    recompute_option_enabled: bool = True
+    ilp_enabled: bool = True
+    admission_enabled: bool = True
+    # False models the Fig. 12 memory-only Blaze variant: victims are always
+    # discarded and nothing is spilled.
+    disk_enabled: bool = True
+
+    def __post_init__(self) -> None:
+        if self.ilp_horizon_jobs < 1:
+            raise ConfigError("ilp_horizon_jobs must be >= 1")
+        if self.ilp_backend not in ("exact", "greedy"):
+            raise ConfigError(f"unknown ilp_backend: {self.ilp_backend!r}")
+        if not 0 < self.profiling_sample_fraction <= 1:
+            raise ConfigError("profiling_sample_fraction must be in (0, 1]")
+        if self.ilp_refinement_rounds < 1:
+            raise ConfigError("ilp_refinement_rounds must be >= 1")
+
+
+def small_cluster() -> ClusterConfig:
+    """A tiny cluster for unit tests (2 executors, modest memory)."""
+    return ClusterConfig(
+        num_executors=2,
+        slots_per_executor=2,
+        memory_store_bytes=64 * MiB,
+        disk=DiskConfig(capacity_bytes=10 * GiB),
+    )
+
+
+def paper_cluster() -> ClusterConfig:
+    """The evaluation cluster used by the benchmark harness.
+
+    Ten executors (one per simulated machine pair in the paper) with the
+    paper's memory-to-working-set ratio.
+    """
+    return ClusterConfig(
+        num_executors=10,
+        slots_per_executor=4,
+        memory_store_bytes=8.5 * GiB,
+        disk=DiskConfig(capacity_bytes=100 * GiB),
+    )

@@ -1,0 +1,27 @@
+"""Blaze's contribution: CostLineage, cost model, ILP, unified decisions.
+
+- :mod:`repro.core.cost_lineage` — cross-job lineage with partition metrics,
+  future-reference tracking, iterative-pattern detection, and inductive
+  regression for not-yet-observed iterations (paper section 5.3);
+- :mod:`repro.core.cost_model` — potential recovery costs (section 5.4);
+- :mod:`repro.core.ilp` — the optimal-partition-state ILP (section 5.5);
+- :mod:`repro.core.profiler` — the dependency-extraction phase (section 5.1);
+- :mod:`repro.core.udl` — the unified decision layer tying caching,
+  eviction, and recovery together (sections 4-5.6).
+"""
+
+from .cost_lineage import CostLineage
+from .cost_model import CostModel
+from .ilp import IlpItem, solve_partition_states
+from .profiler import LineageProfile, run_dependency_extraction
+from .udl import BlazeCacheManager
+
+__all__ = [
+    "CostLineage",
+    "CostModel",
+    "IlpItem",
+    "solve_partition_states",
+    "LineageProfile",
+    "run_dependency_extraction",
+    "BlazeCacheManager",
+]

@@ -1,0 +1,394 @@
+"""The CostLineage: cross-job lineage with live partition metrics (§5.3).
+
+The CostLineage merges the DAGs of all submitted (and profiled) jobs into a
+single application-wide graph, tracks where each dataset is *referenced*
+(job, stage), and layers partition metrics on top:
+
+- structure: ``parents_of`` / ``num_splits`` — the recomputation paths;
+- references: ``future_refs`` — how many upcoming stage-level uses a
+  dataset still has, driving automatic caching and unpersisting;
+- metrics: observed sizes/compute times, with profile-scaled priors and
+  inductive regression over congruent iterations filling the gaps;
+- pattern: a detected iteration cycle maps datasets to (role, iteration)
+  coordinates, enabling the induction of not-yet-captured iterations.
+
+Positions are ``(job_seq, stage_seq)`` pairs ordered lexicographically;
+the driver advances the position as stages complete.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable
+
+from .metrics_store import PartitionMetricsStore
+from .pattern import CycleInfo, detect_cycle
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..dataflow.dag import Job
+
+
+Position = tuple[int, int]
+
+
+@dataclass(frozen=True)
+class StageRef:
+    """One executed stage: its sequence number and the datasets it touches."""
+
+    seq: int
+    rdd_ids: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class JobCapture:
+    """Structural capture of one job (executed stages only)."""
+
+    job_seq: int
+    stages: tuple[StageRef, ...]
+
+    def rdd_ids(self) -> set[int]:
+        return {r for stage in self.stages for r in stage.rdd_ids}
+
+
+def capture_job(
+    job: "Job",
+    is_stage_skipped=None,
+    materialized: set[int] | None = None,
+) -> JobCapture:
+    """Build a :class:`JobCapture` from a submitted job.
+
+    Only the stages expected to execute (``job.execution_stages``) produce
+    reference events; ``is_stage_skipped(stage) -> bool`` further filters
+    stages whose shuffle outputs already exist.  When ``materialized`` is
+    provided it is used for first-touch-aware closure pruning and is
+    updated in place with this job's newly produced datasets.
+    """
+    from ..dataflow.dag import job_reference_sets
+
+    skip_seqs = set()
+    if is_stage_skipped is not None:
+        skip_seqs = {
+            stage.seq_in_job for stage in job.execution_stages if is_stage_skipped(stage)
+        }
+    stages = []
+    for seq, refs in job_reference_sets(job, materialized):
+        if seq in skip_seqs:
+            continue
+        stages.append(StageRef(seq=seq, rdd_ids=tuple(r.rdd_id for r in refs)))
+    if materialized is not None:
+        for stage in stages:
+            materialized.update(stage.rdd_ids)
+    return JobCapture(job_seq=job.job_id, stages=tuple(stages))
+
+
+class CostLineage:
+    """Application-wide lineage + metrics, updated as the workload runs."""
+
+    def __init__(self, induction_enabled: bool = True) -> None:
+        self.induction_enabled = induction_enabled
+        # ---- structure
+        self._parents: dict[int, tuple[int, ...]] = {}
+        self._num_splits: dict[int, int] = {}
+        self._names: dict[int, str] = {}
+        self._ser_factors: dict[int, float] = {}
+        # ---- reference events
+        self._events: dict[int, set[Position]] = {}
+        self._estimated_events: dict[int, set[Position]] = {}
+        # projections from the recurrent-dataset rule, kept apart so a
+        # later cycle detection can supersede them without touching
+        # profile-seeded estimates
+        self._recurrent_events: dict[int, set[Position]] = {}
+        self._sorted_cache: dict[int, list[Position]] = {}
+        # ---- job stream bookkeeping
+        self._ingested_jobs: set[int] = set()
+        self._new_ids_per_job: dict[int, list[int]] = {}
+        self._seen_ids: set[int] = set()
+        self.cycle: CycleInfo | None = None
+        # ---- metrics
+        self.metrics = PartitionMetricsStore()
+        self.prior = PartitionMetricsStore()  # profile-scaled estimates
+        # ---- progress
+        self.position: Position = (-1, -1)
+        #: whether future references can be trusted to be exhaustive: true
+        #: once a complete profile is seeded or an iteration cycle has been
+        #: detected (until then, "zero future refs" may just mean "not yet
+        #: known", and unpersisting on it would destroy reused data).
+        self.knowledge_complete = False
+        #: total number of jobs the application will submit, when known
+        #: (a complete profile captured the run to convergence); bounds
+        #: pattern extension so no references are projected past the end.
+        self.expected_total_jobs: int | None = None
+
+    # ------------------------------------------------------------------
+    # Structure registration
+    # ------------------------------------------------------------------
+    def register_rdd(
+        self,
+        rdd_id: int,
+        parent_ids: Iterable[int],
+        num_splits: int,
+        name: str = "",
+        ser_factor: float = 1.0,
+    ) -> None:
+        """Add or refresh one dataset's structural facts."""
+        self._parents[rdd_id] = tuple(parent_ids)
+        self._num_splits[rdd_id] = num_splits
+        self._ser_factors[rdd_id] = ser_factor
+        if name:
+            self._names[rdd_id] = name
+
+    def parents_of(self, rdd_id: int) -> tuple[int, ...]:
+        return self._parents.get(rdd_id, ())
+
+    def num_splits_of(self, rdd_id: int) -> int:
+        return self._num_splits.get(rdd_id, 0)
+
+    def name_of(self, rdd_id: int) -> str:
+        return self._names.get(rdd_id, f"R{rdd_id}")
+
+    def ser_factor_of(self, rdd_id: int) -> float:
+        return self._ser_factors.get(rdd_id, 1.0)
+
+    def known_rdds(self) -> list[int]:
+        return sorted(self._parents.keys())
+
+    # ------------------------------------------------------------------
+    # Reference-event ingestion
+    # ------------------------------------------------------------------
+    def ingest_capture(self, capture: JobCapture, estimated: bool = False) -> None:
+        """Merge one job's stage references into the lineage.
+
+        Real (non-estimated) ingestion of a job sequence *replaces* any
+        events previously estimated for it (profile predictions yield to
+        reality).
+        """
+        job_seq = capture.job_seq
+        if not estimated:
+            self._drop_estimates_for_job(job_seq)
+            self._ingested_jobs.add(job_seq)
+        new_ids: list[int] = []
+        for stage in capture.stages:
+            for rdd_id in stage.rdd_ids:
+                bucket = self._estimated_events if estimated else self._events
+                bucket.setdefault(rdd_id, set()).add((job_seq, stage.seq))
+                self._sorted_cache.pop(rdd_id, None)
+                if rdd_id not in self._seen_ids:
+                    self._seen_ids.add(rdd_id)
+                    new_ids.append(rdd_id)
+        if new_ids:
+            self._new_ids_per_job.setdefault(job_seq, []).extend(new_ids)
+            self._refresh_cycle()
+
+    def _drop_estimates_for_job(self, job_seq: int) -> None:
+        for bucket in (self._estimated_events, self._recurrent_events):
+            for rdd_id, events in list(bucket.items()):
+                stale = {e for e in events if e[0] == job_seq}
+                if stale:
+                    events -= stale
+                    self._sorted_cache.pop(rdd_id, None)
+
+    def _refresh_cycle(self) -> None:
+        if not self.induction_enabled:
+            return
+        ordered = [self._new_ids_per_job.get(j, []) for j in range(self.max_job_seq() + 1)]
+        cycle = detect_cycle(ordered)
+        if cycle is not None and cycle != self.cycle:
+            self.cycle = cycle
+            self.knowledge_complete = True
+            self.metrics.role_fn = self._role_of
+            self.prior.role_fn = self._role_of
+            # Role-based extension supersedes the cruder recurrent-dataset
+            # projections made before the cycle was known.
+            self._recurrent_events.clear()
+            self._sorted_cache.clear()
+
+    def _role_of(self, rdd_id: int) -> tuple[int, int] | None:
+        return self.cycle.role_of(rdd_id) if self.cycle is not None else None
+
+    def max_job_seq(self) -> int:
+        """Largest job sequence with any (real or estimated) events."""
+        seqs = [
+            j
+            for bucket in (self._events, self._estimated_events, self._recurrent_events)
+            for evs in bucket.values()
+            for j, _ in evs
+        ]
+        return max(seqs) if seqs else -1
+
+    # ------------------------------------------------------------------
+    # Induction of future iterations (truncated profiles / on-the-run)
+    # ------------------------------------------------------------------
+    def extend_with_pattern(self, up_to_job: int) -> int:
+        """Project reference events for jobs beyond what has been captured.
+
+        Two induction rules:
+
+        - *role extension* (when an iteration cycle is detected): a dataset
+          at (role, iteration) inherits the job offsets at which congruent
+          datasets of earlier iterations were referenced;
+        - *recurrent datasets*: a dataset referenced by at least two of
+          the last three known jobs (and carrying no cycle role) is
+          assumed to be referenced by every job up to ``up_to_job``.
+
+        A successful projection marks the lineage knowledge complete: the
+        future is now a model rather than a blank.  Returns the number of
+        events added.
+        """
+        if not self.induction_enabled:
+            return 0
+        if self.expected_total_jobs is not None:
+            if self.max_job_seq() >= self.expected_total_jobs - 1:
+                return 0  # a complete profile already enumerates every job
+            up_to_job = min(up_to_job, self.expected_total_jobs - 1)
+        # The recurrent rule anchors on the *real* job stream: projections
+        # of one dataset must not push the reference window past another's
+        # actual references.
+        real_last = max(self._ingested_jobs, default=-1)
+        last_known = self.max_job_seq()
+        if real_last < 1 and up_to_job <= last_known:
+            return 0
+        cycle = self.cycle
+
+        # Offsets D_rho: for each role, jobs (relative to the dataset's own
+        # iteration job) at which the role is referenced.
+        offsets: dict[int, set[int]] = {}
+        if cycle is not None:
+            for rdd_id, events in self._events.items():
+                role = cycle.role_of(rdd_id)
+                if role is None:
+                    continue
+                role_idx, iteration = role
+                own_job = cycle.start_job + iteration
+                for job_seq, _stage in events:
+                    offsets.setdefault(role_idx, set()).add(job_seq - own_job)
+
+        added = 0
+        for rdd_id in list(self._seen_ids):
+            role = cycle.role_of(rdd_id) if cycle is not None else None
+            all_events = self._events.get(rdd_id, set()) | self._estimated_events.get(rdd_id, set())
+            if role is None:
+                if real_last < 1:
+                    continue
+                ref_jobs = {j for j, _ in all_events}
+                recent = ref_jobs & {real_last, real_last - 1, real_last - 2}
+                if len(recent) >= 2:
+                    for j in range(real_last + 1, up_to_job + 1):
+                        if self._add_estimated(rdd_id, (j, 0), recurrent=True):
+                            added += 1
+                continue
+            role_idx, iteration = role
+            own_job = cycle.start_job + iteration
+            for delta in offsets.get(role_idx, ()):
+                j = own_job + delta
+                if max(last_known, real_last) < j <= up_to_job:
+                    if self._add_estimated(rdd_id, (j, 0)):
+                        added += 1
+        if added:
+            self.knowledge_complete = True
+        return added
+
+    def _add_estimated(self, rdd_id: int, position: Position, recurrent: bool = False) -> bool:
+        bucket = self._recurrent_events if recurrent else self._estimated_events
+        events = bucket.setdefault(rdd_id, set())
+        if (
+            position in events
+            or position in self._events.get(rdd_id, ())
+            or position in self._estimated_events.get(rdd_id, ())
+            or position in self._recurrent_events.get(rdd_id, ())
+        ):
+            return False
+        events.add(position)
+        self._sorted_cache.pop(rdd_id, None)
+        return True
+
+    # ------------------------------------------------------------------
+    # Progress + reference queries
+    # ------------------------------------------------------------------
+    def set_position(self, job_seq: int, stage_seq: int) -> None:
+        """Advance the workload progress pointer."""
+        self.position = (job_seq, stage_seq)
+
+    def _sorted_events(self, rdd_id: int) -> list[Position]:
+        cached = self._sorted_cache.get(rdd_id)
+        if cached is None:
+            merged = (
+                self._events.get(rdd_id, set())
+                | self._estimated_events.get(rdd_id, set())
+                | self._recurrent_events.get(rdd_id, set())
+            )
+            cached = sorted(merged)
+            self._sorted_cache[rdd_id] = cached
+        return cached
+
+    def future_refs(self, rdd_id: int, inclusive: bool = True) -> int:
+        """Remaining stage-level references at the current position.
+
+        ``inclusive`` counts a reference in the currently executing stage
+        (used on the lookup path); exclusive counting (used when deciding
+        whether a freshly produced partition has *reuse*) does not.
+        """
+        events = self._sorted_events(rdd_id)
+        if inclusive:
+            idx = bisect_left(events, self.position)
+        else:
+            idx = bisect_right(events, (self.position[0], self.position[1]))
+        return len(events) - idx
+
+    def refs_in_window(self, rdd_id: int, first_job: int, last_job: int) -> int:
+        """References falling in jobs ``[first_job, last_job]`` (ILP horizon)."""
+        events = self._sorted_events(rdd_id)
+        lo = bisect_left(events, (first_job, -1))
+        hi = bisect_right(events, (last_job, 1 << 30))
+        return hi - lo
+
+    def next_reference_job(self, rdd_id: int) -> int | None:
+        """Job sequence of the dataset's next reference, if any."""
+        events = self._sorted_events(rdd_id)
+        idx = bisect_left(events, self.position)
+        return events[idx][0] if idx < len(events) else None
+
+    # ------------------------------------------------------------------
+    # Metric queries (observed -> prior -> regression -> default)
+    # ------------------------------------------------------------------
+    def estimate_size(self, rdd_id: int, split: int, default: float = 1.0) -> float:
+        if self.metrics.is_observed(rdd_id, split):
+            size = self.metrics.size_of(rdd_id, split)
+            if size > 0:
+                return size
+        if self.prior.is_observed(rdd_id, split):
+            size = self.prior.size_of(rdd_id, split)
+            if size > 0:
+                return size
+        size = self.metrics.size_of(rdd_id, split, default=0.0)
+        if size > 0:
+            return size
+        size = self.prior.size_of(rdd_id, split, default=0.0)
+        return size if size > 0 else default
+
+    def estimate_compute_seconds(self, rdd_id: int, split: int, default: float = 1e-4) -> float:
+        if self.metrics.is_observed(rdd_id, split):
+            return max(self.metrics.compute_seconds_of(rdd_id, split), 0.0)
+        if self.prior.is_observed(rdd_id, split):
+            return max(self.prior.compute_seconds_of(rdd_id, split), 0.0)
+        value = self.metrics.compute_seconds_of(rdd_id, split, default=-1.0)
+        if value >= 0:
+            return value
+        value = self.prior.compute_seconds_of(rdd_id, split, default=-1.0)
+        return value if value >= 0 else default
+
+    def observe_partition(
+        self,
+        rdd_id: int,
+        split: int,
+        size_bytes: float | None,
+        compute_seconds: float | None,
+    ) -> None:
+        """Record a real materialization's metrics."""
+        self.metrics.observe(rdd_id, split, size_bytes, compute_seconds)
+
+    def __repr__(self) -> str:
+        return (
+            f"<CostLineage rdds={len(self._parents)} jobs<= {self.max_job_seq()} "
+            f"pos={self.position} cycle={self.cycle}>"
+        )

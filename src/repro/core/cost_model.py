@@ -1,0 +1,145 @@
+"""Potential-recovery-cost estimation (paper section 5.4).
+
+Costs are in virtual seconds, matching what the engine will actually charge:
+
+- ``cost_d`` (Eq. 3): the time to get an evicted partition back from disk —
+  ``size / read_throughput`` plus deserialization;
+- ``disk_write_cost``: the immediate price of *putting* it there
+  (serialization + write), paid at eviction time;
+- ``cost_r`` (Eq. 4): the recursive recomputation cost — the partition's
+  own operator time plus the recovery cost of any direct parent that is
+  not resident in memory;
+- ``potential_cost`` (Eq. 2): ``min(cost_d, cost_r)`` — the cheapest way to
+  get the partition back if it is not kept in memory.
+
+Approximation note: the lineage is tracked at dataset granularity with
+co-indexed splits, so a shuffle parent's recovery is estimated through the
+same split index rather than over all map partitions.  This *underestimates*
+deep cross-shuffle recomputation uniformly; rankings between partitions are
+preserved, which is all the decision layer needs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Literal
+
+from ..config import DiskConfig
+from .cost_lineage import CostLineage
+
+PartitionState = Literal["mem", "disk", "gone"]
+#: returns the current (or hypothesized) state of (rdd_id, split)
+StateFn = Callable[[int, int], PartitionState]
+
+#: recursion guard for pathological lineages (a DAG never hits this)
+_MAX_DEPTH = 10_000
+
+
+class CostModel:
+    """Computes potential recovery costs over a :class:`CostLineage`."""
+
+    def __init__(self, lineage: CostLineage, disk: DiskConfig) -> None:
+        self.lineage = lineage
+        self.disk = disk
+
+    # ------------------------------------------------------------------
+    # Disk-side costs
+    # ------------------------------------------------------------------
+    def cost_d(self, rdd_id: int, split: int) -> float:
+        """Eq. 3: recovery-from-disk cost (read + deserialize)."""
+        size = self.lineage.estimate_size(rdd_id, split)
+        ser_factor = self.lineage.ser_factor_of(rdd_id)
+        return size / self.disk.read_bytes_per_sec + size * self.disk.deser_seconds_per_byte * ser_factor
+
+    def disk_write_cost(self, rdd_id: int, split: int) -> float:
+        """Price of spilling the partition to disk now (serialize + write)."""
+        size = self.lineage.estimate_size(rdd_id, split)
+        ser_factor = self.lineage.ser_factor_of(rdd_id)
+        return size / self.disk.write_bytes_per_sec + size * self.disk.ser_seconds_per_byte * ser_factor
+
+    # ------------------------------------------------------------------
+    # Recomputation cost (Eq. 4)
+    # ------------------------------------------------------------------
+    def cost_r(
+        self,
+        rdd_id: int,
+        split: int,
+        state_fn: StateFn,
+        _memo: dict | None = None,
+        _depth: int = 0,
+    ) -> float:
+        """Recursive recomputation cost under the given residency states."""
+        if _depth > _MAX_DEPTH:  # pragma: no cover - defensive guard
+            return self.lineage.estimate_compute_seconds(rdd_id, split)
+        memo = _memo if _memo is not None else {}
+        key = ("r", rdd_id, split)
+        if key in memo:
+            return memo[key]
+        memo[key] = 0.0  # break accidental cycles conservatively
+        edge_cost = self.lineage.estimate_compute_seconds(rdd_id, split)
+        worst_parent = 0.0
+        for parent_id in self.lineage.parents_of(rdd_id):
+            parent_split = split % max(self.lineage.num_splits_of(parent_id), 1)
+            recovery = self.recovery_cost(parent_id, parent_split, state_fn, memo, _depth + 1)
+            worst_parent = max(worst_parent, recovery)
+        total = worst_parent + edge_cost
+        memo[key] = total
+        return total
+
+    def recovery_cost(
+        self,
+        rdd_id: int,
+        split: int,
+        state_fn: StateFn,
+        _memo: dict | None = None,
+        _depth: int = 0,
+    ) -> float:
+        """Cost of obtaining (rdd, split) given its current state.
+
+        ``mem`` costs nothing, ``disk`` costs a read-back, ``gone`` costs
+        the recursive recomputation.
+        """
+        memo = _memo if _memo is not None else {}
+        key = ("rec", rdd_id, split)
+        if key in memo:
+            return memo[key]
+        state = state_fn(rdd_id, split)
+        if state == "mem":
+            value = 0.0
+        elif state == "disk":
+            value = self.cost_d(rdd_id, split)
+        else:
+            value = self.cost_r(rdd_id, split, state_fn, memo, _depth + 1)
+        memo[key] = value
+        return value
+
+    # ------------------------------------------------------------------
+    # The unified potential cost (Eq. 2)
+    # ------------------------------------------------------------------
+    def potential_cost(
+        self,
+        rdd_id: int,
+        split: int,
+        state_fn: StateFn,
+        memo: dict | None = None,
+    ) -> float:
+        """``min(cost_d, cost_r)``: the cheapest non-memory recovery."""
+        return min(
+            self.cost_d(rdd_id, split),
+            self.cost_r(rdd_id, split, state_fn, memo),
+        )
+
+    def preferred_eviction_state(
+        self,
+        rdd_id: int,
+        split: int,
+        state_fn: StateFn,
+        memo: dict | None = None,
+    ) -> PartitionState:
+        """Where a memory victim should go (section 4.2).
+
+        Spilling pays the write now *and* the read later; discarding pays
+        the recomputation later.  Spill only when that total is cheaper.
+        """
+        spill_total = self.disk_write_cost(rdd_id, split) + self.cost_d(rdd_id, split)
+        recompute = self.cost_r(rdd_id, split, state_fn, memo)
+        return "disk" if spill_total < recompute else "gone"

@@ -1,0 +1,218 @@
+"""The optimal-partition-state ILP (paper section 5.5, Eq. 5-6).
+
+Decision variables per partition: ``m + d + u = 1`` (memory / disk /
+unpersisted).  Objective: minimize the weighted sum of potential recovery
+costs of everything not kept in memory,
+
+    minimize  sum_i (d_i * cost_d_i + u_i * cost_r_i) * weight_i
+    s.t.      sum_i size_i * m_i <= memory_capacity
+              (optional) sum_i size_i * d_i <= disk_capacity
+
+With costs fixed per solve (the decision layer refreshes ``cost_r`` between
+refinement rounds), choosing the memory set reduces to a 0/1 knapsack that
+*saves* ``min(cost_d, cost_r) * weight`` per cached partition, after which
+each non-memory partition independently takes the cheaper of disk and
+recomputation.  The paper uses Gurobi; this module provides an exact
+branch-and-bound solver with the classic fractional-relaxation bound (which
+reproduces the optimum at the paper's problem sizes — a couple of jobs'
+partitions) plus a density-greedy fallback honoring the < 5 s budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Literal
+
+from ..errors import SolverError
+
+PartitionState = Literal["mem", "disk", "gone"]
+
+
+@dataclass(frozen=True)
+class IlpItem:
+    """One partition's inputs to the optimization."""
+
+    key: Hashable
+    size_bytes: float
+    cost_d: float
+    cost_r: float
+    weight: float = 1.0
+
+    @property
+    def mem_saving(self) -> float:
+        """Objective saved by keeping this partition in memory."""
+        return min(self.cost_d, self.cost_r) * self.weight
+
+    @property
+    def off_memory_state(self) -> PartitionState:
+        """The cheaper non-memory state."""
+        return "disk" if self.cost_d < self.cost_r else "gone"
+
+    @property
+    def off_memory_cost(self) -> float:
+        return min(self.cost_d, self.cost_r) * self.weight
+
+
+@dataclass
+class IlpSolution:
+    """Solver output: a state per item plus objective accounting."""
+
+    states: dict[Hashable, PartitionState]
+    objective: float  # residual weighted potential cost
+    optimal: bool  # exact optimum vs greedy/budget-truncated
+    nodes_explored: int = 0
+
+
+def solve_partition_states(
+    items: list[IlpItem],
+    memory_capacity: float,
+    disk_capacity: float | None = None,
+    backend: str = "exact",
+    node_budget: int = 200_000,
+) -> IlpSolution:
+    """Solve Eq. 5-6 for the given partitions.
+
+    ``backend='exact'`` runs branch-and-bound (falling back to the greedy
+    incumbent if ``node_budget`` is exhausted); ``'greedy'`` uses
+    cost-density order directly.
+    """
+    if memory_capacity < 0:
+        raise SolverError("memory capacity must be non-negative")
+    for item in items:
+        if item.size_bytes <= 0:
+            raise SolverError(f"item {item.key!r} has non-positive size")
+        if item.cost_d < 0 or item.cost_r < 0 or item.weight < 0:
+            raise SolverError(f"item {item.key!r} has negative cost/weight")
+
+    if backend == "exact":
+        chosen, nodes, optimal = _knapsack_branch_and_bound(
+            items, memory_capacity, node_budget
+        )
+    elif backend == "greedy":
+        chosen = _knapsack_greedy(items, memory_capacity)
+        nodes, optimal = 0, False
+    else:
+        raise SolverError(f"unknown ILP backend {backend!r}")
+
+    states: dict[Hashable, PartitionState] = {}
+    residual = 0.0
+    spill_candidates: list[IlpItem] = []
+    for item in items:
+        if item.key in chosen:
+            states[item.key] = "mem"
+        elif item.off_memory_state == "disk":
+            spill_candidates.append(item)
+        else:
+            states[item.key] = "gone"
+            residual += item.cost_r * item.weight
+
+    residual += _assign_disk_states(spill_candidates, disk_capacity, states)
+    return IlpSolution(states=states, objective=residual, optimal=optimal, nodes_explored=nodes)
+
+
+def _assign_disk_states(
+    candidates: list[IlpItem],
+    disk_capacity: float | None,
+    states: dict[Hashable, PartitionState],
+) -> float:
+    """Place disk-preferring items, demoting overflow to ``gone``.
+
+    With bounded disk, items keep their disk slot in order of the *regret*
+    of losing it (cost_r - cost_d per byte), a second greedy knapsack.
+    """
+    residual = 0.0
+    if disk_capacity is None:
+        for item in candidates:
+            states[item.key] = "disk"
+            residual += item.cost_d * item.weight
+        return residual
+
+    def regret_density(item: IlpItem) -> float:
+        return (item.cost_r - item.cost_d) * item.weight / item.size_bytes
+
+    used = 0.0
+    for item in sorted(candidates, key=regret_density, reverse=True):
+        if used + item.size_bytes <= disk_capacity:
+            states[item.key] = "disk"
+            used += item.size_bytes
+            residual += item.cost_d * item.weight
+        else:
+            states[item.key] = "gone"
+            residual += item.cost_r * item.weight
+    return residual
+
+
+# ----------------------------------------------------------------------
+# Knapsack machinery (maximize saved cost under the memory constraint)
+# ----------------------------------------------------------------------
+def _density_order(items: list[IlpItem]) -> list[IlpItem]:
+    return sorted(
+        items,
+        key=lambda it: (-(it.mem_saving / it.size_bytes), it.size_bytes, str(it.key)),
+    )
+
+
+def _knapsack_greedy(items: list[IlpItem], capacity: float) -> set[Hashable]:
+    chosen: set[Hashable] = set()
+    used = 0.0
+    for item in _density_order(items):
+        if item.mem_saving <= 0:
+            continue
+        if used + item.size_bytes <= capacity:
+            chosen.add(item.key)
+            used += item.size_bytes
+    return chosen
+
+
+def _fractional_bound(ordered: list[IlpItem], start: int, capacity: float) -> float:
+    """LP-relaxation upper bound on additional saving from ``start`` on."""
+    bound = 0.0
+    remaining = capacity
+    for item in ordered[start:]:
+        if item.mem_saving <= 0:
+            break  # density order: the rest save nothing
+        if item.size_bytes <= remaining:
+            bound += item.mem_saving
+            remaining -= item.size_bytes
+        else:
+            bound += item.mem_saving * (remaining / item.size_bytes)
+            break
+    return bound
+
+
+def _knapsack_branch_and_bound(
+    items: list[IlpItem],
+    capacity: float,
+    node_budget: int,
+) -> tuple[set[Hashable], int, bool]:
+    """Exact 0/1 knapsack via DFS branch-and-bound with fractional bounds."""
+    ordered = [it for it in _density_order(items) if it.mem_saving > 0]
+    best_set = _knapsack_greedy(items, capacity)
+    best_value = sum(it.mem_saving for it in items if it.key in best_set)
+    nodes = 0
+    truncated = False
+
+    # Iterative DFS: (index, used_capacity, value, chosen_tuple)
+    stack: list[tuple[int, float, float, tuple[Hashable, ...]]] = [(0, 0.0, 0.0, ())]
+    while stack:
+        idx, used, value, chosen = stack.pop()
+        nodes += 1
+        if nodes > node_budget:
+            truncated = True
+            break
+        if value > best_value:
+            best_value = value
+            best_set = set(chosen)
+        if idx >= len(ordered):
+            continue
+        if value + _fractional_bound(ordered, idx, capacity - used) <= best_value + 1e-12:
+            continue  # cannot beat the incumbent
+        item = ordered[idx]
+        # Explore "take" after "skip" (stack pops take first -> greedy-like
+        # dive that finds strong incumbents early).
+        stack.append((idx + 1, used, value, chosen))
+        if used + item.size_bytes <= capacity:
+            stack.append(
+                (idx + 1, used + item.size_bytes, value + item.mem_saving, chosen + (item.key,))
+            )
+    return best_set, nodes, not truncated

@@ -1,0 +1,124 @@
+"""Per-partition metric store with observed/estimated provenance.
+
+Stores the two metrics the cost model consumes — partition size and the
+compute time of producing the partition from its direct inputs — keyed by
+``(rdd_id, split)``.  Observations always win; missing values fall back to
+(1) inductive regression over congruent partitions of earlier iterations,
+(2) the RDD-level mean, (3) a caller-supplied default.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from .regression import LinearRegressor
+
+
+@dataclass
+class PartitionMetrics:
+    """Observed metrics of one partition."""
+
+    size_bytes: float | None = None
+    compute_seconds: float | None = None
+
+
+@dataclass
+class _RoleSeries:
+    """Per-(role, split) regression series across iterations."""
+
+    size: LinearRegressor = field(default_factory=LinearRegressor)
+    compute: LinearRegressor = field(default_factory=LinearRegressor)
+
+
+class PartitionMetricsStore:
+    """Observed + inducted metrics for all partitions."""
+
+    def __init__(self) -> None:
+        self._observed: dict[tuple[int, int], PartitionMetrics] = {}
+        self._rdd_totals: dict[int, tuple[float, float, int]] = {}  # size, compute, n
+        self._series: dict[tuple[int, int], _RoleSeries] = {}  # (role, split)
+        #: maps rdd_id -> (role, iteration); installed by the CostLineage
+        #: once a cycle is detected.
+        self.role_fn: Callable[[int], tuple[int, int] | None] = lambda _rdd_id: None
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def observe(
+        self,
+        rdd_id: int,
+        split: int,
+        size_bytes: float | None = None,
+        compute_seconds: float | None = None,
+    ) -> None:
+        """Record observed metrics (later observations overwrite)."""
+        pm = self._observed.setdefault((rdd_id, split), PartitionMetrics())
+        if size_bytes is not None:
+            pm.size_bytes = float(size_bytes)
+        if compute_seconds is not None:
+            pm.compute_seconds = float(compute_seconds)
+        self._fold_into_aggregates(rdd_id, split, size_bytes, compute_seconds)
+
+    def _fold_into_aggregates(
+        self,
+        rdd_id: int,
+        split: int,
+        size_bytes: float | None,
+        compute_seconds: float | None,
+    ) -> None:
+        s, c, n = self._rdd_totals.get(rdd_id, (0.0, 0.0, 0))
+        self._rdd_totals[rdd_id] = (
+            s + (size_bytes or 0.0),
+            c + (compute_seconds or 0.0),
+            n + 1,
+        )
+        role = self.role_fn(rdd_id)
+        if role is None:
+            return
+        role_idx, iteration = role
+        series = self._series.setdefault((role_idx, split), _RoleSeries())
+        if size_bytes is not None:
+            series.size.add(iteration, size_bytes)
+        if compute_seconds is not None:
+            series.compute.add(iteration, compute_seconds)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def is_observed(self, rdd_id: int, split: int) -> bool:
+        return (rdd_id, split) in self._observed
+
+    def size_of(self, rdd_id: int, split: int, default: float = 0.0) -> float:
+        """Best-effort partition size in bytes."""
+        pm = self._observed.get((rdd_id, split))
+        if pm is not None and pm.size_bytes is not None:
+            return pm.size_bytes
+        est = self._estimate(rdd_id, split, "size")
+        return est if est is not None else default
+
+    def compute_seconds_of(self, rdd_id: int, split: int, default: float = 0.0) -> float:
+        """Best-effort compute seconds of producing the partition."""
+        pm = self._observed.get((rdd_id, split))
+        if pm is not None and pm.compute_seconds is not None:
+            return pm.compute_seconds
+        est = self._estimate(rdd_id, split, "compute")
+        return est if est is not None else default
+
+    def _estimate(self, rdd_id: int, split: int, which: str) -> float | None:
+        role = self.role_fn(rdd_id)
+        if role is not None:
+            role_idx, iteration = role
+            series = self._series.get((role_idx, split))
+            if series is not None:
+                reg = series.size if which == "size" else series.compute
+                if reg.n_samples:
+                    return reg.predict(iteration)
+        totals = self._rdd_totals.get(rdd_id)
+        if totals and totals[2]:
+            s, c, n = totals
+            return (s if which == "size" else c) / n
+        return None
+
+    def __len__(self) -> int:
+        return len(self._observed)

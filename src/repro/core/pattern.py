@@ -1,0 +1,87 @@
+"""Iterative-pattern detection over the job stream (paper section 5.3).
+
+Iterative workloads submit "identically-shaped" jobs whose datasets are
+allocated by the same code path in a loop, so the RDD ids introduced by
+successive iteration jobs advance by a constant stride.  Detecting that
+stride lets the CostLineage identify *congruent* datasets — the R37 of
+iteration 1 and the R49 of iteration 2 in the paper's Fig. 8 — and assign
+each dataset a ``(role, iteration)`` coordinate used for inductive metric
+regression and reference extrapolation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CycleInfo:
+    """A detected per-iteration allocation pattern.
+
+    Jobs ``start_job, start_job+1, ...`` each introduce RDD ids in a band of
+    width ``stride`` starting at ``base_id + (job - start_job) * stride``.
+    """
+
+    start_job: int
+    base_id: int
+    stride: int
+
+    def role_of(self, rdd_id: int) -> tuple[int, int] | None:
+        """Map an RDD id to ``(role, iteration)``; None if pre-cycle."""
+        if rdd_id < self.base_id:
+            return None
+        offset = rdd_id - self.base_id
+        return offset % self.stride, offset // self.stride
+
+    def rdd_for(self, role: int, iteration: int) -> int:
+        """Inverse of :meth:`role_of`."""
+        return self.base_id + iteration * self.stride + role
+
+    def iteration_of_job(self, job_seq: int) -> int:
+        """Which iteration a job index corresponds to."""
+        return job_seq - self.start_job
+
+
+def detect_cycle(new_ids_per_job: list[list[int]], min_repeats: int = 2) -> CycleInfo | None:
+    """Detect a constant-stride iteration pattern in the job stream.
+
+    ``new_ids_per_job[j]`` lists the RDD ids first referenced by job ``j``.
+    A cycle is reported when the *most recent* ``min_repeats + 1`` jobs each
+    introduce the same number of new ids and their minimum ids advance by a
+    constant positive stride.  Matching from the tail tolerates irregular
+    pre-processing jobs at the start of the application.
+    """
+    if min_repeats < 1:
+        raise ValueError("min_repeats must be >= 1")
+    usable = [(j, ids) for j, ids in enumerate(new_ids_per_job) if ids]
+    if len(usable) < min_repeats + 1:
+        return None
+
+    tail = usable[-(min_repeats + 1):]
+    counts = {len(ids) for _, ids in tail}
+    if len(counts) != 1:
+        return None
+    mins = [min(ids) for _, ids in tail]
+    strides = {b - a for a, b in zip(mins, mins[1:])}
+    job_gaps = {jb - ja for (ja, _), (jb, _) in zip(tail, tail[1:])}
+    if len(strides) != 1 or len(job_gaps) != 1 or job_gaps != {1}:
+        return None
+    stride = strides.pop()
+    if stride <= 0:
+        return None
+
+    # Walk the cycle as far back as it extends (more history = better fits).
+    start_idx = len(usable) - (min_repeats + 1)
+    while start_idx > 0:
+        j_prev, ids_prev = usable[start_idx - 1]
+        j_cur, ids_cur = usable[start_idx]
+        if (
+            j_cur - j_prev == 1
+            and len(ids_prev) == len(ids_cur)
+            and min(ids_cur) - min(ids_prev) == stride
+        ):
+            start_idx -= 1
+        else:
+            break
+    start_job, start_ids = usable[start_idx]
+    return CycleInfo(start_job=start_job, base_id=min(start_ids), stride=stride)

@@ -1,0 +1,55 @@
+"""Lightweight linear regression for inductive metric prediction.
+
+The paper fills in unobserved partition metrics "by applying a lightweight
+linear regression model based on the existing metrics from previous
+iterations" (section 5.3).  This is that model: ordinary least squares of a
+metric against the iteration index, with guards for the degenerate cases a
+live system actually hits (no samples, one sample, constant series).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class LinearRegressor:
+    """Incremental OLS fit of ``y ~ a + b * x``."""
+
+    def __init__(self) -> None:
+        self._xs: list[float] = []
+        self._ys: list[float] = []
+
+    def add(self, x: float, y: float) -> None:
+        """Record one (iteration, metric) observation."""
+        self._xs.append(float(x))
+        self._ys.append(float(y))
+
+    @property
+    def n_samples(self) -> int:
+        return len(self._xs)
+
+    def fit(self) -> tuple[float, float]:
+        """Return (intercept, slope); degenerate inputs fall back safely.
+
+        - no samples: (0, 0);
+        - one sample or zero x-variance: (mean(y), 0).
+        """
+        if not self._xs:
+            return 0.0, 0.0
+        xs = np.asarray(self._xs)
+        ys = np.asarray(self._ys)
+        if len(xs) == 1 or float(np.ptp(xs)) == 0.0:
+            return float(ys.mean()), 0.0
+        slope, intercept = np.polyfit(xs, ys, 1)
+        return float(intercept), float(slope)
+
+    def predict(self, x: float, clamp_non_negative: bool = True) -> float:
+        """Predict the metric at ``x`` (sizes and times cannot go negative)."""
+        intercept, slope = self.fit()
+        value = intercept + slope * float(x)
+        if clamp_non_negative:
+            value = max(0.0, value)
+        return value
+
+    def __repr__(self) -> str:
+        return f"<LinearRegressor n={self.n_samples}>"

@@ -1,0 +1,486 @@
+"""The Unified Decision Layer (UDL): Blaze's cache manager.
+
+One component makes all three layers' decisions from one cost model
+(paper sections 4, 5.5, 5.6):
+
+- *caching* — automatic, annotation-free, at partition granularity: a
+  freshly produced partition is cached only if it has future references
+  and (under admission control) its potential recovery cost beats that of
+  the residents it would displace;
+- *eviction* — victims are chosen by smallest potential-cost density and
+  each victim individually lands in the cheaper of disk and "recompute
+  later" states;
+- *recovery* — handled by the engine (disk read or lineage recomputation);
+  a partition read back from disk is re-considered for memory admission;
+- *ILP* — on every job submission, the partition states for the upcoming
+  horizon are re-optimized per executor and blocks are migrated to match.
+
+The ablation variants of Fig. 11 (+AutoCache, +CostAware) are this same
+class with :class:`~repro.config.BlazeConfig` feature flags switched off.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from ..cluster.blocks import Block, BlockId, BlockLocation
+from ..cluster.cachemanager import CacheManager
+from ..config import BlazeConfig
+from ..metrics.collector import TaskMetrics
+from .cost_lineage import CostLineage, capture_job
+from .cost_model import CostModel, PartitionState
+from .ilp import IlpItem, solve_partition_states
+from .profiler import LineageProfile
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..cluster.cluster import Cluster
+    from ..cluster.executor import Executor
+    from ..dataflow.dag import Job, Stage
+    from ..dataflow.rdd import RDD
+
+
+class BlazeCacheManager(CacheManager):
+    """Unified cost-aware caching, eviction, and recovery decisions."""
+
+    def __init__(
+        self,
+        config: BlazeConfig | None = None,
+        profile: LineageProfile | None = None,
+    ) -> None:
+        super().__init__()
+        self.config = config or BlazeConfig()
+        self.profile = profile
+        # Induction always runs: even without the profiling phase, Blaze
+        # "builds the application lineage on the run" (§7.5) and projects
+        # the detected iteration pattern forward.  The profiling phase's
+        # advantage is knowing the whole structure from job 0.
+        self.lineage = CostLineage(induction_enabled=True)
+        self.cost_model: CostModel | None = None
+        #: dataset ids produced so far (first-touch-aware closure pruning)
+        self._materialized_ids: set[int] = set()
+        self.name = self._variant_name()
+
+    def _variant_name(self) -> str:
+        cfg = self.config
+        if not cfg.cost_aware_enabled:
+            return "blaze[+autocache]"
+        if not cfg.ilp_enabled:
+            return "blaze[+costaware]"
+        if not cfg.disk_enabled:
+            return "blaze[mem-only]"
+        if not cfg.profiling_enabled:
+            return "blaze[no-profiling]"
+        return "blaze"
+
+    def attach(self, cluster: "Cluster") -> None:
+        super().attach(cluster)
+        self.cost_model = CostModel(self.lineage, cluster.config.disk)
+        if self.profile is not None:
+            self.profile.seed(self.lineage)
+
+    # ------------------------------------------------------------------
+    # Residency
+    # ------------------------------------------------------------------
+    def _state_of(self, rdd_id: int, split: int) -> PartitionState:
+        """Current residency of a partition (home-executor lookup)."""
+        executor = self.cluster.executor_for(split)
+        loc = executor.bm.location_of((rdd_id, split))
+        if loc is BlockLocation.MEMORY:
+            return "mem"
+        if loc is BlockLocation.DISK:
+            return "disk"
+        return "gone"
+
+    def _future_state_of(self, rdd_id: int, split: int) -> PartitionState:
+        """Residency expected when a *future* recovery would run.
+
+        Potential recovery costs describe a future cache miss, and by then
+        any ancestor without remaining references will have been
+        auto-unpersisted — so memory residency only counts for datasets
+        that still have future uses.  Evaluating Eq. 4 against the current
+        snapshot instead systematically underestimates recomputation
+        chains (the dynamic-dependency trap of §4.3).
+        """
+        state = self._state_of(rdd_id, split)
+        if state == "mem" and self.lineage.future_refs(rdd_id, inclusive=False) == 0:
+            return "gone"
+        return state
+
+    # ------------------------------------------------------------------
+    # Caching layer: candidates come from future references, not the user
+    # ------------------------------------------------------------------
+    def is_cache_candidate(self, rdd: "RDD") -> bool:
+        if not self.config.autocache_enabled:
+            return rdd.is_annotated_cached
+        if self.lineage.future_refs(rdd.rdd_id, inclusive=True) > 0:
+            return True
+        # While lineage knowledge is incomplete (truncated profile, cycle
+        # not yet detected), fall back to the user's annotations rather
+        # than assuming "no known reference" means "no reuse".
+        return not self.lineage.knowledge_complete and rdd.is_annotated_cached
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def on_job_submit(self, job: "Job") -> None:
+        for rdd in job.lineage_rdds():
+            self.lineage.register_rdd(
+                rdd.rdd_id,
+                tuple(p.rdd_id for p in rdd.parents),
+                rdd.num_partitions,
+                name=rdd.name,
+                ser_factor=rdd.size_model.ser_factor,
+            )
+        shuffle = self.cluster.shuffle
+
+        def skipped(stage: "Stage") -> bool:
+            return not stage.is_result and shuffle.is_complete(stage.shuffle_dep)
+
+        self.lineage.ingest_capture(
+            capture_job(job, is_stage_skipped=skipped, materialized=self._materialized_ids)
+        )
+        self.lineage.set_position(job.job_id, 0)
+        self.lineage.extend_with_pattern(job.job_id + self.config.ilp_horizon_jobs)
+        if self.config.ilp_enabled:
+            self._run_ilp(job)
+
+    def on_stage_start(self, stage: "Stage") -> None:
+        job_id = stage.job.job_id if stage.job is not None else 0
+        self.lineage.set_position(job_id, stage.seq_in_job)
+
+    def on_stage_complete(self, stage: "Stage") -> None:
+        job_id = stage.job.job_id if stage.job is not None else 0
+        self.lineage.set_position(job_id, stage.seq_in_job + 1)
+        self._auto_unpersist()
+
+    def _auto_unpersist(self) -> None:
+        """Drop every cached partition with no remaining references (§5.6).
+
+        Skipped while lineage knowledge is incomplete (truncated profile,
+        pre-cycle-detection): zero known references is not evidence of no
+        future use, and wrongly unpersisting reused data costs a full
+        regeneration.
+        """
+        if not self.lineage.knowledge_complete:
+            return
+        for executor in self.cluster.executors:
+            for block in executor.bm.cached_blocks():
+                if self.lineage.future_refs(block.rdd_id, inclusive=True) == 0:
+                    executor.bm.discard(block.block_id, evicted=False)
+
+    # ------------------------------------------------------------------
+    # Metric feed
+    # ------------------------------------------------------------------
+    def on_partition_computed(
+        self,
+        rdd: "RDD",
+        split: int,
+        n_in: int,
+        n_out: int,
+        compute_seconds: float,
+        size_weight: float,
+    ) -> None:
+        self.lineage.observe_partition(
+            rdd.rdd_id,
+            split,
+            size_bytes=rdd.size_model.bytes_for(size_weight),
+            compute_seconds=compute_seconds,
+        )
+
+    # ------------------------------------------------------------------
+    # Admission + eviction (the unified decision, §4.1 / §4.2)
+    # ------------------------------------------------------------------
+    def handle_cache(
+        self,
+        executor: "Executor",
+        rdd: "RDD",
+        split: int,
+        data: list[Any],
+        size_bytes: float,
+        tm: TaskMetrics,
+    ) -> None:
+        remaining_refs = self.lineage.future_refs(rdd.rdd_id, inclusive=False)
+        speculative = False
+        if remaining_refs <= 0:
+            if self.lineage.knowledge_complete or not rdd.is_annotated_cached:
+                return  # no reuse ahead: never worth any storage
+            # Annotation fallback under incomplete knowledge: cache it only
+            # if it fits for free — no evictions, no disk writes — since the
+            # reuse is speculative.
+            speculative = True
+            remaining_refs = 1
+        block = Block(
+            block_id=(rdd.rdd_id, split),
+            data=data,
+            size_bytes=size_bytes,
+            ser_factor=rdd.size_model.ser_factor,
+            rdd_name=rdd.name,
+        )
+        if speculative:
+            if executor.bm.memory.fits(size_bytes):
+                self._place_in_memory(executor.bm, block, False, self.cluster.clock.now)
+            return
+        self._admit(executor, block, remaining_refs, tm, from_disk=False)
+
+    def on_disk_hit(self, executor: "Executor", block: Block, tm: TaskMetrics) -> None:
+        """A recovered partition becomes a caching candidate again (§4.1)."""
+        refs = self.lineage.future_refs(block.rdd_id, inclusive=True)
+        if refs <= 0:
+            return
+        if not self.config.admission_enabled:
+            # Ablations without the unified admission comparison promote
+            # only into free space (plain Spark's promote-on-read), since
+            # displacing residents without a cost check amplifies thrash.
+            if executor.bm.memory.fits(block.size_bytes):
+                self._place_in_memory(executor.bm, block, True, self.cluster.clock.now)
+            return
+        self._admit(executor, block, refs, tm, from_disk=True)
+
+    # ------------------------------------------------------------------
+    def _admit(
+        self,
+        executor: "Executor",
+        block: Block,
+        refs: int,
+        tm: TaskMetrics,
+        from_disk: bool,
+    ) -> None:
+        bm = executor.bm
+        now = self.cluster.clock.now
+        if block.size_bytes > bm.memory.capacity_bytes:
+            if not from_disk:
+                self._maybe_write_to_disk(executor, block, tm)
+            return
+
+        needed = block.size_bytes - bm.memory.free_bytes
+        memo: dict = {}
+        if needed <= 0:
+            self._place_in_memory(bm, block, from_disk, now)
+            return
+
+        victims = self._select_victims(bm, needed, block.rdd_id, memo)
+        if victims is None:
+            if not from_disk:
+                self._maybe_write_to_disk(executor, block, tm)
+            return
+
+        if self.config.admission_enabled:
+            incoming_value = (
+                self.cost_model.potential_cost(
+                    block.rdd_id, block.split, self._future_state_of, memo
+                )
+                * refs
+            )
+            displaced_value = sum(self._block_value(v, memo) for v in victims)
+            if displaced_value >= incoming_value:
+                # Keeping the residents saves more: do not cache in memory.
+                if not from_disk:
+                    self._maybe_write_to_disk(executor, block, tm)
+                return
+
+        for victim in victims:
+            self._evict(executor, victim, tm, memo)
+        self._place_in_memory(bm, block, from_disk, now)
+
+    def _place_in_memory(self, bm, block: Block, from_disk: bool, now: float) -> None:
+        if from_disk:
+            promoted = bm.promote_to_memory(block.block_id)
+            if promoted is not None:
+                promoted.touch(now)
+        else:
+            bm.insert_memory(block)
+            block.touch(now)
+
+    def _block_value(self, block: Block, memo: dict) -> float:
+        """Weighted potential recovery cost of a cached block."""
+        refs = self.lineage.future_refs(block.rdd_id, inclusive=True)
+        if refs <= 0:
+            return 0.0
+        return (
+            self.cost_model.potential_cost(
+                block.rdd_id, block.split, self._future_state_of, memo
+            )
+            * refs
+        )
+
+    def _select_victims(
+        self,
+        bm,
+        needed_bytes: float,
+        incoming_rdd_id: int,
+        memo: dict,
+    ) -> list[Block] | None:
+        """Cheapest-first victim selection (Spark's same-RDD guard kept)."""
+        eligible = [b for b in bm.memory.blocks() if b.rdd_id != incoming_rdd_id]
+        if self.config.cost_aware_enabled:
+            if self.config.admission_enabled:
+                # Full Blaze: weighted potential cost per byte.
+                def order_key(b: Block) -> float:
+                    return self._block_value(b, memo) / b.size_bytes
+            else:
+                # +CostAware: smallest potential disk access cost (§7.3).
+                def order_key(b: Block) -> float:
+                    return self.cost_model.cost_d(b.rdd_id, b.split)
+        else:
+            # +AutoCache: history-based LRU, costs ignored.
+            def order_key(b: Block) -> float:
+                return b.last_access
+
+        eligible.sort(key=lambda b: (order_key(b), b.policy_data.get("seq", 0), b.block_id))
+        victims: list[Block] = []
+        freed = 0.0
+        for candidate in eligible:
+            if freed >= needed_bytes:
+                break
+            victims.append(candidate)
+            freed += candidate.size_bytes
+        return victims if freed >= needed_bytes else None
+
+    def _evict(self, executor: "Executor", victim: Block, tm: TaskMetrics, memo: dict) -> None:
+        """Move a memory victim to its cheapest state (§4.2)."""
+        bm = executor.bm
+        if not self.config.disk_enabled:
+            bm.discard(victim.block_id, evicted=True)
+            return
+        if not self.config.recompute_option_enabled:
+            bm.spill_to_disk(victim.block_id, tm)
+            return
+        if (
+            self.config.cost_aware_enabled
+            and self.lineage.knowledge_complete
+            and self.lineage.future_refs(victim.rdd_id, inclusive=False) == 0
+        ):
+            # No references beyond the currently executing stage: disk
+            # persistence buys nothing after this stage, and any remaining
+            # same-stage readers recover through the (still retained)
+            # current shuffle generation cheaply.  Discard.
+            bm.discard(victim.block_id, evicted=True)
+            return
+        state = self.cost_model.preferred_eviction_state(
+            victim.rdd_id, victim.split, self._future_state_of, memo
+        )
+        if state == "disk":
+            bm.spill_to_disk(victim.block_id, tm)
+        else:
+            bm.discard(victim.block_id, evicted=True)
+
+    def _maybe_write_to_disk(self, executor: "Executor", block: Block, tm: TaskMetrics) -> None:
+        """A partition denied memory may still be worth persisting on disk."""
+        if not self.config.disk_enabled:
+            return
+        if not (self.config.cost_aware_enabled and self.config.recompute_option_enabled):
+            executor.bm.insert_disk(block, tm)
+            return
+        state = self.cost_model.preferred_eviction_state(
+            block.rdd_id, block.split, self._future_state_of, {}
+        )
+        if state == "disk":
+            executor.bm.insert_disk(block, tm)
+
+    # ------------------------------------------------------------------
+    # The ILP trigger (§5.5): re-optimize states for the upcoming jobs
+    # ------------------------------------------------------------------
+    def _run_ilp(self, job: "Job") -> None:
+        cfg = self.config
+        horizon_last = job.job_id + cfg.ilp_horizon_jobs - 1
+        for executor in self.cluster.executors:
+            blocks = executor.bm.cached_blocks()
+            if not blocks:
+                continue
+            planned: dict[BlockId, PartitionState] = {}
+            for _round in range(cfg.ilp_refinement_rounds):
+                state_fn = self._hypothetical_state_fn(planned)
+                memo: dict = {}
+                items, reserved = [], 0.0
+                for block in blocks:
+                    weight = self.lineage.refs_in_window(
+                        block.rdd_id, job.job_id, horizon_last
+                    )
+                    if weight == 0:
+                        # No use within the horizon: leave the block where
+                        # it is (total-future-ref accounting handles it).
+                        if executor.bm.location_of(block.block_id) is BlockLocation.MEMORY:
+                            reserved += block.size_bytes
+                        continue
+                    items.append(
+                        IlpItem(
+                            key=block.block_id,
+                            size_bytes=block.size_bytes,
+                            cost_d=self.cost_model.cost_d(block.rdd_id, block.split),
+                            cost_r=self.cost_model.cost_r(
+                                block.rdd_id, block.split, state_fn, memo
+                            ),
+                            weight=float(weight),
+                        )
+                    )
+                if not items:
+                    planned = {}
+                    break
+                capacity = max(executor.bm.memory.capacity_bytes - reserved, 0.0)
+                disk_cap = (
+                    executor.bm.disk.capacity_bytes if cfg.constrain_disk else None
+                )
+                solution = solve_partition_states(
+                    items, capacity, disk_capacity=disk_cap, backend=cfg.ilp_backend
+                )
+                self.cluster.metrics.ilp_solves += 1
+                if solution.states == planned:
+                    break
+                planned = solution.states
+            if planned:
+                self._apply_ilp_states(executor, planned, job.job_id)
+
+    def _hypothetical_state_fn(self, planned: dict[BlockId, PartitionState]):
+        if not planned:
+            return self._state_of
+
+        def state_fn(rdd_id: int, split: int) -> PartitionState:
+            return planned.get((rdd_id, split)) or self._state_of(rdd_id, split)
+
+        return state_fn
+
+    def _apply_ilp_states(
+        self,
+        executor: "Executor",
+        planned: dict[BlockId, PartitionState],
+        job_id: int,
+    ) -> None:
+        """Migrate blocks to their optimized states.
+
+        The I/O happens between jobs: it occupies the executor (delaying its
+        next tasks) and is recorded in the run totals, while the ILP solve
+        itself is hidden behind job submission (§5.5).
+        """
+        bm = executor.bm
+        tm = TaskMetrics()
+        moved = 0
+        # Demotions free memory first.
+        for block_id, state in sorted(planned.items()):
+            loc = bm.location_of(block_id)
+            if loc is BlockLocation.MEMORY and state == "disk":
+                bm.spill_to_disk(block_id, tm)
+                moved += 1
+            elif loc is BlockLocation.MEMORY and state == "gone":
+                bm.discard(block_id, evicted=True)
+                moved += 1
+            elif loc is BlockLocation.DISK and state == "gone":
+                bm.discard(block_id, evicted=True)
+                moved += 1
+        # Promotions fill the freed space (prefetch from disk).
+        now = self.cluster.clock.now
+        for block_id, state in sorted(planned.items()):
+            if state != "mem" or bm.location_of(block_id) is not BlockLocation.DISK:
+                continue
+            block = bm.disk.get(block_id)
+            if block is None or not bm.memory.fits(block.size_bytes):
+                continue
+            bm.read_from_disk(block_id, tm)
+            promoted = bm.promote_to_memory(block_id)
+            if promoted is not None:
+                promoted.touch(now)
+                self.cluster.metrics.record_prefetch(executor.executor_id)
+                moved += 1
+        if tm.total_seconds > 0:
+            executor.charge_background(now, tm.total_seconds)
+            self.cluster.metrics.record_task(job_id, executor.executor_id, tm)
+        self.cluster.metrics.ilp_migrations += moved

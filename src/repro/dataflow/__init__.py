@@ -1,0 +1,30 @@
+"""Spark-like dataflow substrate: lazy RDDs, dependencies, stages, jobs.
+
+This package provides the abstractions the Blaze decision layers act on:
+
+- :class:`~repro.dataflow.rdd.RDD` — lazy, partitioned, immutable datasets
+  with narrow (map-like) and shuffle (wide) dependencies;
+- :class:`~repro.dataflow.dag.Stage`/:class:`~repro.dataflow.dag.Job` —
+  execution units with boundaries at shuffle operators;
+- :class:`~repro.dataflow.context.BlazeContext` — the driver-side entry
+  point that builds RDDs and submits jobs to the simulated cluster.
+"""
+
+from .context import BlazeContext
+from .dependencies import NarrowDependency, OneToOneDependency, RangeDependency, ShuffleDependency
+from .operators import OpCost, SizeModel
+from .partitioner import HashPartitioner, Partitioner
+from .rdd import RDD
+
+__all__ = [
+    "BlazeContext",
+    "RDD",
+    "OpCost",
+    "SizeModel",
+    "Partitioner",
+    "HashPartitioner",
+    "NarrowDependency",
+    "OneToOneDependency",
+    "RangeDependency",
+    "ShuffleDependency",
+]

@@ -1,0 +1,137 @@
+"""The driver-side entry point (Spark's ``SparkContext`` analogue).
+
+A :class:`BlazeContext` owns one simulated cluster, one cache manager (the
+system under test), and the RDD registry.  Workloads build RDDs through it
+and trigger jobs with actions; experiments read the metrics collector and
+virtual clock afterwards.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable
+
+import numpy as np
+
+from ..cluster.cachemanager import CacheManager
+from ..cluster.cluster import Cluster
+from ..cluster.driver import Driver
+from ..config import ClusterConfig
+from ..errors import DataflowError
+from ..metrics.collector import MetricsCollector
+from ..sim.rng import make_rng
+from .operators import OpCost, SizeModel
+from .rdd import ParallelCollectionRDD, RDD, SourceRDD
+
+
+class BlazeContext:
+    """Builds datasets and runs jobs on a simulated cluster."""
+
+    def __init__(
+        self,
+        cluster_config: ClusterConfig | None = None,
+        cache_manager: CacheManager | None = None,
+        seed: int = 0,
+    ) -> None:
+        if cache_manager is None:
+            from ..caching.manager import SparkCacheManager
+
+            cache_manager = SparkCacheManager()
+        self.config = cluster_config or ClusterConfig()
+        self.seed = int(seed)
+        self.cluster = Cluster(self.config)
+        self.driver = Driver(self.cluster, cache_manager)
+        self.cache_manager = cache_manager
+        self._rdds: list[RDD] = []
+        self._stopped = False
+
+    # ------------------------------------------------------------------
+    # Registry / determinism plumbing
+    # ------------------------------------------------------------------
+    def register_rdd(self, rdd: RDD) -> int:
+        """Assign the next RDD id (called from ``RDD.__init__``)."""
+        self._rdds.append(rdd)
+        return len(self._rdds) - 1
+
+    def rdd_by_id(self, rdd_id: int) -> RDD:
+        return self._rdds[rdd_id]
+
+    def all_rdds(self) -> list[RDD]:
+        """Every dataset registered so far, in id order."""
+        return list(self._rdds)
+
+    @property
+    def num_rdds(self) -> int:
+        return len(self._rdds)
+
+    def rng_for(self, rdd_id: int, split: int) -> np.random.Generator:
+        """Deterministic per-partition generator (recomputation-stable)."""
+        return make_rng(self.seed, rdd_id, split)
+
+    # ------------------------------------------------------------------
+    # Dataset constructors
+    # ------------------------------------------------------------------
+    def parallelize(self, data: list, num_partitions: int | None = None, **kwargs) -> RDD:
+        """Distribute a driver-side collection."""
+        n = num_partitions or self.config.num_executors
+        return ParallelCollectionRDD(self, list(data), n, **kwargs)
+
+    def source(
+        self,
+        gen_fn: Callable[[int, np.random.Generator], Iterable],
+        num_partitions: int,
+        op_cost: OpCost | None = None,
+        size_model: SizeModel | None = None,
+        name: str | None = None,
+    ) -> RDD:
+        """A deterministic generated dataset (synthetic workload input)."""
+        return SourceRDD(
+            self, gen_fn, num_partitions,
+            op_cost=op_cost, size_model=size_model, name=name,
+        )
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run_job(self, final_rdd: RDD, action_fn: Callable[[int, list], Any]) -> list:
+        """Submit an action over ``final_rdd``; returns per-partition results."""
+        if self._stopped:
+            raise DataflowError("context already stopped")
+        if final_rdd.ctx is not self:
+            raise DataflowError("RDD belongs to a different context")
+        return self.driver.run_job(final_rdd, action_fn)
+
+    def unpersist_rdd(self, rdd: RDD) -> None:
+        self.driver.unpersist_rdd(rdd)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current virtual time (the application's running clock)."""
+        return self.cluster.clock.now
+
+    @property
+    def metrics(self) -> MetricsCollector:
+        return self.cluster.metrics
+
+    @property
+    def jobs(self):
+        """Jobs submitted so far, in order."""
+        return self.driver.job_log
+
+    def stop(self) -> None:
+        """Finish the application; further jobs are rejected."""
+        self._stopped = True
+
+    def __enter__(self) -> "BlazeContext":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def __repr__(self) -> str:
+        return (
+            f"<BlazeContext {self.cache_manager.name} "
+            f"rdds={len(self._rdds)} t={self.now:.2f}s>"
+        )

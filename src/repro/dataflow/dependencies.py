@@ -1,0 +1,87 @@
+"""RDD dependencies: narrow (pipelined) vs shuffle (stage boundary).
+
+Mirrors Spark's dependency model (section 2 of the paper): narrow
+dependencies let a child partition be computed from a bounded set of parent
+partitions inside one task; shuffle dependencies require data from *all*
+parent partitions and therefore delimit stages.
+"""
+
+from __future__ import annotations
+
+import itertools
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Any, Callable
+
+from ..errors import DataflowError
+from .partitioner import Partitioner
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .rdd import RDD
+
+_shuffle_ids = itertools.count()
+
+
+class Dependency(ABC):
+    """Base class; ``parent`` is the upstream RDD."""
+
+    def __init__(self, parent: "RDD") -> None:
+        self.parent = parent
+
+
+class NarrowDependency(Dependency):
+    """A child partition reads a bounded set of parent partitions."""
+
+    @abstractmethod
+    def parent_splits(self, child_split: int) -> list[int]:
+        """Parent partition indices needed to compute ``child_split``."""
+
+
+class OneToOneDependency(NarrowDependency):
+    """Partition i of the child reads partition i of the parent (map etc.)."""
+
+    def parent_splits(self, child_split: int) -> list[int]:
+        return [child_split]
+
+
+class RangeDependency(NarrowDependency):
+    """A contiguous range of child partitions maps onto the parent (union).
+
+    Child splits ``[out_start, out_start + length)`` read parent splits
+    ``[in_start, in_start + length)``.
+    """
+
+    def __init__(self, parent: "RDD", in_start: int, out_start: int, length: int) -> None:
+        super().__init__(parent)
+        if length <= 0:
+            raise DataflowError("RangeDependency length must be positive")
+        self.in_start = in_start
+        self.out_start = out_start
+        self.length = length
+
+    def parent_splits(self, child_split: int) -> list[int]:
+        if self.out_start <= child_split < self.out_start + self.length:
+            return [child_split - self.out_start + self.in_start]
+        return []
+
+
+class ShuffleDependency(Dependency):
+    """A wide dependency carrying a shuffle id and a partitioner.
+
+    ``key_fn`` extracts the shuffle key from an element; ``combiner`` is an
+    optional map-side/reduce-side associative merge ``(v, v) -> v`` (used by
+    reduceByKey); when absent the reduce side groups values into lists.
+    """
+
+    def __init__(
+        self,
+        parent: "RDD",
+        partitioner: Partitioner,
+        combiner: Callable[[Any, Any], Any] | None = None,
+    ) -> None:
+        super().__init__(parent)
+        self.partitioner = partitioner
+        self.combiner = combiner
+        self.shuffle_id = next(_shuffle_ids)
+
+    def __repr__(self) -> str:
+        return f"ShuffleDependency(id={self.shuffle_id}, parent=R{self.parent.rdd_id})"

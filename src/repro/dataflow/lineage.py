@@ -1,0 +1,118 @@
+"""Lineage-graph utilities shared by the driver, policies, and Blaze.
+
+The lineage of an RDD is the DAG of everything it transitively depends on.
+These helpers provide deterministic traversals (insertion-ordered, so two
+runs walk the graph identically).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .rdd import RDD
+
+
+def ancestors(rdd: "RDD", include_self: bool = False) -> list["RDD"]:
+    """All transitive parents of ``rdd`` in deterministic DFS order."""
+    seen: dict[int, RDD] = {}
+    stack = [rdd]
+    while stack:
+        node = stack.pop()
+        for parent in node.parents:
+            if parent.rdd_id not in seen:
+                seen[parent.rdd_id] = parent
+                stack.append(parent)
+    result = list(seen.values())
+    if include_self and rdd.rdd_id not in seen:
+        result.append(rdd)
+    return result
+
+
+def topological_order(rdd: "RDD") -> list["RDD"]:
+    """Parents-before-children ordering of ``rdd``'s lineage (incl. itself)."""
+    order: list[RDD] = []
+    visited: set[int] = set()
+
+    def visit(node: "RDD") -> None:
+        if node.rdd_id in visited:
+            return
+        visited.add(node.rdd_id)
+        for parent in node.parents:
+            visit(parent)
+        order.append(node)
+
+    visit(rdd)
+    return order
+
+
+def narrow_closure(
+    rdd: "RDD",
+    stop_at_cached: bool = False,
+    materialized: set[int] | None = None,
+) -> list["RDD"]:
+    """RDDs reachable from ``rdd`` through narrow dependencies only.
+
+    This is the set of datasets a single stage's tasks may touch: traversal
+    stops below shuffle dependencies (those belong to parent stages) but
+    includes the shuffle RDD itself.
+
+    ``stop_at_cached`` additionally stops below annotation-cached datasets
+    (they are included but their parents are not traversed): a task that
+    hits the cache never touches the ancestors, so reference analyses that
+    expand through cached boundaries wildly over-count old iterations on
+    narrow-chained workloads.  When ``materialized`` is given, a cached
+    dataset that has *not yet been produced* is still expanded (its first
+    touch must compute through its parents); this includes the root — a
+    stage whose terminal dataset is cached and already materialized only
+    re-reads it.  Without ``materialized`` the root is always expanded.
+    """
+    seen: set[int] = set()
+    out: list[RDD] = []
+
+    def visit(node: "RDD", is_root: bool) -> None:
+        if node.rdd_id in seen:
+            return
+        seen.add(node.rdd_id)
+        out.append(node)
+        if stop_at_cached and node.is_annotated_cached:
+            if materialized is not None:
+                if node.rdd_id in materialized:
+                    return
+            elif not is_root:
+                return
+        for dep in node.narrow_deps:
+            visit(dep.parent, False)
+
+    visit(rdd, True)
+    return out
+
+
+def walk_edges(rdd: "RDD") -> Iterator[tuple["RDD", "RDD"]]:
+    """Yield (parent, child) edges over the whole lineage of ``rdd``."""
+    for node in topological_order(rdd):
+        for parent in node.parents:
+            yield parent, node
+
+
+def count_direct_references(
+    roots: list["RDD"],
+    is_interesting: Callable[["RDD"], bool] | None = None,
+) -> dict[int, int]:
+    """Number of direct children each RDD has across the given lineages.
+
+    This is the static "reference count" used by LRC: how many distinct
+    child edges point at each dataset within the submitted jobs' DAGs.
+    """
+    counts: dict[int, int] = {}
+    seen_edges: set[tuple[int, int]] = set()
+    for root in roots:
+        for parent, child in walk_edges(root):
+            if is_interesting is not None and not is_interesting(parent):
+                continue
+            edge = (parent.rdd_id, child.rdd_id)
+            if edge in seen_edges:
+                continue
+            seen_edges.add(edge)
+            counts[parent.rdd_id] = counts.get(parent.rdd_id, 0) + 1
+    return counts

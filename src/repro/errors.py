@@ -1,0 +1,55 @@
+"""Exception hierarchy for the Blaze reproduction.
+
+Every error raised by this package derives from :class:`ReproError` so that
+callers can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ConfigError(ReproError):
+    """Raised when a configuration value is invalid or inconsistent."""
+
+
+class DataflowError(ReproError):
+    """Raised for invalid dataflow graph construction or execution."""
+
+
+class PartitionNotFoundError(DataflowError):
+    """Raised when a partition cannot be resolved from any source."""
+
+
+class ShuffleError(DataflowError):
+    """Raised when shuffle data is missing or inconsistent."""
+
+
+class SchedulerError(ReproError):
+    """Raised when the task scheduler reaches an invalid state."""
+
+
+class StorageError(ReproError):
+    """Raised for invalid block store operations."""
+
+
+class CapacityError(StorageError):
+    """Raised when a block cannot fit in a store even after eviction."""
+
+
+class PolicyError(ReproError):
+    """Raised when an eviction policy misbehaves (e.g. returns bad victims)."""
+
+
+class SolverError(ReproError):
+    """Raised when the ILP solver cannot produce a feasible solution."""
+
+
+class ProfilingError(ReproError):
+    """Raised when the dependency-extraction phase fails irrecoverably."""
+
+
+class WorkloadError(ReproError):
+    """Raised for invalid workload parameters."""

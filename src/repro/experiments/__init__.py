@@ -1,0 +1,6 @@
+"""Experiment harness: run (system x workload) cells and rebuild figures."""
+
+from .runner import RunResult, run_cached, run_experiment
+from . import figures
+
+__all__ = ["RunResult", "run_experiment", "run_cached", "figures"]

@@ -1,0 +1,189 @@
+"""Figure-by-figure reproduction of the paper's evaluation section.
+
+Each ``figNN_*`` function runs (or reuses, via the process-wide memo) the
+required experiment cells and returns the figure's data as plain rows,
+ready for printing or assertions.  See DESIGN.md's per-experiment index
+for the mapping and EXPERIMENTS.md for recorded paper-vs-measured values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..config import GiB
+from ..systems.presets import system_label
+from .runner import RunResult, run_cached
+
+#: the six applications, in the paper's presentation order
+APPS = ("pr", "cc", "lr", "kmeans", "gbt", "svdpp")
+APP_LABELS = {
+    "pr": "PR",
+    "cc": "CC",
+    "lr": "LR",
+    "kmeans": "KMeans",
+    "gbt": "GBT",
+    "svdpp": "SVD++",
+}
+
+#: Fig. 9 / Fig. 10 system line-up
+FIG9_SYSTEMS = (
+    "spark_mem_only",
+    "spark_mem_disk",
+    "spark_alluxio",
+    "spark_lrc",
+    "spark_mrd",
+    "blaze",
+)
+
+#: Fig. 11 ablation line-up
+FIG11_SYSTEMS = ("spark_mem_disk", "autocache", "costaware", "blaze")
+
+#: Fig. 12 memory-only line-up and apps
+FIG12_SYSTEMS = ("spark_mem_only", "lrc_mem_only", "mrd_mem_only", "blaze_mem_only")
+FIG12_APPS = ("pr", "cc", "lr", "svdpp")
+
+#: Fig. 13 apps
+FIG13_APPS = ("pr", "cc", "lr", "svdpp")
+
+
+@dataclass
+class FigureData:
+    """One reproduced figure: column headers plus data rows."""
+
+    figure: str
+    headers: Sequence[str]
+    rows: list[list] = field(default_factory=list)
+    notes: dict = field(default_factory=dict)
+
+
+# ----------------------------------------------------------------------
+def fig3_eviction_skew(scale: str = "paper", seed: int = 0) -> FigureData:
+    """Fig. 3: evicted data (GB) per executor, PR on MEM+DISK Spark."""
+    r = run_cached("spark_mem_disk", "pr", scale, seed)
+    data = FigureData(
+        figure="fig3",
+        headers=["executor", "evicted_gb"],
+    )
+    for executor_id, evicted in sorted(r.evicted_bytes_by_executor.items()):
+        data.rows.append([executor_id + 1, evicted / GiB])
+    values = [row[1] for row in data.rows]
+    if values:
+        data.notes["max_over_min"] = max(values) / max(min(values), 1e-9)
+    return data
+
+
+def fig4_disk_io_breakdown(scale: str = "paper", seed: int = 0) -> FigureData:
+    """Fig. 4: accumulated task time split, all apps on MEM+DISK Spark."""
+    data = FigureData(
+        figure="fig4",
+        headers=["app", "disk_io_s", "compute_shuffle_s", "disk_share_pct"],
+    )
+    for app in APPS:
+        r = run_cached("spark_mem_disk", app, scale, seed)
+        share = 100.0 * r.disk_io_seconds / max(r.total_task_seconds, 1e-9)
+        data.rows.append(
+            [APP_LABELS[app], r.disk_io_seconds, r.compute_shuffle_seconds, share]
+        )
+    return data
+
+
+def fig5_recompute_growth(scale: str = "paper", seed: int = 0) -> FigureData:
+    """Fig. 5: total recomputation time per iteration, PR on MEM_ONLY Spark.
+
+    Job 0 is the pre-processing job; jobs 1..N map to iterations 1..N.
+    """
+    r = run_cached("spark_mem_only", "pr", scale, seed)
+    data = FigureData(figure="fig5", headers=["iteration", "recompute_s"])
+    for job_id, seconds in sorted(r.recompute_by_job.items()):
+        if job_id == 0:
+            continue  # pre-processing
+        data.rows.append([job_id, seconds])
+    return data
+
+
+def fig9_end_to_end(scale: str = "paper", seed: int = 0) -> FigureData:
+    """Fig. 9: application completion time, 6 systems x 6 apps."""
+    data = FigureData(
+        figure="fig9",
+        headers=["app"] + [system_label(s) for s in FIG9_SYSTEMS],
+    )
+    speedups = {}
+    for app in APPS:
+        acts = [run_cached(s, app, scale, seed).act_seconds for s in FIG9_SYSTEMS]
+        data.rows.append([APP_LABELS[app]] + acts)
+        blaze = acts[FIG9_SYSTEMS.index("blaze")]
+        speedups[app] = {
+            "vs_mem_only": acts[FIG9_SYSTEMS.index("spark_mem_only")] / blaze,
+            "vs_mem_disk": acts[FIG9_SYSTEMS.index("spark_mem_disk")] / blaze,
+        }
+    data.notes["speedups"] = speedups
+    return data
+
+
+def fig10_cost_breakdown(scale: str = "paper", seed: int = 0) -> FigureData:
+    """Fig. 10: accumulated task-time breakdown for the Fig. 9 grid,
+    plus the cached-bytes-on-disk reduction of Blaze vs MEM+DISK Spark."""
+    data = FigureData(
+        figure="fig10",
+        headers=["app", "system", "disk_io_s", "compute_shuffle_s", "disk_written_gb"],
+    )
+    reductions = {}
+    for app in APPS:
+        md_written = run_cached("spark_mem_disk", app, scale, seed).disk_bytes_written_total
+        for system in FIG9_SYSTEMS:
+            r = run_cached(system, app, scale, seed)
+            data.rows.append(
+                [
+                    APP_LABELS[app],
+                    system_label(system),
+                    r.disk_io_seconds,
+                    r.compute_shuffle_seconds,
+                    r.disk_bytes_written_total / GiB,
+                ]
+            )
+        blaze_written = run_cached("blaze", app, scale, seed).disk_bytes_written_total
+        reductions[app] = 100.0 * (1.0 - blaze_written / max(md_written, 1e-9))
+    data.notes["disk_reduction_pct"] = reductions
+    return data
+
+
+def fig11_ablation(scale: str = "paper", seed: int = 0) -> FigureData:
+    """Fig. 11: MEM+DISK Spark -> +AutoCache -> +CostAware -> Blaze."""
+    data = FigureData(
+        figure="fig11",
+        headers=["app"] + [system_label(s) for s in FIG11_SYSTEMS],
+    )
+    for app in APPS:
+        acts = [run_cached(s, app, scale, seed).act_seconds for s in FIG11_SYSTEMS]
+        data.rows.append([APP_LABELS[app]] + acts)
+    return data
+
+
+def fig12_memonly_evictions(scale: str = "paper", seed: int = 0) -> FigureData:
+    """Fig. 12: #evictions and total recomputation time, memory only."""
+    data = FigureData(
+        figure="fig12",
+        headers=["app", "system", "evictions", "recompute_s"],
+    )
+    for app in FIG12_APPS:
+        for system in FIG12_SYSTEMS:
+            r = run_cached(system, app, scale, seed)
+            data.rows.append(
+                [APP_LABELS[app], system_label(system), r.eviction_count, r.recompute_seconds]
+            )
+    return data
+
+
+def fig13_profiling_benefit(scale: str = "paper", seed: int = 0) -> FigureData:
+    """Fig. 13: ACT of Blaze with vs without dependency profiling,
+    normalized to the without-profiling run (paper: 0.61-1.00)."""
+    data = FigureData(
+        figure="fig13",
+        headers=["app", "with_profiling_s", "without_profiling_s", "normalized"],
+    )
+    for app in FIG13_APPS:
+        with_p = run_cached("blaze", app, scale, seed).act_seconds
+        without_p = run_cached("blaze_no_profile", app, scale, seed).act_seconds
+        data.rows.append([APP_LABELS[app], with_p, without_p, with_p / without_p])
+    return data

@@ -1,0 +1,138 @@
+"""Run one (system, workload) cell end to end and collect every metric
+the evaluation figures need.
+
+A cell runs the dependency-extraction phase first when the system calls
+for it (Blaze and its ablations), charges its virtual duration into the
+application completion time (ACT), then executes the real workload and
+snapshots the metric ledgers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..config import BlazeConfig, ClusterConfig, GiB, MiB, DiskConfig, paper_cluster
+from ..core.profiler import run_dependency_extraction
+from ..dataflow.context import BlazeContext
+from ..systems.presets import SYSTEMS, make_cache_manager
+from ..workloads.base import WorkloadResult
+from ..workloads.registry import make_workload
+
+
+@dataclass
+class RunResult:
+    """Everything measured from one cell."""
+
+    system: str
+    workload: str
+    scale: str
+    seed: int
+    #: end-to-end application completion time, profiling included
+    act_seconds: float
+    profiling_seconds: float
+    #: accumulated task-time split (Fig. 4 / Fig. 10)
+    disk_io_seconds: float
+    compute_shuffle_seconds: float
+    total_task_seconds: float
+    recompute_seconds: float
+    recompute_by_job: dict[int, float]
+    #: cache events
+    eviction_count: int
+    evictions_to_disk: int
+    unpersists: int
+    evicted_bytes_by_executor: dict[int, float]
+    #: cached-data-on-disk accounting (the 95 % reduction claim)
+    disk_bytes_written_total: float
+    disk_bytes_peak: float
+    ilp_solves: int
+    ilp_migrations: int
+    workload_result: WorkloadResult | None = None
+    extras: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def evicted_bytes_total(self) -> float:
+        return sum(self.evicted_bytes_by_executor.values())
+
+
+def tiny_cluster() -> ClusterConfig:
+    """Cluster matched to the registry's ``tiny`` workload byte models."""
+    return ClusterConfig(
+        num_executors=4,
+        slots_per_executor=2,
+        memory_store_bytes=48 * MiB,
+        disk=DiskConfig(capacity_bytes=20 * GiB),
+    )
+
+
+def cluster_for_scale(scale: str) -> ClusterConfig:
+    return tiny_cluster() if scale == "tiny" else paper_cluster()
+
+
+def run_experiment(
+    system: str,
+    workload: str,
+    scale: str = "paper",
+    seed: int = 0,
+    cluster_config: ClusterConfig | None = None,
+    blaze_config: BlazeConfig | None = None,
+) -> RunResult:
+    """Execute one evaluation cell and return its measurements."""
+    spec = SYSTEMS[system]
+    wl = make_workload(workload, scale)
+    config = cluster_config or cluster_for_scale(scale)
+    bcfg = blaze_config or BlazeConfig()
+
+    profile = None
+    profiling_seconds = 0.0
+    if spec.needs_profile:
+        profile = run_dependency_extraction(
+            wl.profiling_run_fn(bcfg.profiling_sample_fraction), bcfg, seed=seed
+        )
+        profiling_seconds = profile.virtual_seconds
+
+    manager = make_cache_manager(system, profile=profile, blaze_config=bcfg)
+    ctx = BlazeContext(config, manager, seed=seed)
+    wl_result = wl.run(ctx)
+    ctx.stop()
+
+    m = ctx.metrics
+    m.profiling_seconds = profiling_seconds
+    return RunResult(
+        system=system,
+        workload=workload,
+        scale=scale,
+        seed=seed,
+        act_seconds=ctx.now + profiling_seconds,
+        profiling_seconds=profiling_seconds,
+        disk_io_seconds=m.total.disk_io_seconds,
+        compute_shuffle_seconds=m.total.compute_shuffle_seconds,
+        total_task_seconds=m.total.total_seconds,
+        recompute_seconds=m.total.recompute_seconds,
+        recompute_by_job={j: tm.recompute_seconds for j, tm in sorted(m.per_job.items())},
+        eviction_count=m.total_evictions,
+        evictions_to_disk=sum(s.evictions_to_disk for s in m.executor_cache.values()),
+        unpersists=sum(s.unpersists for s in m.executor_cache.values()),
+        evicted_bytes_by_executor=m.evicted_bytes_by_executor(),
+        disk_bytes_written_total=m.disk_bytes_written_total,
+        disk_bytes_peak=m.disk_bytes_peak,
+        ilp_solves=m.ilp_solves,
+        ilp_migrations=m.ilp_migrations,
+        workload_result=wl_result,
+    )
+
+
+#: process-wide memo so Fig. 9/10 (and the benches) share grid runs
+_CACHE: dict[tuple, RunResult] = {}
+
+
+def run_cached(system: str, workload: str, scale: str = "paper", seed: int = 0) -> RunResult:
+    """Memoized :func:`run_experiment` (default configs only)."""
+    key = (system, workload, scale, seed)
+    if key not in _CACHE:
+        _CACHE[key] = run_experiment(system, workload, scale=scale, seed=seed)
+    return _CACHE[key]
+
+
+def clear_cache() -> None:
+    _CACHE.clear()

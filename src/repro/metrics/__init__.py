@@ -1,0 +1,6 @@
+"""Metric ledgers: per-task charges, per-run aggregation, report helpers."""
+
+from .collector import MetricsCollector, TaskMetrics
+from .report import format_table
+
+__all__ = ["TaskMetrics", "MetricsCollector", "format_table"]

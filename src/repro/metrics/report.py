@@ -1,0 +1,41 @@
+"""Plain-text table formatting for the benchmark harness output."""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: str | None = None,
+    float_fmt: str = "{:.2f}",
+) -> str:
+    """Render an aligned ASCII table (the benches print these rows)."""
+    rendered: list[list[str]] = []
+    for row in rows:
+        rendered.append(
+            [float_fmt.format(c) if isinstance(c, float) else str(c) for c in row]
+        )
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(list(headers)))
+    out.append(line(["-" * w for w in widths]))
+    out.extend(line(row) for row in rendered)
+    return "\n".join(out)
+
+
+def speedup(baseline_seconds: float, candidate_seconds: float) -> float:
+    """How many times faster ``candidate`` is than ``baseline``."""
+    if candidate_seconds <= 0:
+        raise ValueError("candidate time must be positive")
+    return baseline_seconds / candidate_seconds

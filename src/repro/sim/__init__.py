@@ -1,0 +1,7 @@
+"""Discrete-event simulation backbone: virtual clock, event queue, RNG."""
+
+from .clock import VirtualClock
+from .events import Event, EventQueue
+from .rng import make_rng
+
+__all__ = ["VirtualClock", "Event", "EventQueue", "make_rng"]

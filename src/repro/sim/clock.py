@@ -1,0 +1,43 @@
+"""Virtual clock for deterministic simulation.
+
+All times in the simulator are virtual seconds on this clock; nothing in the
+simulation path reads the wall clock, which keeps runs reproducible.
+"""
+
+from __future__ import annotations
+
+from ..errors import ReproError
+
+
+class VirtualClock:
+    """Monotonically advancing virtual time.
+
+    The clock only moves forward; attempting to rewind raises, which catches
+    scheduling bugs early instead of silently reordering events.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise ReproError("clock cannot start before time zero")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    def advance_to(self, t: float) -> None:
+        """Move the clock forward to absolute time ``t``."""
+        if t < self._now - 1e-12:
+            raise ReproError(f"clock moving backwards: {self._now} -> {t}")
+        self._now = max(self._now, float(t))
+
+    def advance_by(self, dt: float) -> float:
+        """Move the clock forward by ``dt`` seconds and return the new time."""
+        if dt < 0:
+            raise ReproError(f"cannot advance clock by negative dt: {dt}")
+        self._now += float(dt)
+        return self._now
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"VirtualClock(now={self._now:.6f})"

@@ -1,0 +1,62 @@
+"""A deterministic priority event queue.
+
+Ties on the timestamp are broken by insertion order so that two runs with
+identical inputs pop events in identical order.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..errors import ReproError
+
+
+@dataclass(order=True, frozen=True)
+class Event:
+    """A scheduled occurrence at virtual ``time``.
+
+    ``seq`` is the insertion sequence number used for deterministic
+    tie-breaking; ``payload`` is opaque to the queue.
+    """
+
+    time: float
+    seq: int
+    kind: str = field(compare=False)
+    payload: Any = field(compare=False, default=None)
+
+
+class EventQueue:
+    """Min-heap of :class:`Event` ordered by (time, insertion order)."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+
+    def push(self, time: float, kind: str, payload: Any = None) -> Event:
+        """Schedule an event; returns the stored event."""
+        if time < 0:
+            raise ReproError(f"event scheduled before time zero: {time}")
+        event = Event(time=float(time), seq=next(self._counter), kind=kind, payload=payload)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Event:
+        """Remove and return the earliest event."""
+        if not self._heap:
+            raise ReproError("pop from empty event queue")
+        return heapq.heappop(self._heap)
+
+    def peek(self) -> Event:
+        """Return the earliest event without removing it."""
+        if not self._heap:
+            raise ReproError("peek at empty event queue")
+        return self._heap[0]
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)

@@ -1,0 +1,136 @@
+"""Preset system configurations (paper section 7.1, "Systems").
+
+Each preset names one bar in the evaluation's figures:
+
+================  =====================================================
+key               paper name
+================  =====================================================
+spark_mem_only    MEM_ONLY Spark (LRU, recompute-on-miss)
+spark_mem_disk    MEM+DISK Spark (LRU, spill-on-evict)
+spark_alluxio     Spark + Alluxio (serialized tiered store)
+spark_lrc         LRC on MEM+DISK Spark
+spark_mrd         MRD on MEM+DISK Spark (with prefetching)
+blaze             Blaze (profiling + autocache + cost model + ILP)
+autocache         the +AutoCache ablation (Fig. 11)
+costaware         the +CostAware ablation (Fig. 11)
+lrc_mem_only      LRC on MEM_ONLY Spark (Fig. 12)
+mrd_mem_only      MRD on MEM_ONLY Spark (Fig. 12)
+blaze_mem_only    Blaze without disk support (Fig. 12)
+blaze_no_profile  Blaze without the dependency-extraction phase (Fig. 13)
+================  =====================================================
+
+Additional conventional-policy presets (``spark_fifo`` etc.) cover the
+policies the paper surveys but does not chart individually.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+from ..caching.manager import SparkCacheManager
+from ..caching.storage_level import StorageMode
+from ..config import BlazeConfig
+from ..core.udl import BlazeCacheManager
+from ..errors import ConfigError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..cluster.cachemanager import CacheManager
+    from ..core.profiler import LineageProfile
+
+
+@dataclass(frozen=True)
+class SystemSpec:
+    """One system under test."""
+
+    key: str
+    label: str
+    factory: Callable[..., "CacheManager"]
+    #: whether the system runs the dependency-extraction phase first
+    needs_profile: bool = False
+
+
+def _spark(mode: StorageMode, policy: str) -> Callable[..., "CacheManager"]:
+    def make(profile: "LineageProfile | None" = None, blaze_config: BlazeConfig | None = None):
+        return SparkCacheManager(mode, policy)
+
+    return make
+
+
+def _blaze(**flag_overrides) -> Callable[..., "CacheManager"]:
+    def make(profile: "LineageProfile | None" = None, blaze_config: BlazeConfig | None = None):
+        base = blaze_config or BlazeConfig()
+        config = dataclasses.replace(base, **flag_overrides)
+        return BlazeCacheManager(config=config, profile=profile)
+
+    return make
+
+
+SYSTEMS: dict[str, SystemSpec] = {
+    spec.key: spec
+    for spec in [
+        SystemSpec("spark_mem_only", "Spark (MEM)", _spark(StorageMode.MEM_ONLY, "lru")),
+        SystemSpec("spark_mem_disk", "Spark (MEM+DISK)", _spark(StorageMode.MEM_AND_DISK, "lru")),
+        SystemSpec("spark_alluxio", "Spark+Alluxio", _spark(StorageMode.ALLUXIO, "lru")),
+        SystemSpec("spark_lrc", "LRC", _spark(StorageMode.MEM_AND_DISK, "lrc")),
+        SystemSpec("spark_mrd", "MRD", _spark(StorageMode.MEM_AND_DISK, "mrd")),
+        SystemSpec("spark_fifo", "FIFO", _spark(StorageMode.MEM_AND_DISK, "fifo")),
+        SystemSpec("spark_lfu", "LFU", _spark(StorageMode.MEM_AND_DISK, "lfu")),
+        SystemSpec("spark_lfuda", "LFUDA", _spark(StorageMode.MEM_AND_DISK, "lfuda")),
+        SystemSpec("spark_gdwheel", "GDWheel", _spark(StorageMode.MEM_AND_DISK, "gdwheel")),
+        SystemSpec("spark_tinylfu", "TinyLFU", _spark(StorageMode.MEM_AND_DISK, "tinylfu")),
+        SystemSpec("spark_lecar", "LeCaR", _spark(StorageMode.MEM_AND_DISK, "lecar")),
+        SystemSpec("blaze", "Blaze", _blaze(), needs_profile=True),
+        SystemSpec(
+            "autocache",
+            "+AutoCache",
+            _blaze(
+                cost_aware_enabled=False,
+                recompute_option_enabled=False,
+                ilp_enabled=False,
+                admission_enabled=False,
+            ),
+            needs_profile=True,
+        ),
+        SystemSpec(
+            "costaware",
+            "+CostAware",
+            _blaze(
+                cost_aware_enabled=True,
+                recompute_option_enabled=False,
+                ilp_enabled=False,
+                admission_enabled=False,
+            ),
+            needs_profile=True,
+        ),
+        SystemSpec("lrc_mem_only", "LRC (MEM)", _spark(StorageMode.MEM_ONLY, "lrc")),
+        SystemSpec("mrd_mem_only", "MRD (MEM)", _spark(StorageMode.MEM_ONLY, "mrd")),
+        SystemSpec("blaze_mem_only", "Blaze (MEM)", _blaze(disk_enabled=False), needs_profile=True),
+        SystemSpec(
+            "blaze_no_profile",
+            "Blaze w/o Profiling",
+            _blaze(profiling_enabled=False),
+            needs_profile=False,
+        ),
+    ]
+}
+
+
+def make_cache_manager(
+    key: str,
+    profile: "LineageProfile | None" = None,
+    blaze_config: BlazeConfig | None = None,
+):
+    """Build the cache manager for a system preset."""
+    spec = SYSTEMS.get(key)
+    if spec is None:
+        raise ConfigError(f"unknown system {key!r}; known: {sorted(SYSTEMS)}")
+    return spec.factory(profile=profile, blaze_config=blaze_config)
+
+
+def system_label(key: str) -> str:
+    spec = SYSTEMS.get(key)
+    if spec is None:
+        raise ConfigError(f"unknown system {key!r}")
+    return spec.label

@@ -1,0 +1,33 @@
+"""The paper's six evaluation applications, on the simulator's RDD API.
+
+Graph processing: PageRank (PR) and Connected Components (CC) on a
+synthetic power-law graph (standing in for the 25M-vertex SparkBench
+dataset).  Machine learning: Logistic Regression (LR, Criteo-like labeled
+points), K-Means (HiBench-like uniform points), Gradient Boosted Trees
+(GBT), and SVD++ (synthetic ratings).  All compute real results on
+scaled-down data while *modeled* partition sizes reproduce cluster-scale
+memory pressure; caching annotations mirror the GraphX/MLlib
+implementations the paper's baselines follow.
+"""
+
+from .base import Workload, WorkloadResult
+from .connected_components import ConnectedComponentsWorkload
+from .gbt import GBTWorkload
+from .kmeans import KMeansWorkload
+from .logistic_regression import LogisticRegressionWorkload
+from .pagerank import PageRankWorkload
+from .registry import WORKLOADS, make_workload
+from .svdpp import SVDPPWorkload
+
+__all__ = [
+    "Workload",
+    "WorkloadResult",
+    "PageRankWorkload",
+    "ConnectedComponentsWorkload",
+    "LogisticRegressionWorkload",
+    "KMeansWorkload",
+    "GBTWorkload",
+    "SVDPPWorkload",
+    "WORKLOADS",
+    "make_workload",
+]

@@ -1,0 +1,65 @@
+"""Workload interface shared by applications and the experiment harness."""
+
+from __future__ import annotations
+
+import dataclasses
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from ..errors import WorkloadError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..dataflow.context import BlazeContext
+
+
+@dataclass
+class WorkloadResult:
+    """Outcome of one workload execution."""
+
+    name: str
+    iterations: int
+    final_value: Any
+    extras: dict[str, Any] = field(default_factory=dict)
+
+
+class Workload(ABC):
+    """An iterative application runnable on a :class:`BlazeContext`.
+
+    Implementations are frozen-ish parameter dataclasses; ``scaled``
+    produces the shrunken copy used by the dependency-extraction phase
+    (same RDD graph, fewer elements).
+    """
+
+    name = "abstract"
+
+    @abstractmethod
+    def run(self, ctx: "BlazeContext") -> WorkloadResult:
+        """Execute all iterations; actions drive one job per iteration."""
+
+    @abstractmethod
+    def scaled(self, fraction: float) -> "Workload":
+        """A structurally identical copy on ``fraction`` of the input."""
+
+    def profiling_run_fn(self, fraction: float):
+        """Bound runner for :func:`repro.core.profiler.run_dependency_extraction`."""
+        shrunken = self.scaled(fraction)
+
+        def run_fn(ctx: "BlazeContext") -> None:
+            shrunken.run(ctx)
+
+        return run_fn
+
+
+def scale_count(count: int, fraction: float, minimum: int = 1) -> int:
+    """Scale an element count, keeping at least ``minimum``."""
+    if not 0 < fraction <= 1:
+        raise WorkloadError(f"fraction must be in (0, 1], got {fraction}")
+    return max(minimum, int(round(count * fraction)))
+
+
+def replace_params(workload: Workload, **changes) -> Workload:
+    """dataclasses.replace with a friendlier error for non-dataclasses."""
+    if not dataclasses.is_dataclass(workload):
+        raise WorkloadError(f"{type(workload).__name__} is not a dataclass")
+    return dataclasses.replace(workload, **changes)

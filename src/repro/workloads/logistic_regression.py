@@ -1,0 +1,111 @@
+"""Logistic regression with gradient descent (MLlib-style, paper §7.1).
+
+The training set is cached once and re-read every iteration; each
+iteration additionally materializes two transient per-iteration datasets
+that MLlib's pipeline annotates for caching even though they are never
+reused — exactly the wasteful annotation pattern the paper highlights:
+"LR only caches a total of three RDDs for each iteration, where only one
+of them is actually referenced to be reused later on".  Blaze's automatic
+caching keeps just the training set, which fits in memory, and incurs no
+evictions at all.
+
+Each iteration is a single-stage job (map + gradient reduce, no shuffle),
+so the bottleneck is computation, matching the paper's 3 % disk-time share.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..config import MiB
+from ..dataflow.operators import OpCost, SizeModel
+from .base import Workload, WorkloadResult, replace_params, scale_count
+from .datagen import labeled_points_generator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..dataflow.context import BlazeContext
+
+
+@dataclass
+class LogisticRegressionWorkload(Workload):
+    """Binary logistic regression on Criteo-like labeled points."""
+
+    num_points: int = 4000
+    num_features: int = 10
+    num_partitions: int = 80
+    iterations: int = 10
+    learning_rate: float = 0.25
+
+    point_bytes: float = 19.5 * MiB  # training set ~ 76 GiB: fits in memory
+    margin_bytes: float = 1.66 * MiB  # transient annotated datasets (~6.5 GiB)
+    prob_bytes: float = 0.83 * MiB
+    ser_factor: float = 1.0
+
+    # Producing a point is expensive (Criteo parsing/standardization), so
+    # recomputation is the costly recovery path for this workload.
+    gen_cost: float = 1.8
+    map_cost: float = 0.3  # gradient math dominates (compute-bound app)
+
+    name = "logistic_regression"
+
+    def scaled(self, fraction: float) -> "LogisticRegressionWorkload":
+        return replace_params(
+            self, num_points=scale_count(self.num_points, fraction, self.num_partitions)
+        )
+
+    # ------------------------------------------------------------------
+    def run(self, ctx: "BlazeContext") -> WorkloadResult:
+        points = ctx.source(
+            labeled_points_generator(self.num_points, self.num_features, self.num_partitions),
+            self.num_partitions,
+            op_cost=OpCost(per_element_out=self.gen_cost),
+            size_model=SizeModel(bytes_per_element=self.point_bytes, ser_factor=self.ser_factor),
+            name="points",
+        )
+        points.cache()
+        ctx.run_job(points, lambda _s, part: len(part))
+
+        weights = np.zeros(self.num_features)
+        loss = float("inf")
+        for i in range(self.iterations):
+            w = weights.copy()  # bind by value: recomputation-stable closure
+            margins = points.map(
+                lambda p, w=w: (p[0], p[1], float(p[0] @ w)),
+                op_cost=OpCost(per_element_in=self.map_cost),
+                size_model=SizeModel(bytes_per_element=self.margin_bytes, ser_factor=self.ser_factor),
+                name=f"margins{i}",
+            )
+            margins.cache()  # MLlib-style annotation; never reused
+            probs = margins.map(
+                lambda t: (t[0], t[1], 1.0 / (1.0 + np.exp(-t[2]))),
+                op_cost=OpCost(per_element_in=self.map_cost / 3),
+                size_model=SizeModel(bytes_per_element=self.prob_bytes, ser_factor=self.ser_factor),
+                name=f"probs{i}",
+            )
+            probs.cache()  # second wasteful annotation
+
+            def partition_grad(_s: int, part: list):
+                grad = np.zeros(self.num_features)
+                log_loss = 0.0
+                for x, y, prob in part:
+                    grad += (prob - y) * x
+                    p = min(max(prob, 1e-12), 1 - 1e-12)
+                    log_loss += -(y * np.log(p) + (1 - y) * np.log(1 - p))
+                return grad, log_loss, len(part)
+
+            results = ctx.run_job(probs, partition_grad)
+            grad = sum(r[0] for r in results)
+            loss = sum(r[1] for r in results) / max(sum(r[2] for r in results), 1)
+            weights = weights - self.learning_rate * grad / self.num_points
+            # MLlib unpersists the per-iteration intermediates afterwards.
+            margins.unpersist()
+            probs.unpersist()
+        return WorkloadResult(
+            name=self.name,
+            iterations=self.iterations,
+            final_value=loss,
+            extras={"weights_norm": float(np.linalg.norm(weights))},
+        )

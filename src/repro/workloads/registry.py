@@ -1,0 +1,154 @@
+"""Workload registry with scale presets for tests and benchmarks."""
+
+from __future__ import annotations
+
+from ..config import MiB
+from ..errors import WorkloadError
+from .base import Workload
+from .connected_components import ConnectedComponentsWorkload
+from .gbt import GBTWorkload
+from .kmeans import KMeansWorkload
+from .logistic_regression import LogisticRegressionWorkload
+from .pagerank import PageRankWorkload
+from .svdpp import SVDPPWorkload
+
+#: canonical short names used across the experiment harness
+WORKLOADS = ("pr", "cc", "lr", "kmeans", "gbt", "svdpp")
+
+_SCALES = ("tiny", "small", "paper")
+
+
+def make_workload(name: str, scale: str = "paper") -> Workload:
+    """Instantiate a paper workload at a given scale.
+
+    ``paper`` reproduces the evaluation's working-set-to-memory ratios on
+    :func:`repro.config.paper_cluster`; ``small`` halves the iteration
+    counts for faster sweeps; ``tiny`` shrinks everything for unit tests
+    (pair with :func:`repro.config.small_cluster` and per-test byte models).
+    """
+    if scale not in _SCALES:
+        raise WorkloadError(f"unknown scale {scale!r}; known: {_SCALES}")
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise WorkloadError(f"unknown workload {name!r}; known: {WORKLOADS}") from None
+    return factory(scale)
+
+
+def _pagerank(scale: str) -> PageRankWorkload:
+    if scale == "paper":
+        return PageRankWorkload()
+    if scale == "small":
+        return PageRankWorkload(num_vertices=1200, iterations=6)
+    return PageRankWorkload(
+        num_vertices=120,
+        num_partitions=4,
+        iterations=3,
+        edge_bytes=0.05 * MiB,
+        link_bytes=1.5 * MiB,
+        rank_bytes=0.8 * MiB,
+        triplet_bytes=1.2 * MiB,
+        contrib_bytes=0.05 * MiB,
+        triplet_cost=8e-3,
+    )
+
+
+def _connected_components(scale: str) -> ConnectedComponentsWorkload:
+    if scale == "paper":
+        return ConnectedComponentsWorkload()
+    if scale == "small":
+        return ConnectedComponentsWorkload(num_vertices=1200, iterations=5)
+    return ConnectedComponentsWorkload(
+        num_vertices=120,
+        num_partitions=4,
+        iterations=3,
+        edge_bytes=0.05 * MiB,
+        link_bytes=1.2 * MiB,
+        label_bytes=0.6 * MiB,
+        triplet_bytes=0.9 * MiB,
+        message_bytes=0.04 * MiB,
+        triplet_cost=5e-3,
+    )
+
+
+def _logistic_regression(scale: str) -> LogisticRegressionWorkload:
+    if scale == "paper":
+        return LogisticRegressionWorkload()
+    if scale == "small":
+        return LogisticRegressionWorkload(num_points=2400, iterations=6)
+    return LogisticRegressionWorkload(
+        num_points=240,
+        num_partitions=4,
+        iterations=3,
+        point_bytes=1.2 * MiB,
+        margin_bytes=0.1 * MiB,
+        prob_bytes=0.05 * MiB,
+        gen_cost=1e-2,
+        map_cost=2e-3,
+    )
+
+
+def _kmeans(scale: str) -> KMeansWorkload:
+    if scale == "paper":
+        return KMeansWorkload()
+    if scale == "small":
+        return KMeansWorkload(num_points=2400, iterations=6)
+    return KMeansWorkload(
+        num_points=240,
+        num_partitions=4,
+        iterations=3,
+        point_bytes=1.0 * MiB,
+        norm_bytes=1.05 * MiB,
+        dist_bytes=0.1 * MiB,
+        assign_bytes=0.02 * MiB,
+        gen_cost=2e-3,
+        map_cost=1e-3,
+    )
+
+
+def _gbt(scale: str) -> GBTWorkload:
+    if scale == "paper":
+        return GBTWorkload()
+    if scale == "small":
+        return GBTWorkload(num_points=1800, rounds=6)
+    return GBTWorkload(
+        num_points=240,
+        num_partitions=4,
+        rounds=3,
+        point_bytes=0.9 * MiB,
+        pred_bytes=1.0 * MiB,
+        residual_bytes=0.95 * MiB,
+        gen_cost=3e-3,
+        scan_cost=1e-3,
+        predict_cost=8e-4,
+    )
+
+
+def _svdpp(scale: str) -> SVDPPWorkload:
+    if scale == "paper":
+        return SVDPPWorkload()
+    if scale == "small":
+        return SVDPPWorkload(num_users=900, iterations=6)
+    return SVDPPWorkload(
+        num_users=120,
+        num_items=40,
+        num_partitions=4,
+        iterations=3,
+        rating_bytes=0.7 * MiB,
+        factor_bytes=1.2 * MiB,
+        item_factor_bytes=1.6 * MiB,
+        message_bytes=0.1 * MiB,
+        gen_cost=1e-3,
+        join_cost=1e-3,
+        reduce_cost=5e-4,
+    )
+
+
+_FACTORIES = {
+    "pr": _pagerank,
+    "cc": _connected_components,
+    "lr": _logistic_regression,
+    "kmeans": _kmeans,
+    "gbt": _gbt,
+    "svdpp": _svdpp,
+}

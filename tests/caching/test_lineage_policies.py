@@ -1,0 +1,72 @@
+"""LRC and MRD: lineage-aware reference accounting."""
+
+from repro.caching.lrc import LRCPolicy
+from repro.caching.mrd import MRDPolicy, _NO_FUTURE_USE
+from repro.cluster.blocks import Block
+
+
+def make_block(rdd_id):
+    return Block(block_id=(rdd_id, 0), data=[], size_bytes=100)
+
+
+def test_lrc_counts_stage_references():
+    policy = LRCPolicy()
+    policy.on_job_references([(0, [1, 2]), (1, [1]), (2, [1, 3])])
+    assert policy.reference_count(1) == 3
+    assert policy.reference_count(2) == 1
+    assert policy.reference_count(99) == 0
+
+
+def test_lrc_consumes_on_stage_complete():
+    policy = LRCPolicy()
+    policy.on_job_references([(0, [1]), (1, [1])])
+
+    class FakeStage:
+        seq_in_job = 0
+
+    policy.on_stage_complete(FakeStage())
+    assert policy.reference_count(1) == 1
+
+
+def test_lrc_priority_orders_by_refs():
+    policy = LRCPolicy()
+    policy.on_job_references([(0, [1, 1]), (1, [1])])
+    low = make_block(2)   # zero refs
+    high = make_block(1)  # two refs
+    assert policy.victim_priority(low, 1.0) < policy.victim_priority(high, 1.0)
+
+
+def test_mrd_reference_distance():
+    policy = MRDPolicy()
+    policy.on_job_references([(0, [1]), (3, [1, 2])])
+    assert policy.reference_distance(1) == 0.0  # used at current stage 0
+    assert policy.reference_distance(2) == 3.0
+    assert policy.reference_distance(9) == _NO_FUTURE_USE
+
+
+def test_mrd_distance_advances_with_stages():
+    policy = MRDPolicy()
+    policy.on_job_references([(0, [1]), (2, [1])])
+
+    class FakeStage:
+        seq_in_job = 0
+
+    policy.on_stage_complete(FakeStage())
+    assert policy.reference_distance(1) == 1.0  # next use at stage 2, now at 1
+
+
+def test_mrd_evicts_furthest_first():
+    policy = MRDPolicy()
+    policy.on_job_references([(0, [1]), (5, [2])])
+    near = make_block(1)
+    far = make_block(2)
+    assert policy.victim_priority(far, 1.0) < policy.victim_priority(near, 1.0)
+
+
+def test_mrd_prefetch_prefers_nearest():
+    policy = MRDPolicy()
+    policy.on_job_references([(1, [1]), (4, [2])])
+    assert policy.wants_prefetch
+    assert policy.prefetch_priority(make_block(1), 0.0) < policy.prefetch_priority(
+        make_block(2), 0.0
+    )

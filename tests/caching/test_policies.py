@@ -1,0 +1,132 @@
+"""Eviction-policy unit behaviors (victim ordering, bookkeeping)."""
+
+import pytest
+
+from repro.caching import (
+    FIFOPolicy,
+    GreedyDualPolicy,
+    LeCaRPolicy,
+    LFUDAPolicy,
+    LFUPolicy,
+    LRUPolicy,
+    make_policy,
+    POLICY_REGISTRY,
+)
+from repro.cluster.blocks import Block
+from repro.cluster.stores import BlockStore
+from repro.errors import PolicyError
+
+
+def store_with(policy, specs):
+    """specs: list of (rdd_id, split, size, insert_time)."""
+    store = BlockStore(10_000, "test")
+    blocks = []
+    for rdd_id, split, size, t in specs:
+        block = Block(block_id=(rdd_id, split), data=[], size_bytes=size)
+        store.put(block)
+        policy.on_insert(block, t)
+        blocks.append(block)
+    return store, blocks
+
+
+def test_registry_covers_all_policies():
+    for name in ("lru", "fifo", "lfu", "lfuda", "gdwheel", "tinylfu", "lecar", "lrc", "mrd"):
+        assert name in POLICY_REGISTRY
+        assert make_policy(name).name == name
+
+
+def test_unknown_policy_raises():
+    with pytest.raises(PolicyError):
+        make_policy("nope")
+
+
+def test_lru_evicts_least_recent():
+    policy = LRUPolicy()
+    store, blocks = store_with(policy, [(0, 0, 100, 1.0), (1, 0, 100, 2.0)])
+    policy.on_access(blocks[0], 5.0)
+    victims = policy.select_victims(store, 50, incoming_rdd_id=9, now=6.0)
+    assert victims[0].rdd_id == 1
+
+
+def test_fifo_ignores_access():
+    policy = FIFOPolicy()
+    store, blocks = store_with(policy, [(0, 0, 100, 1.0), (1, 0, 100, 2.0)])
+    policy.on_access(blocks[0], 10.0)
+    victims = policy.select_victims(store, 50, incoming_rdd_id=9, now=11.0)
+    assert victims[0].rdd_id == 0
+
+
+def test_lfu_evicts_least_frequent():
+    policy = LFUPolicy()
+    store, blocks = store_with(policy, [(0, 0, 100, 1.0), (1, 0, 100, 1.0)])
+    blocks[1].touch(2.0)
+    blocks[1].touch(3.0)
+    victims = policy.select_victims(store, 50, incoming_rdd_id=9, now=4.0)
+    assert victims[0].rdd_id == 0
+
+
+def test_lfuda_aging_lets_stale_frequent_blocks_go():
+    policy = LFUDAPolicy()
+    store, blocks = store_with(policy, [(0, 0, 100, 1.0)])
+    hot = blocks[0]
+    for t in range(2, 12):
+        hot.touch(float(t))
+        policy.on_access(hot, float(t))
+    # Evicting a newer block raises the age above the hot block's value.
+    cold = Block(block_id=(1, 0), data=[], size_bytes=100)
+    store.put(cold)
+    policy.on_insert(cold, 20.0)
+    cold.policy_data["lfuda_value"] = 100.0
+    policy.on_remove(cold)
+    fresh = Block(block_id=(2, 0), data=[], size_bytes=100)
+    store.put(fresh)
+    policy.on_insert(fresh, 21.0)
+    assert policy.victim_priority(hot, 22.0) < policy.victim_priority(fresh, 22.0)
+
+
+def test_greedy_dual_prefers_evicting_large_blocks():
+    policy = GreedyDualPolicy()
+    store, blocks = store_with(policy, [(0, 0, 1000, 1.0), (1, 0, 10, 1.0)])
+    victims = policy.select_victims(store, 5, incoming_rdd_id=9, now=2.0)
+    assert victims[0].rdd_id == 0, "low credit per byte evicts first"
+
+
+def test_same_rdd_guard():
+    policy = LRUPolicy()
+    store, _ = store_with(policy, [(7, 0, 100, 1.0), (7, 1, 100, 1.0)])
+    assert policy.select_victims(store, 50, incoming_rdd_id=7, now=2.0) is None
+
+
+def test_insufficient_space_returns_none():
+    policy = LRUPolicy()
+    store, _ = store_with(policy, [(0, 0, 100, 1.0)])
+    assert policy.select_victims(store, 500, incoming_rdd_id=9, now=2.0) is None
+
+
+def test_zero_need_returns_empty():
+    policy = LRUPolicy()
+    store, _ = store_with(policy, [(0, 0, 100, 1.0)])
+    assert policy.select_victims(store, 0, incoming_rdd_id=9, now=2.0) == []
+
+
+def test_victims_cover_requested_bytes():
+    policy = LRUPolicy()
+    store, _ = store_with(
+        policy, [(0, 0, 100, 1.0), (1, 0, 100, 2.0), (2, 0, 100, 3.0)]
+    )
+    victims = policy.select_victims(store, 150, incoming_rdd_id=9, now=4.0)
+    assert sum(v.size_bytes for v in victims) >= 150
+    assert len(victims) == 2
+
+
+def test_lecar_ghost_hit_shifts_weights():
+    policy = LeCaRPolicy()
+    store, blocks = store_with(policy, [(0, 0, 100, 1.0)])
+    victim = blocks[0]
+    policy.victim_priority(victim, 2.0)  # tags the deciding expert
+    policy.on_remove(victim)
+    w_before = policy.weights
+    # Re-inserting the ghost means the eviction was a mistake.
+    block = Block(block_id=(0, 0), data=[], size_bytes=100)
+    policy.on_insert(block, 3.0)
+    assert policy.weights != w_before

@@ -1,0 +1,115 @@
+"""Block-manager movement primitives and charging."""
+
+import pytest
+
+from repro.cluster.blockmanager import BlockManager
+from repro.cluster.blocks import Block, BlockLocation
+from repro.config import ClusterConfig, DiskConfig, MiB
+from repro.errors import StorageError
+from repro.metrics.collector import MetricsCollector, TaskMetrics
+
+
+def make_bm(memory_mb=10, disk_mb=100):
+    config = ClusterConfig(
+        num_executors=1,
+        slots_per_executor=1,
+        memory_store_bytes=memory_mb * MiB,
+        disk=DiskConfig(capacity_bytes=disk_mb * MiB),
+    )
+    metrics = MetricsCollector()
+    return BlockManager(0, config, metrics), metrics
+
+
+def make_block(size_mb=1.0, rdd_id=0, split=0, ser_factor=1.0):
+    return Block(
+        block_id=(rdd_id, split), data=[1], size_bytes=size_mb * MiB, ser_factor=ser_factor
+    )
+
+
+def test_insert_and_locate_memory():
+    bm, _ = make_bm()
+    block = make_block()
+    bm.insert_memory(block)
+    assert bm.location_of(block.block_id) is BlockLocation.MEMORY
+    assert bm.get(block.block_id) is block
+
+
+def test_spill_moves_to_disk_and_charges():
+    bm, metrics = make_bm()
+    block = make_block(size_mb=2)
+    bm.insert_memory(block)
+    tm = TaskMetrics()
+    bm.spill_to_disk(block.block_id, tm)
+    assert bm.location_of(block.block_id) is BlockLocation.DISK
+    assert tm.cache_disk_write_seconds > 0
+    assert tm.ser_seconds > 0
+    assert metrics.executor_cache[0].evictions_to_disk == 1
+    assert metrics.disk_bytes_current == pytest.approx(2 * MiB)
+
+
+def test_spill_without_ser_charge():
+    bm, _ = make_bm()
+    block = make_block()
+    bm.insert_memory(block)
+    tm = TaskMetrics()
+    bm.spill_to_disk(block.block_id, tm, include_ser=False)
+    assert tm.ser_seconds == 0.0
+    assert tm.cache_disk_write_seconds > 0
+
+
+def test_read_from_disk_charges_deser():
+    bm, _ = make_bm()
+    block = make_block()
+    bm.insert_disk(block, TaskMetrics())
+    tm = TaskMetrics()
+    bm.read_from_disk(block.block_id, tm)
+    assert tm.cache_disk_read_seconds > 0
+    assert tm.deser_seconds > 0
+
+
+def test_ser_factor_scales_serialization():
+    bm, _ = make_bm()
+    plain, heavy = TaskMetrics(), TaskMetrics()
+    b1 = make_block(rdd_id=0)
+    b2 = make_block(rdd_id=1, ser_factor=4.0)
+    bm.insert_memory(b1)
+    bm.insert_memory(b2)
+    bm.spill_to_disk(b1.block_id, plain)
+    bm.spill_to_disk(b2.block_id, heavy)
+    assert heavy.ser_seconds == pytest.approx(4 * plain.ser_seconds)
+
+
+def test_discard_counts_eviction_flag():
+    bm, metrics = make_bm()
+    block = make_block()
+    bm.insert_memory(block)
+    bm.discard(block.block_id, evicted=True)
+    assert metrics.executor_cache[0].unpersists == 1
+    assert bm.location_of(block.block_id) is None
+
+
+def test_discard_unknown_raises():
+    bm, _ = make_bm()
+    with pytest.raises(StorageError):
+        bm.discard((5, 5), evicted=False)
+
+
+def test_promote_requires_free_memory():
+    bm, _ = make_bm(memory_mb=2)
+    big = make_block(size_mb=1.5, rdd_id=0)
+    other = make_block(size_mb=1.0, rdd_id=1)
+    bm.insert_memory(big)
+    bm.insert_disk(other, TaskMetrics())
+    assert bm.promote_to_memory(other.block_id) is None  # 1.0 > 0.5 free
+    bm.discard(big.block_id, evicted=False)
+    promoted = bm.promote_to_memory(other.block_id)
+    assert promoted is other
+    assert bm.location_of(other.block_id) is BlockLocation.MEMORY
+
+
+def test_disk_full_drops_fifo():
+    bm, metrics = make_bm(disk_mb=3)
+    bm.insert_disk(make_block(size_mb=2, rdd_id=0), TaskMetrics())
+    bm.insert_disk(make_block(size_mb=2, rdd_id=1), TaskMetrics())
+    assert bm.location_of((0, 0)) is None, "oldest disk block dropped for space"
+    assert bm.location_of((1, 0)) is BlockLocation.DISK

@@ -1,0 +1,154 @@
+"""Driver behaviors: caching path, recovery, stage pruning, shuffle reuse."""
+
+import pytest
+
+from repro.caching.manager import SparkCacheManager
+from repro.caching.storage_level import StorageMode
+from conftest import make_ctx
+
+
+def test_cached_rdd_computed_once():
+    ctx = make_ctx(memory_mb=1024)
+    calls = []
+    src = ctx.source(lambda s, rng: calls.append(s) or [s], 2)
+    src.cache()
+    src.count()
+    src.count()
+    assert sorted(calls) == [0, 1], "second count served from cache"
+
+
+def test_uncached_rdd_recomputed_every_job():
+    ctx = make_ctx(memory_mb=1024)
+    calls = []
+    src = ctx.source(lambda s, rng: calls.append(s) or [s], 2)
+    src.count()
+    src.count()
+    assert len(calls) == 4
+
+
+def test_unpersist_forces_recomputation():
+    ctx = make_ctx(memory_mb=1024)
+    calls = []
+    src = ctx.source(lambda s, rng: calls.append(s) or [s], 2)
+    src.cache()
+    src.count()
+    src.unpersist()
+    src.cache()
+    src.count()
+    assert len(calls) == 4
+
+
+def test_mem_only_eviction_recomputes_correct_data():
+    """Evicted blocks regenerate identical data through lineage."""
+    ctx = make_ctx(mode=StorageMode.MEM_ONLY, memory_mb=2)
+    from repro.dataflow.operators import SizeModel
+
+    big = ctx.source(
+        lambda s, rng: [float(rng.integers(0, 1000)) for _ in range(4)],
+        4,
+        size_model=SizeModel(bytes_per_element=512 * 1024),
+    )
+    big.cache()
+    first = sorted(big.collect())
+    # Cache another dataset to evict parts of `big`.
+    other = ctx.source(
+        lambda s, rng: [1.0] * 4, 4, size_model=SizeModel(bytes_per_element=512 * 1024)
+    )
+    other.cache()
+    other.count()
+    assert sorted(big.collect()) == first
+
+
+def test_mem_disk_eviction_reads_back_from_disk():
+    ctx = make_ctx(mode=StorageMode.MEM_AND_DISK, memory_mb=2)
+    from repro.dataflow.operators import SizeModel
+
+    model = SizeModel(bytes_per_element=512 * 1024)
+    a = ctx.source(lambda s, rng: [float(s)] * 4, 4, size_model=model)
+    a.cache()
+    a.count()
+    b = ctx.source(lambda s, rng: [2.0] * 4, 4, size_model=model)
+    b.cache()
+    b.count()
+    before_reads = ctx.metrics.total.cache_bytes_read
+    a.count()
+    assert ctx.metrics.total.cache_bytes_read > before_reads, "disk blocks re-read"
+
+
+def test_shuffle_reuse_skips_map_stage():
+    ctx = make_ctx(memory_mb=1024)
+    pairs = ctx.parallelize([(i % 3, 1) for i in range(9)], 3)
+    reduced = pairs.reduce_by_key(lambda a, b: a + b)
+    reduced.count()
+    tasks_after_first = ctx.metrics.task_count
+    reduced.count()  # same shuffle, retained: only the result stage runs
+    second_job_tasks = ctx.metrics.task_count - tasks_after_first
+    assert second_job_tasks == reduced.num_partitions
+
+
+def test_deep_recovery_recomputes_cleaned_shuffle():
+    ctx = make_ctx(memory_mb=1024)
+    pairs = ctx.parallelize([(i % 3, 1) for i in range(9)], 3)
+    reduced = pairs.reduce_by_key(lambda a, b: a + b)
+    first = sorted(reduced.collect())
+    # Push enough jobs through to trigger shuffle cleanup.
+    for _ in range(3):
+        ctx.parallelize([1], 1).count()
+    assert sorted(reduced.collect()) == first, "recovery through regenerated shuffle"
+
+
+def test_stage_pruning_for_fully_cached_final_rdd():
+    ctx = make_ctx(memory_mb=1024)
+    pairs = ctx.parallelize([(i % 3, 1) for i in range(9)], 3)
+    reduced = pairs.reduce_by_key(lambda a, b: a + b).named("reduced")
+    reduced.cache()
+    reduced.count()
+    for _ in range(3):  # age out the shuffle files
+        ctx.parallelize([1], 1).count()
+    tasks_before = ctx.metrics.task_count
+    reduced.count()
+    assert ctx.metrics.task_count - tasks_before == reduced.num_partitions, (
+        "fully cached final dataset: no ancestor stages resubmitted"
+    )
+
+
+def test_recompute_seconds_tracked_for_recovered_blocks():
+    ctx = make_ctx(mode=StorageMode.MEM_ONLY, memory_mb=2)
+    from repro.dataflow.operators import OpCost, SizeModel
+
+    model = SizeModel(bytes_per_element=512 * 1024)
+    cost = OpCost(per_element_out=0.5)
+    a = ctx.source(lambda s, rng: [1.0] * 4, 4, op_cost=cost, size_model=model)
+    a.cache()
+    a.count()
+    b = ctx.source(lambda s, rng: [2.0] * 4, 4, op_cost=cost, size_model=model)
+    b.cache()
+    b.count()  # evicts parts of a
+    a.count()  # recovers via recomputation
+    assert ctx.metrics.total.recompute_seconds > 0
+
+
+def test_results_in_partition_order():
+    ctx = make_ctx(memory_mb=1024)
+    results = ctx.run_job(ctx.parallelize(list(range(8)), 4), lambda s, part: (s, part))
+    assert [r[0] for r in results] == [0, 1, 2, 3]
+
+
+def test_action_on_foreign_context_rejected():
+    ctx_a = make_ctx(memory_mb=64)
+    ctx_b = make_ctx(memory_mb=64)
+    rdd = ctx_a.parallelize([1], 1)
+    from repro.errors import DataflowError
+
+    with pytest.raises(DataflowError):
+        ctx_b.run_job(rdd, lambda s, p: p)
+
+
+def test_stopped_context_rejects_jobs():
+    ctx = make_ctx(memory_mb=64)
+    rdd = ctx.parallelize([1], 1)
+    ctx.stop()
+    from repro.errors import DataflowError
+
+    with pytest.raises(DataflowError):
+        rdd.count()

@@ -1,0 +1,82 @@
+"""Slot scheduler timeline semantics."""
+
+import pytest
+
+from repro.cluster.scheduler import SlotScheduler, TaskSlot
+from repro.errors import SchedulerError
+from repro.sim.clock import VirtualClock
+
+
+class FakeExecutor:
+    def __init__(self, executor_id, num_slots, busy_until=0.0):
+        self.executor_id = executor_id
+        self.num_slots = num_slots
+        self.busy_until = busy_until
+
+
+def test_single_slot_serializes():
+    clock = VirtualClock()
+    ex = FakeExecutor(0, 1)
+    tasks = [TaskSlot(i, ex) for i in range(3)]
+    makespan = SlotScheduler(clock).run_stage(tasks, lambda t: 2.0)
+    assert makespan == pytest.approx(6.0)
+    assert clock.now == pytest.approx(6.0)
+
+
+def test_parallel_slots_overlap():
+    clock = VirtualClock()
+    ex = FakeExecutor(0, 3)
+    tasks = [TaskSlot(i, ex) for i in range(3)]
+    makespan = SlotScheduler(clock).run_stage(tasks, lambda t: 2.0)
+    assert makespan == pytest.approx(2.0)
+
+
+def test_makespan_is_critical_path():
+    clock = VirtualClock()
+    ex = FakeExecutor(0, 2)
+    durations = {0: 1.0, 1: 5.0, 2: 1.0}
+    tasks = [TaskSlot(i, ex) for i in range(3)]
+    makespan = SlotScheduler(clock).run_stage(tasks, lambda t: durations[t.split])
+    # slot A: t0 (1s) then t2 (1s) = 2s; slot B: t1 = 5s.
+    assert makespan == pytest.approx(5.0)
+
+
+def test_busy_executor_delays_start():
+    clock = VirtualClock()
+    ex = FakeExecutor(0, 1, busy_until=4.0)
+    makespan = SlotScheduler(clock).run_stage([TaskSlot(0, ex)], lambda t: 1.0)
+    assert makespan == pytest.approx(5.0)  # waits out the background work
+
+
+def test_multiple_executors_independent():
+    clock = VirtualClock()
+    fast = FakeExecutor(0, 1)
+    slow = FakeExecutor(1, 1)
+    tasks = [TaskSlot(0, fast), TaskSlot(1, slow), TaskSlot(2, slow)]
+    makespan = SlotScheduler(clock).run_stage(tasks, lambda t: 3.0)
+    assert makespan == pytest.approx(6.0)  # slow executor runs two tasks
+
+
+def test_empty_stage_is_zero():
+    clock = VirtualClock()
+    assert SlotScheduler(clock).run_stage([], lambda t: 1.0) == 0.0
+
+
+def test_negative_duration_rejected():
+    clock = VirtualClock()
+    ex = FakeExecutor(0, 1)
+    with pytest.raises(SchedulerError):
+        SlotScheduler(clock).run_stage([TaskSlot(0, ex)], lambda t: -1.0)
+
+
+def test_deterministic_execution_order():
+    clock = VirtualClock()
+    ex = FakeExecutor(0, 2)
+    order = []
+
+    def execute(task):
+        order.append(task.split)
+        return 1.0
+
+    SlotScheduler(clock).run_stage([TaskSlot(i, ex) for i in range(4)], execute)
+    assert order == [0, 1, 2, 3]

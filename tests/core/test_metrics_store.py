@@ -1,0 +1,57 @@
+"""Partition metric store: observation, fallbacks, role regression."""
+
+import pytest
+
+from repro.core.metrics_store import PartitionMetricsStore
+
+
+def test_observed_values_returned():
+    store = PartitionMetricsStore()
+    store.observe(1, 0, size_bytes=100.0, compute_seconds=2.0)
+    assert store.is_observed(1, 0)
+    assert store.size_of(1, 0) == 100.0
+    assert store.compute_seconds_of(1, 0) == 2.0
+
+
+def test_default_when_unknown():
+    store = PartitionMetricsStore()
+    assert store.size_of(9, 9, default=42.0) == 42.0
+    assert store.compute_seconds_of(9, 9, default=0.5) == 0.5
+
+
+def test_rdd_mean_fallback_for_unseen_split():
+    store = PartitionMetricsStore()
+    store.observe(1, 0, size_bytes=100.0)
+    store.observe(1, 1, size_bytes=300.0)
+    assert store.size_of(1, 7) == pytest.approx(200.0)
+
+
+def test_later_observation_overwrites():
+    store = PartitionMetricsStore()
+    store.observe(1, 0, size_bytes=100.0)
+    store.observe(1, 0, size_bytes=150.0)
+    assert store.size_of(1, 0) == 150.0
+
+
+def test_role_regression_predicts_future_iterations():
+    store = PartitionMetricsStore()
+    # rdds 10, 12, 14 are iterations 0, 1, 2 of role 0 (stride 2).
+    store.role_fn = lambda rdd_id: ((rdd_id - 10) % 2, (rdd_id - 10) // 2) if rdd_id >= 10 else None
+    for it, rdd_id in enumerate((10, 12, 14)):
+        store.observe(rdd_id, 0, size_bytes=100.0 + 50.0 * it)
+    # rdd 18 = iteration 4 of role 0, never observed.
+    assert store.size_of(18, 0) == pytest.approx(300.0)
+
+
+def test_partial_observation():
+    store = PartitionMetricsStore()
+    store.observe(1, 0, size_bytes=10.0)  # no compute time
+    assert store.size_of(1, 0) == 10.0
+    assert store.compute_seconds_of(1, 0, default=7.0) == 0.0  # observed entry, missing metric
+
+
+def test_len_counts_partitions():
+    store = PartitionMetricsStore()
+    store.observe(1, 0, size_bytes=1.0)
+    store.observe(1, 1, size_bytes=1.0)
+    assert len(store) == 2

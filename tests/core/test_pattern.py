@@ -1,0 +1,62 @@
+"""Iteration-cycle detection over the job stream."""
+
+import pytest
+
+from repro.core.pattern import CycleInfo, detect_cycle
+
+
+def test_detects_constant_stride():
+    jobs = [[0, 1], [2, 3], [4, 5], [6, 7]]
+    cycle = detect_cycle(jobs)
+    assert cycle is not None
+    assert cycle.stride == 2
+    assert cycle.start_job == 0
+    assert cycle.base_id == 0
+
+
+def test_tolerates_preprocessing_jobs():
+    jobs = [[0, 1, 2, 3, 4], [10, 11], [12, 13], [14, 15]]
+    cycle = detect_cycle(jobs)
+    assert cycle is not None
+    assert cycle.start_job == 1
+    assert cycle.base_id == 10
+    assert cycle.stride == 2
+
+
+def test_too_few_jobs():
+    assert detect_cycle([[0], [1]]) is None
+
+
+def test_irregular_strides_rejected():
+    assert detect_cycle([[0], [1], [5], [6]]) is None
+
+
+def test_changing_widths_rejected():
+    assert detect_cycle([[0], [1, 2], [3], [4, 5]]) is None
+
+
+def test_role_of_maps_and_inverts():
+    cycle = CycleInfo(start_job=1, base_id=10, stride=3)
+    assert cycle.role_of(10) == (0, 0)
+    assert cycle.role_of(14) == (1, 1)
+    assert cycle.role_of(9) is None
+    assert cycle.rdd_for(1, 1) == 14
+
+
+def test_iteration_of_job():
+    cycle = CycleInfo(start_job=2, base_id=0, stride=1)
+    assert cycle.iteration_of_job(5) == 3
+
+
+def test_empty_job_entries_skipped():
+    jobs = [[0, 1], [], [2, 3], [4, 5], [6, 7]]
+    # Gap means non-consecutive jobs in the tail window -> no cycle across
+    # the gap, but the trailing consecutive run still qualifies.
+    cycle = detect_cycle(jobs)
+    assert cycle is not None
+    assert cycle.start_job == 2
+
+
+def test_min_repeats_validation():
+    with pytest.raises(ValueError):
+        detect_cycle([[0]], min_repeats=0)

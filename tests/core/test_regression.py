@@ -1,0 +1,53 @@
+"""Inductive linear regression edge cases."""
+
+import pytest
+
+from repro.core.regression import LinearRegressor
+
+
+def test_empty_predicts_zero():
+    assert LinearRegressor().predict(5) == 0.0
+
+
+def test_single_sample_predicts_constant():
+    reg = LinearRegressor()
+    reg.add(1, 10.0)
+    assert reg.predict(100) == pytest.approx(10.0)
+
+
+def test_constant_series_predicts_mean():
+    reg = LinearRegressor()
+    for y in (4.0, 6.0):
+        reg.add(3, y)
+    assert reg.predict(10) == pytest.approx(5.0)
+
+
+def test_linear_trend_extrapolates():
+    reg = LinearRegressor()
+    for x in range(5):
+        reg.add(x, 2.0 * x + 1.0)
+    assert reg.predict(10) == pytest.approx(21.0)
+
+
+def test_negative_predictions_clamped():
+    reg = LinearRegressor()
+    reg.add(0, 10.0)
+    reg.add(1, 5.0)
+    assert reg.predict(10) == 0.0
+    assert reg.predict(10, clamp_non_negative=False) == pytest.approx(-40.0)
+
+
+def test_fit_returns_intercept_slope():
+    reg = LinearRegressor()
+    reg.add(0, 1.0)
+    reg.add(2, 5.0)
+    intercept, slope = reg.fit()
+    assert intercept == pytest.approx(1.0)
+    assert slope == pytest.approx(2.0)
+
+
+def test_n_samples():
+    reg = LinearRegressor()
+    assert reg.n_samples == 0
+    reg.add(1, 1)
+    assert reg.n_samples == 1

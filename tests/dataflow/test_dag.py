@@ -1,0 +1,81 @@
+"""Stage planning: boundaries, dedup, topological order, reference sets."""
+
+from repro.dataflow.dag import build_job, job_reference_sets
+
+
+def test_single_stage_for_narrow_pipeline(ctx):
+    rdd = ctx.parallelize(range(10), 2).map(lambda x: x + 1).filter(lambda x: x > 2)
+    job = build_job(0, rdd, lambda _s, part: part)
+    assert len(job.stages) == 1
+    assert job.result_stage.is_result
+
+
+def test_shuffle_creates_map_stage(ctx):
+    rdd = ctx.parallelize([(1, 1)], 2).reduce_by_key(lambda a, b: a + b)
+    job = build_job(0, rdd, lambda _s, part: part)
+    assert len(job.stages) == 2
+    map_stage, result_stage = job.stages
+    assert not map_stage.is_result
+    assert result_stage.is_result
+    assert result_stage.parents == [map_stage]
+
+
+def test_shared_shuffle_deduplicated(ctx):
+    base = ctx.parallelize([(1, 1)], 2).reduce_by_key(lambda a, b: a + b)
+    left = base.map_values(lambda v: v + 1)
+    right = base.map_values(lambda v: v - 1)
+    final = left.union(right)
+    job = build_job(0, final, lambda _s, part: part)
+    map_stages = [s for s in job.stages if not s.is_result]
+    assert len(map_stages) == 1, "one shuffle -> one map stage, even with two consumers"
+
+
+def test_stages_topologically_ordered(ctx):
+    a = ctx.parallelize([(1, 1)], 2).group_by_key()
+    b = a.map_values(len).group_by_key()
+    job = build_job(0, b, lambda _s, part: part)
+    seen = set()
+    for stage in job.stages:
+        for parent in stage.parents:
+            assert parent.stage_id in seen, "parents execute before children"
+        seen.add(stage.stage_id)
+
+
+def test_seq_in_job_assigned(ctx):
+    rdd = ctx.parallelize([(1, 1)], 2).group_by_key()
+    job = build_job(3, rdd, lambda _s, part: part)
+    assert [s.seq_in_job for s in job.stages] == list(range(len(job.stages)))
+    assert all(s.job is job for s in job.stages)
+
+
+def test_lineage_rdds_cover_all_stages(ctx):
+    rdd = ctx.parallelize([(1, 1)], 2).group_by_key().map_values(len)
+    job = build_job(0, rdd, lambda _s, part: part)
+    ids = {r.rdd_id for r in job.lineage_rdds()}
+    assert rdd.rdd_id in ids
+    assert rdd.parents[0].rdd_id in ids
+
+
+def test_reference_sets_stop_at_materialized_cached(ctx):
+    base = ctx.parallelize(range(4), 2).named("base")
+    base.cache()
+    child = base.map(lambda x: x + 1).named("child")
+    job = build_job(0, child, lambda _s, part: part)
+
+    # base not yet materialized: the first touch walks through it.
+    refs = job_reference_sets(job, materialized=set())
+    ids = [r.rdd_id for r in refs[0][1]]
+    assert base.rdd_id in ids and len(ids) == 2
+
+    # base materialized: it is referenced but its parents are pruned.
+    refs = job_reference_sets(job, materialized={base.rdd_id})
+    ids = [r.rdd_id for r in refs[0][1]]
+    assert base.rdd_id in ids
+
+
+def test_reference_sets_do_not_mutate_input(ctx):
+    rdd = ctx.parallelize(range(4), 2)
+    job = build_job(0, rdd, lambda _s, part: part)
+    materialized: set = set()
+    job_reference_sets(job, materialized)
+    assert materialized == set()

@@ -1,0 +1,79 @@
+"""Lineage traversal utilities."""
+
+from repro.dataflow.lineage import (
+    ancestors,
+    count_direct_references,
+    narrow_closure,
+    topological_order,
+    walk_edges,
+)
+
+
+def test_ancestors_transitive(ctx):
+    a = ctx.parallelize(range(4), 2)
+    b = a.map(lambda x: x)
+    c = b.map(lambda x: x)
+    ids = {r.rdd_id for r in ancestors(c)}
+    assert ids == {a.rdd_id, b.rdd_id}
+
+
+def test_topological_order_parents_first(ctx):
+    a = ctx.parallelize(range(4), 2)
+    c = a.map(lambda x: x).map(lambda x: x)
+    order = [r.rdd_id for r in topological_order(c)]
+    assert order.index(a.rdd_id) < order.index(c.rdd_id)
+    assert order[-1] == c.rdd_id
+
+
+def test_narrow_closure_stops_at_shuffle(ctx):
+    base = ctx.parallelize([(1, 1)], 2)
+    shuffled = base.group_by_key()
+    top = shuffled.map_values(len)
+    ids = {r.rdd_id for r in narrow_closure(top)}
+    assert shuffled.rdd_id in ids, "the shuffle RDD itself belongs to the stage"
+    assert base.rdd_id not in ids, "below the shuffle belongs to the parent stage"
+
+
+def test_narrow_closure_stop_at_cached(ctx):
+    a = ctx.parallelize(range(4), 2)
+    b = a.map(lambda x: x).named("b")
+    b.cache()
+    c = b.map(lambda x: x)
+    full = {r.rdd_id for r in narrow_closure(c)}
+    assert a.rdd_id in full, "without materialized info the closure is optimistic only at non-roots"
+    pruned = {r.rdd_id for r in narrow_closure(c, stop_at_cached=True, materialized={b.rdd_id})}
+    assert b.rdd_id in pruned and a.rdd_id not in pruned
+
+
+def test_narrow_closure_expands_unmaterialized_cached(ctx):
+    a = ctx.parallelize(range(4), 2)
+    b = a.map(lambda x: x)
+    b.cache()
+    c = b.map(lambda x: x)
+    pruned = {r.rdd_id for r in narrow_closure(c, stop_at_cached=True, materialized=set())}
+    assert a.rdd_id in pruned, "first touch of a cached dataset computes through parents"
+
+
+def test_cached_root_with_materialized_stops_immediately(ctx):
+    a = ctx.parallelize(range(4), 2)
+    b = a.map(lambda x: x)
+    b.cache()
+    pruned = narrow_closure(b, stop_at_cached=True, materialized={b.rdd_id})
+    assert [r.rdd_id for r in pruned] == [b.rdd_id]
+
+
+def test_walk_edges_yields_parent_child(ctx):
+    a = ctx.parallelize(range(4), 2)
+    b = a.map(lambda x: x)
+    edges = list(walk_edges(b))
+    assert (a, b) in [(p, c) for p, c in edges]
+
+
+def test_count_direct_references(ctx):
+    a = ctx.parallelize(range(4), 2)
+    b = a.map(lambda x: x)
+    c = a.map(lambda x: -x)
+    final = b.union(c)
+    counts = count_direct_references([final])
+    assert counts[a.rdd_id] == 2
+    assert counts[b.rdd_id] == 1

@@ -1,0 +1,36 @@
+"""Operator cost and size models."""
+
+import pytest
+
+from repro.dataflow.operators import OpCost, SizeModel
+from repro.errors import ConfigError
+
+
+def test_opcost_seconds_linear():
+    cost = OpCost(fixed=1.0, per_element_in=0.1, per_element_out=0.01)
+    assert cost.seconds(10, 100) == pytest.approx(1.0 + 1.0 + 1.0)
+
+
+def test_opcost_scaled():
+    cost = OpCost(fixed=2.0, per_element_in=0.5).scaled(2.0)
+    assert cost.fixed == 4.0
+    assert cost.per_element_in == 1.0
+
+
+def test_opcost_negative_rejected():
+    with pytest.raises(ConfigError):
+        OpCost(fixed=-1.0)
+    with pytest.raises(ConfigError):
+        OpCost().scaled(-1.0)
+
+
+def test_size_model_bytes():
+    model = SizeModel(bytes_per_element=100.0, fixed_bytes=50.0)
+    assert model.bytes_for(3) == pytest.approx(350.0)
+
+
+def test_size_model_validation():
+    with pytest.raises(ConfigError):
+        SizeModel(bytes_per_element=-1.0)
+    with pytest.raises(ConfigError):
+        SizeModel(ser_factor=0.0)

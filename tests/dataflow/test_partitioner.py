@@ -1,0 +1,54 @@
+"""Partitioner determinism and range semantics."""
+
+import pytest
+
+from repro.dataflow.partitioner import HashPartitioner, RangePartitioner
+from repro.errors import ConfigError
+
+
+def test_hash_in_range():
+    p = HashPartitioner(7)
+    assert all(0 <= p.partition_for(k) < 7 for k in range(100))
+
+
+def test_hash_stable_for_strings():
+    p = HashPartitioner(5)
+    assert p.partition_for("hello") == p.partition_for("hello")
+
+
+def test_hash_tuple_keys():
+    p = HashPartitioner(5)
+    assert 0 <= p.partition_for((1, "a")) < 5
+
+
+def test_hash_equality_by_width():
+    assert HashPartitioner(4) == HashPartitioner(4)
+    assert HashPartitioner(4) != HashPartitioner(5)
+    assert hash(HashPartitioner(4)) == hash(HashPartitioner(4))
+
+
+def test_invalid_width_rejected():
+    with pytest.raises(ConfigError):
+        HashPartitioner(0)
+
+
+def test_range_partitions_are_contiguous():
+    p = RangePartitioner(4, key_space=100)
+    assignments = [p.partition_for(k) for k in range(100)]
+    assert assignments == sorted(assignments)
+    assert set(assignments) == {0, 1, 2, 3}
+
+
+def test_range_clamps_out_of_space_keys():
+    p = RangePartitioner(4, key_space=100)
+    assert p.partition_for(-5) == 0
+    assert p.partition_for(1000) == 3
+
+
+def test_range_requires_int_keys():
+    with pytest.raises(ConfigError):
+        RangePartitioner(2, key_space=10).partition_for("x")
+
+
+def test_range_vs_hash_inequality():
+    assert RangePartitioner(4, key_space=10) != HashPartitioner(4)

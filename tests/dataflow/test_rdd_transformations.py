@@ -1,0 +1,153 @@
+"""Correctness of the RDD transformation/action semantics."""
+
+import pytest
+
+from repro.dataflow.partitioner import HashPartitioner
+from repro.errors import DataflowError
+
+
+def test_parallelize_collect_round_trip(ctx):
+    data = list(range(37))
+    assert sorted(ctx.parallelize(data, 4).collect()) == data
+
+
+def test_map(ctx):
+    rdd = ctx.parallelize([1, 2, 3], 2).map(lambda x: x * 10)
+    assert sorted(rdd.collect()) == [10, 20, 30]
+
+
+def test_filter(ctx):
+    rdd = ctx.parallelize(range(10), 3).filter(lambda x: x % 2 == 0)
+    assert sorted(rdd.collect()) == [0, 2, 4, 6, 8]
+
+
+def test_flat_map(ctx):
+    rdd = ctx.parallelize([1, 2], 2).flat_map(lambda x: [x] * x)
+    assert sorted(rdd.collect()) == [1, 2, 2]
+
+
+def test_map_values_preserves_keys(ctx):
+    rdd = ctx.parallelize([("a", 1), ("b", 2)], 2).map_values(lambda v: v + 1)
+    assert sorted(rdd.collect()) == [("a", 2), ("b", 3)]
+
+
+def test_key_by(ctx):
+    rdd = ctx.parallelize([1, 2, 3], 2).key_by(lambda x: x % 2)
+    assert sorted(rdd.collect()) == [(0, 2), (1, 1), (1, 3)]
+
+
+def test_union(ctx):
+    left = ctx.parallelize([1, 2], 2)
+    right = ctx.parallelize([3, 4, 5], 3)
+    combined = left.union(right)
+    assert combined.num_partitions == 5
+    assert sorted(combined.collect()) == [1, 2, 3, 4, 5]
+
+
+def test_zip_partitions(ctx):
+    a = ctx.parallelize([1, 2, 3, 4], 2)
+    b = ctx.parallelize([10, 20, 30, 40], 2)
+    zipped = a.zip_partitions(b, lambda _s, xs, ys: [x + y for x, y in zip(xs, ys)])
+    assert sorted(zipped.collect()) == [11, 22, 33, 44]
+
+
+def test_zip_partitions_width_mismatch_raises(ctx):
+    a = ctx.parallelize([1, 2], 2)
+    b = ctx.parallelize([1, 2, 3], 3)
+    with pytest.raises(DataflowError):
+        a.zip_partitions(b, lambda _s, xs, ys: [])
+
+
+def test_reduce_by_key(ctx):
+    pairs = ctx.parallelize([(i % 3, 1) for i in range(12)], 4)
+    assert sorted(pairs.reduce_by_key(lambda a, b: a + b).collect()) == [
+        (0, 4),
+        (1, 4),
+        (2, 4),
+    ]
+
+
+def test_reduce_by_key_on_prepartitioned_is_narrow(ctx):
+    """A known partitioner turns reduceByKey into a narrow local merge."""
+    pairs = ctx.parallelize([(i, 1) for i in range(16)], 4).partition_by(HashPartitioner(4))
+    reduced = pairs.reduce_by_key(lambda a, b: a + b)
+    assert reduced.shuffle_deps == []
+    assert sorted(reduced.collect()) == [(i, 1) for i in range(16)]
+
+
+def test_group_by_key(ctx):
+    pairs = ctx.parallelize([("a", 1), ("a", 2), ("b", 3)], 2)
+    grouped = {k: sorted(v) for k, v in pairs.group_by_key().collect()}
+    assert grouped == {"a": [1, 2], "b": [3]}
+
+
+def test_join(ctx):
+    left = ctx.parallelize([("a", 1), ("b", 2), ("a", 3)], 2)
+    right = ctx.parallelize([("a", "x"), ("c", "y")], 2)
+    assert sorted(left.join(right).collect()) == [("a", (1, "x")), ("a", (3, "x"))]
+
+
+def test_cogroup_groups_both_sides(ctx):
+    left = ctx.parallelize([("a", 1), ("b", 2)], 2)
+    right = ctx.parallelize([("a", 10)], 2)
+    result = {k: (sorted(l), sorted(r)) for k, (l, r) in left.cogroup(right).collect()}
+    assert result == {"a": ([1], [10]), "b": ([2], [])}
+
+
+def test_cogroup_copartitioned_is_narrow(ctx):
+    part = HashPartitioner(3)
+    left = ctx.parallelize([(i, i) for i in range(9)], 3).partition_by(part)
+    right = ctx.parallelize([(i, -i) for i in range(9)], 3).partition_by(part)
+    grouped = left.cogroup(right, 3)
+    assert grouped.shuffle_deps == []
+    merged = dict(grouped.collect())
+    assert merged[4] == ([4], [-4])
+
+
+def test_distinct(ctx):
+    rdd = ctx.parallelize([1, 1, 2, 3, 3, 3], 3)
+    assert sorted(rdd.distinct().collect()) == [1, 2, 3]
+
+
+def test_count(ctx):
+    assert ctx.parallelize(range(23), 4).count() == 23
+
+
+def test_reduce(ctx):
+    assert ctx.parallelize(range(1, 11), 3).reduce(lambda a, b: a + b) == 55
+
+
+def test_reduce_empty_raises(ctx):
+    with pytest.raises(DataflowError):
+        ctx.parallelize([], 1).reduce(lambda a, b: a + b)
+
+
+def test_sum(ctx):
+    assert ctx.parallelize([1.5, 2.5], 2).sum() == pytest.approx(4.0)
+
+
+def test_take(ctx):
+    assert ctx.parallelize(range(100), 5).take(3) == [0, 1, 2]
+
+
+def test_take_negative_raises(ctx):
+    with pytest.raises(DataflowError):
+        ctx.parallelize([1], 1).take(-1)
+
+
+def test_source_deterministic_regeneration(ctx):
+    rdd = ctx.source(lambda s, rng: [float(rng.random()) for _ in range(5)], 3)
+    first = rdd.collect()
+    second = rdd.collect()
+    assert first == second
+
+
+def test_chained_pipeline(ctx):
+    result = (
+        ctx.parallelize(range(100), 4)
+        .map(lambda x: (x % 5, x))
+        .reduce_by_key(lambda a, b: a + b)
+        .map_values(lambda v: v // 10)
+        .collect()
+    )
+    assert len(result) == 5

@@ -1,0 +1,65 @@
+"""Experiment runner: cells execute and measure consistently."""
+
+import pytest
+
+from repro.experiments.runner import clear_cache, run_cached, run_experiment
+from repro.systems.presets import SYSTEMS, make_cache_manager, system_label
+from repro.errors import ConfigError
+
+
+def test_run_experiment_produces_metrics():
+    r = run_experiment("spark_mem_disk", "pr", scale="tiny", seed=5)
+    assert r.act_seconds > 0
+    assert r.total_task_seconds == pytest.approx(
+        r.disk_io_seconds + r.compute_shuffle_seconds
+    )
+    assert r.workload_result is not None
+    assert r.recompute_by_job, "per-job recompute series recorded"
+
+
+def test_blaze_cell_includes_profiling_time():
+    r = run_experiment("blaze", "pr", scale="tiny", seed=5)
+    assert r.profiling_seconds > 0
+    assert r.act_seconds >= r.profiling_seconds
+
+
+def test_non_blaze_cell_has_no_profiling():
+    r = run_experiment("spark_lrc", "pr", scale="tiny", seed=5)
+    assert r.profiling_seconds == 0.0
+
+
+def test_determinism_same_seed_same_act():
+    a = run_experiment("spark_mem_disk", "cc", scale="tiny", seed=11)
+    b = run_experiment("spark_mem_disk", "cc", scale="tiny", seed=11)
+    assert a.act_seconds == pytest.approx(b.act_seconds)
+    assert a.eviction_count == b.eviction_count
+    assert a.disk_bytes_written_total == pytest.approx(b.disk_bytes_written_total)
+
+
+def test_run_cached_memoizes():
+    clear_cache()
+    a = run_cached("spark_mem_only", "lr", scale="tiny", seed=7)
+    b = run_cached("spark_mem_only", "lr", scale="tiny", seed=7)
+    assert a is b
+    clear_cache()
+
+
+def test_all_presets_construct():
+    for key in SYSTEMS:
+        manager = make_cache_manager(key)
+        assert manager is not None
+        assert system_label(key)
+
+
+def test_unknown_preset_rejected():
+    with pytest.raises(ConfigError):
+        make_cache_manager("spark_quantum")
+    with pytest.raises(ConfigError):
+        system_label("nope")
+
+
+def test_evicted_bytes_total_property():
+    r = run_experiment("spark_mem_disk", "pr", scale="tiny", seed=5)
+    assert r.evicted_bytes_total == pytest.approx(
+        sum(r.evicted_bytes_by_executor.values())
+    )

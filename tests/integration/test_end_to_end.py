@@ -1,0 +1,76 @@
+"""Cross-module integration: full cells exercising every layer at once."""
+
+import pytest
+
+from repro.experiments.runner import run_experiment
+
+
+@pytest.fixture(scope="module")
+def pr_cells():
+    return {
+        system: run_experiment(system, "pr", scale="tiny", seed=0)
+        for system in ("spark_mem_only", "spark_mem_disk", "blaze")
+    }
+
+
+def test_blaze_fastest_on_tiny_pr(pr_cells):
+    blaze = pr_cells["blaze"].act_seconds
+    assert blaze <= pr_cells["spark_mem_only"].act_seconds
+    assert blaze <= pr_cells["spark_mem_disk"].act_seconds
+
+
+def test_mem_only_never_uses_disk(pr_cells):
+    r = pr_cells["spark_mem_only"]
+    assert r.disk_io_seconds == 0.0
+    assert r.disk_bytes_written_total == 0.0
+
+
+def test_mem_disk_trades_recompute_for_disk(pr_cells):
+    mem = pr_cells["spark_mem_only"]
+    md = pr_cells["spark_mem_disk"]
+    assert mem.recompute_seconds > md.recompute_seconds
+    assert md.disk_bytes_written_total > 0
+
+
+def test_blaze_reduces_disk_bytes(pr_cells):
+    assert (
+        pr_cells["blaze"].disk_bytes_written_total
+        < pr_cells["spark_mem_disk"].disk_bytes_written_total
+    )
+
+
+def test_same_results_across_all_systems(pr_cells):
+    values = {round(r.workload_result.final_value, 9) for r in pr_cells.values()}
+    assert len(values) == 1
+
+
+def test_eviction_accounting_consistent(pr_cells):
+    for r in pr_cells.values():
+        assert r.eviction_count == r.evictions_to_disk + r.unpersists
+
+
+def test_act_at_least_critical_path(pr_cells):
+    """The virtual ACT can never undercut total work / total slots."""
+    from repro.experiments.runner import tiny_cluster
+
+    slots = tiny_cluster().total_slots
+    for r in pr_cells.values():
+        useful = r.total_task_seconds
+        assert r.act_seconds + 1e-6 >= (useful / slots) * 0.5  # loose lower bound
+
+
+def test_ablation_order_holds_on_tiny_pr():
+    acts = [
+        run_experiment(s, "pr", scale="tiny", seed=0).act_seconds
+        for s in ("spark_mem_disk", "autocache", "costaware", "blaze")
+    ]
+    assert acts[-1] <= acts[0], "full Blaze beats the baseline"
+    for earlier, later in zip(acts, acts[1:]):
+        assert later <= earlier * 1.05
+
+
+def test_profiling_recorded_in_act():
+    r = run_experiment("blaze", "cc", scale="tiny", seed=0)
+    assert 0 < r.profiling_seconds < r.act_seconds
+    no_profile = run_experiment("blaze_no_profile", "cc", scale="tiny", seed=0)
+    assert no_profile.profiling_seconds == 0.0

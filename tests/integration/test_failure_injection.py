@@ -1,0 +1,75 @@
+"""Failure injection: lost blocks and lost shuffle data recover via lineage.
+
+The recovery layer Blaze optimizes is Spark's fault-tolerance machinery;
+these tests drop state behind the engine's back mid-run and assert results
+stay correct (the recursive recompute path regenerates everything).
+"""
+
+import pytest
+
+from repro.caching.storage_level import StorageMode
+from conftest import make_ctx
+
+
+def test_lost_cached_blocks_recovered_by_recompute():
+    ctx = make_ctx(mode=StorageMode.MEM_ONLY, memory_mb=512)
+    data = ctx.source(lambda s, rng: [float(rng.integers(100))] * 5, 4)
+    data.cache()
+    before = sorted(data.collect())
+    # Simulate executor cache loss: drop every block without telling anyone.
+    for executor in ctx.cluster.executors:
+        for block in executor.bm.cached_blocks():
+            executor.bm.discard(block.block_id, evicted=False)
+    assert sorted(data.collect()) == before
+
+
+def test_lost_disk_blocks_recovered():
+    ctx = make_ctx(mode=StorageMode.MEM_AND_DISK, memory_mb=512)
+    data = ctx.source(lambda s, rng: [float(rng.integers(100))] * 5, 4)
+    data.cache()
+    before = sorted(data.collect())
+    for executor in ctx.cluster.executors:
+        for block in list(executor.bm.disk.blocks()):
+            executor.bm.discard(block.block_id, evicted=False)
+    assert sorted(data.collect()) == before
+
+
+def test_lost_shuffle_outputs_regenerated():
+    ctx = make_ctx(memory_mb=512)
+    pairs = ctx.parallelize([(i % 5, i) for i in range(40)], 4)
+    reduced = pairs.reduce_by_key(lambda a, b: a + b)
+    before = sorted(reduced.collect())
+    for shuffle_id in ctx.cluster.shuffle.registered_shuffles():
+        ctx.cluster.shuffle.drop(shuffle_id)
+    assert sorted(reduced.collect()) == before
+
+
+def test_combined_loss_cache_and_shuffle():
+    ctx = make_ctx(memory_mb=512)
+    base = ctx.parallelize([(i % 3, 1) for i in range(30)], 3)
+    summed = base.reduce_by_key(lambda a, b: a + b).named("summed")
+    summed.cache()
+    doubled = summed.map_values(lambda v: v * 2)
+    before = sorted(doubled.collect())
+    for shuffle_id in ctx.cluster.shuffle.registered_shuffles():
+        ctx.cluster.shuffle.drop(shuffle_id)
+    for executor in ctx.cluster.executors:
+        for block in executor.bm.cached_blocks():
+            executor.bm.discard(block.block_id, evicted=False)
+    assert sorted(doubled.collect()) == before
+    assert ctx.metrics.total.recompute_seconds > 0
+
+
+def test_partial_block_loss():
+    """Losing only some partitions recovers exactly the missing ones."""
+    ctx = make_ctx(mode=StorageMode.MEM_ONLY, memory_mb=512)
+    calls = []
+    data = ctx.source(lambda s, rng: calls.append(s) or [s * 1.0], 4)
+    data.cache()
+    data.count()
+    assert sorted(calls) == [0, 1, 2, 3]
+    victim = next(iter(ctx.cluster.executors[0].bm.memory.blocks()))
+    ctx.cluster.executors[0].bm.discard(victim.block_id, evicted=False)
+    calls.clear()
+    data.count()
+    assert calls == [victim.split], "only the lost partition recomputed"

@@ -1,0 +1,82 @@
+"""Metric ledger arithmetic and aggregation."""
+
+import pytest
+
+from repro.metrics.collector import MetricsCollector, TaskMetrics
+
+
+def test_bucket_sums():
+    tm = TaskMetrics(
+        compute_seconds=3.0,
+        shuffle_read_seconds=1.0,
+        shuffle_write_seconds=0.5,
+        cache_disk_read_seconds=2.0,
+        cache_disk_write_seconds=1.0,
+        ser_seconds=0.25,
+        deser_seconds=0.25,
+        remote_read_seconds=0.5,
+    )
+    assert tm.disk_io_seconds == pytest.approx(3.5)
+    assert tm.compute_shuffle_seconds == pytest.approx(5.0)
+    assert tm.total_seconds == pytest.approx(8.5)
+
+
+def test_offloaded_reduces_duration_not_total():
+    tm = TaskMetrics(compute_seconds=10.0, offloaded_seconds=6.0)
+    assert tm.total_seconds == pytest.approx(10.0)
+    assert tm.duration_seconds == pytest.approx(4.0)
+
+
+def test_duration_never_negative():
+    tm = TaskMetrics(compute_seconds=1.0, offloaded_seconds=5.0)
+    assert tm.duration_seconds == 0.0
+
+
+def test_merge_accumulates_every_field():
+    a = TaskMetrics(compute_seconds=1.0, recompute_seconds=0.5, cache_bytes_written=10.0)
+    b = TaskMetrics(compute_seconds=2.0, recompute_seconds=0.25, cache_bytes_written=5.0)
+    a.merge(b)
+    assert a.compute_seconds == pytest.approx(3.0)
+    assert a.recompute_seconds == pytest.approx(0.75)
+    assert a.cache_bytes_written == pytest.approx(15.0)
+
+
+def test_collector_per_job_and_executor():
+    c = MetricsCollector()
+    c.record_task(0, 1, TaskMetrics(compute_seconds=1.0))
+    c.record_task(0, 2, TaskMetrics(compute_seconds=2.0))
+    c.record_task(1, 1, TaskMetrics(compute_seconds=4.0))
+    assert c.total.compute_seconds == pytest.approx(7.0)
+    assert c.per_job[0].compute_seconds == pytest.approx(3.0)
+    assert c.per_executor[1].compute_seconds == pytest.approx(5.0)
+    assert c.task_count == 3
+
+
+def test_disk_occupancy_tracking():
+    c = MetricsCollector()
+    c.record_disk_put(100.0)
+    c.record_disk_put(50.0)
+    c.record_disk_remove(100.0)
+    assert c.disk_bytes_current == pytest.approx(50.0)
+    assert c.disk_bytes_peak == pytest.approx(150.0)
+    assert c.disk_bytes_written_total == pytest.approx(150.0)
+
+
+def test_eviction_counters():
+    c = MetricsCollector()
+    c.record_eviction_to_disk(0, 100.0)
+    c.record_unpersist(0, 50.0, evicted=True)
+    c.record_unpersist(0, 25.0, evicted=False)  # API unpersist: not counted
+    stats = c.executor_cache[0]
+    assert stats.eviction_count == 2
+    assert stats.evicted_bytes == pytest.approx(150.0)
+    assert c.total_evictions == 2
+
+
+def test_breakdown_matches_total():
+    c = MetricsCollector()
+    c.record_task(0, 0, TaskMetrics(compute_seconds=1.0, cache_disk_read_seconds=2.0))
+    b = c.breakdown()
+    assert b["total_seconds"] == pytest.approx(
+        b["disk_io_seconds"] + b["compute_shuffle_seconds"]
+    )

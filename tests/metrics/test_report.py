@@ -1,0 +1,24 @@
+"""Report-table formatting."""
+
+import pytest
+
+from repro.metrics.report import format_table, speedup
+
+
+def test_alignment_and_title():
+    out = format_table(["name", "value"], [["a", 1.0], ["long-name", 12.5]], title="T")
+    lines = out.splitlines()
+    assert lines[0] == "T"
+    assert "name" in lines[1] and "value" in lines[1]
+    assert len({len(line) for line in lines[1:]}) == 1, "rows align"
+
+
+def test_float_formatting():
+    out = format_table(["x"], [[1.23456]])
+    assert "1.23" in out and "1.2345" not in out
+
+
+def test_speedup():
+    assert speedup(10.0, 5.0) == pytest.approx(2.0)
+    with pytest.raises(ValueError):
+        speedup(10.0, 0.0)

@@ -1,0 +1,76 @@
+"""Property tests: dataflow semantics match their Python-native references."""
+
+from collections import Counter
+
+from hypothesis import given, settings, strategies as st
+
+from conftest import make_ctx
+
+small_ints = st.lists(st.integers(min_value=-100, max_value=100), max_size=60)
+pair_lists = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=9), st.integers(min_value=-50, max_value=50)),
+    max_size=60,
+)
+widths = st.integers(min_value=1, max_value=6)
+
+
+@settings(max_examples=25, deadline=None)
+@given(data=small_ints, width=widths)
+def test_collect_preserves_multiset(data, width):
+    ctx = make_ctx(memory_mb=512)
+    assert Counter(ctx.parallelize(data, width).collect()) == Counter(data)
+
+
+@settings(max_examples=25, deadline=None)
+@given(data=small_ints, width=widths)
+def test_map_filter_matches_python(data, width):
+    ctx = make_ctx(memory_mb=512)
+    result = (
+        ctx.parallelize(data, width).map(lambda x: x * 2).filter(lambda x: x > 0).collect()
+    )
+    expected = [x * 2 for x in data if x * 2 > 0]
+    assert Counter(result) == Counter(expected)
+
+
+@settings(max_examples=25, deadline=None)
+@given(pairs=pair_lists, width=widths)
+def test_reduce_by_key_matches_python(pairs, width):
+    ctx = make_ctx(memory_mb=512)
+    result = dict(
+        ctx.parallelize(pairs, width).reduce_by_key(lambda a, b: a + b).collect()
+    )
+    expected: dict = {}
+    for k, v in pairs:
+        expected[k] = expected.get(k, 0) + v
+    assert result == expected
+
+
+@settings(max_examples=20, deadline=None)
+@given(pairs=pair_lists, width=widths)
+def test_group_by_key_matches_python(pairs, width):
+    ctx = make_ctx(memory_mb=512)
+    result = {k: Counter(v) for k, v in ctx.parallelize(pairs, width).group_by_key().collect()}
+    expected: dict = {}
+    for k, v in pairs:
+        expected.setdefault(k, Counter())[v] += 1
+    assert result == expected
+
+
+@settings(max_examples=20, deadline=None)
+@given(left=pair_lists, right=pair_lists, width=widths)
+def test_join_matches_python(left, right, width):
+    ctx = make_ctx(memory_mb=512)
+    result = Counter(ctx.parallelize(left, width).join(ctx.parallelize(right, width)).collect())
+    expected = Counter(
+        (k, (v, w)) for k, v in left for k2, w in right if k == k2
+    )
+    assert result == expected
+
+
+@settings(max_examples=20, deadline=None)
+@given(data=small_ints, width=widths)
+def test_count_and_distinct(data, width):
+    ctx = make_ctx(memory_mb=512)
+    rdd = ctx.parallelize(data, width)
+    assert rdd.count() == len(data)
+    assert Counter(rdd.distinct().collect()) == Counter(set(data))

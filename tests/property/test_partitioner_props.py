@@ -1,0 +1,45 @@
+"""Property tests: partitioners."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.dataflow.partitioner import HashPartitioner, RangePartitioner
+
+keys = st.one_of(
+    st.integers(min_value=-(2**40), max_value=2**40),
+    st.text(max_size=20),
+    st.tuples(st.integers(), st.text(max_size=5)),
+)
+
+
+@given(key=keys, width=st.integers(min_value=1, max_value=64))
+def test_hash_partition_in_range(key, width):
+    assert 0 <= HashPartitioner(width).partition_for(key) < width
+
+
+@given(key=keys, width=st.integers(min_value=1, max_value=64))
+def test_hash_partition_deterministic(key, width):
+    p = HashPartitioner(width)
+    assert p.partition_for(key) == p.partition_for(key)
+
+
+@given(
+    width=st.integers(min_value=1, max_value=16),
+    space=st.integers(min_value=1, max_value=10_000),
+    key=st.integers(min_value=-100, max_value=20_000),
+)
+def test_range_partition_in_range_and_monotone(width, space, key):
+    p = RangePartitioner(width, key_space=space)
+    value = p.partition_for(key)
+    assert 0 <= value < width
+    assert p.partition_for(key + 1) >= value
+
+
+@settings(max_examples=25)
+@given(
+    width=st.integers(min_value=1, max_value=8),
+    space=st.integers(min_value=8, max_value=512),
+)
+def test_range_partitions_cover_all_indices(width, space):
+    p = RangePartitioner(width, key_space=space)
+    used = {p.partition_for(k) for k in range(space)}
+    assert used == set(range(width))

@@ -1,0 +1,53 @@
+"""Virtual clock invariants."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.sim.clock import VirtualClock
+
+
+def test_starts_at_zero_by_default():
+    assert VirtualClock().now == 0.0
+
+
+def test_custom_start():
+    assert VirtualClock(5.0).now == 5.0
+
+
+def test_negative_start_rejected():
+    with pytest.raises(ReproError):
+        VirtualClock(-1.0)
+
+
+def test_advance_to_moves_forward():
+    clock = VirtualClock()
+    clock.advance_to(3.5)
+    assert clock.now == 3.5
+
+
+def test_advance_to_same_time_is_noop():
+    clock = VirtualClock(2.0)
+    clock.advance_to(2.0)
+    assert clock.now == 2.0
+
+
+def test_advance_to_backwards_raises():
+    clock = VirtualClock(10.0)
+    with pytest.raises(ReproError):
+        clock.advance_to(9.0)
+
+
+def test_advance_by_accumulates():
+    clock = VirtualClock()
+    clock.advance_by(1.0)
+    clock.advance_by(2.5)
+    assert clock.now == pytest.approx(3.5)
+
+
+def test_advance_by_negative_raises():
+    with pytest.raises(ReproError):
+        VirtualClock().advance_by(-0.1)
+
+
+def test_advance_by_returns_new_time():
+    assert VirtualClock(1.0).advance_by(2.0) == pytest.approx(3.0)

@@ -1,0 +1,58 @@
+"""Event queue ordering and error handling."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.sim.events import EventQueue
+
+
+def test_pop_returns_earliest():
+    q = EventQueue()
+    q.push(3.0, "c")
+    q.push(1.0, "a")
+    q.push(2.0, "b")
+    assert [q.pop().kind for _ in range(3)] == ["a", "b", "c"]
+
+
+def test_ties_break_by_insertion_order():
+    q = EventQueue()
+    q.push(1.0, "first")
+    q.push(1.0, "second")
+    q.push(1.0, "third")
+    assert [q.pop().kind for _ in range(3)] == ["first", "second", "third"]
+
+
+def test_peek_does_not_remove():
+    q = EventQueue()
+    q.push(1.0, "x")
+    assert q.peek().kind == "x"
+    assert len(q) == 1
+
+
+def test_payload_round_trips():
+    q = EventQueue()
+    payload = {"key": [1, 2, 3]}
+    q.push(0.5, "evt", payload)
+    assert q.pop().payload is payload
+
+
+def test_negative_time_rejected():
+    with pytest.raises(ReproError):
+        EventQueue().push(-1.0, "bad")
+
+
+def test_pop_empty_raises():
+    with pytest.raises(ReproError):
+        EventQueue().pop()
+
+
+def test_peek_empty_raises():
+    with pytest.raises(ReproError):
+        EventQueue().peek()
+
+
+def test_bool_and_len():
+    q = EventQueue()
+    assert not q
+    q.push(1.0, "a")
+    assert q and len(q) == 1

@@ -1,0 +1,59 @@
+"""Configuration validation."""
+
+import pytest
+
+from repro.config import (
+    BlazeConfig,
+    ClusterConfig,
+    DiskConfig,
+    NetworkConfig,
+    paper_cluster,
+    small_cluster,
+)
+from repro.errors import ConfigError
+
+
+def test_defaults_valid():
+    config = ClusterConfig()
+    assert config.total_slots == config.num_executors * config.slots_per_executor
+    assert config.total_memory_store_bytes > 0
+
+
+def test_presets():
+    assert small_cluster().num_executors == 2
+    assert paper_cluster().num_executors == 10
+
+
+def test_invalid_cluster_values():
+    with pytest.raises(ConfigError):
+        ClusterConfig(num_executors=0)
+    with pytest.raises(ConfigError):
+        ClusterConfig(memory_store_bytes=-1)
+    with pytest.raises(ConfigError):
+        ClusterConfig(shuffle_retention_jobs=-1)
+
+
+def test_invalid_disk_and_network():
+    with pytest.raises(ConfigError):
+        DiskConfig(read_bytes_per_sec=0)
+    with pytest.raises(ConfigError):
+        NetworkConfig(bytes_per_sec=0)
+    with pytest.raises(ConfigError):
+        NetworkConfig(latency_seconds=-1)
+
+
+def test_blaze_config_validation():
+    with pytest.raises(ConfigError):
+        BlazeConfig(ilp_horizon_jobs=0)
+    with pytest.raises(ConfigError):
+        BlazeConfig(ilp_backend="quantum")
+    with pytest.raises(ConfigError):
+        BlazeConfig(profiling_sample_fraction=0.0)
+    with pytest.raises(ConfigError):
+        BlazeConfig(ilp_refinement_rounds=0)
+
+
+def test_blaze_config_flags_default_on():
+    cfg = BlazeConfig()
+    assert cfg.autocache_enabled and cfg.cost_aware_enabled
+    assert cfg.ilp_enabled and cfg.admission_enabled and cfg.disk_enabled

@@ -1,0 +1,86 @@
+"""Workload correctness: each application computes a real, sane result,
+and the result is identical across caching systems (semantics never depend
+on cache decisions)."""
+
+import pytest
+
+from repro.caching.storage_level import StorageMode
+from repro.experiments.runner import run_experiment, tiny_cluster
+from repro.workloads.registry import WORKLOADS, make_workload
+from repro.errors import WorkloadError
+from conftest import make_ctx
+
+
+def run_tiny(name, mode=StorageMode.MEM_AND_DISK, seed=3):
+    ctx = make_ctx(mode=mode, seed=seed, num_executors=4, memory_mb=48)
+    wl = make_workload(name, "tiny")
+    result = wl.run(ctx)
+    return result, ctx
+
+
+def test_pagerank_mass_approximately_conserved():
+    result, _ = run_tiny("pr")
+    # Total rank stays near the vertex count (dangling mass leaks a bit).
+    n = result.extras["num_vertices"]
+    assert 0.3 * n < result.final_value <= n * 1.05
+
+
+def test_connected_components_counts_components():
+    result, _ = run_tiny("cc")
+    assert 1 <= result.final_value <= 120
+
+
+def test_lr_loss_improves_over_start():
+    result, _ = run_tiny("lr")
+    # log-loss of random guessing is ~0.693; training must beat it.
+    assert result.final_value < 0.693
+    assert result.extras["weights_norm"] > 0
+
+
+def test_kmeans_cost_finite_and_positive():
+    result, _ = run_tiny("kmeans")
+    assert 0 < result.final_value < float("inf")
+    assert len(result.extras["centroids"]) == 5
+
+
+def test_gbt_mse_decreases_with_boosting():
+    result, _ = run_tiny("gbt")
+    assert result.extras["num_trees"] == 3
+    assert 0 <= result.final_value < 0.3, "boosted ensemble fits the labels"
+
+
+def test_svdpp_rmse_bounded():
+    result, _ = run_tiny("svdpp")
+    assert 0 < result.final_value < 10
+
+
+@pytest.mark.parametrize("name", WORKLOADS)
+def test_results_independent_of_caching_system(name):
+    """The headline invariant: caching never changes computed results."""
+    baseline = run_experiment("spark_mem_only", name, scale="tiny", seed=2)
+    blaze = run_experiment("blaze", name, scale="tiny", seed=2)
+    a, b = baseline.workload_result.final_value, blaze.workload_result.final_value
+    assert a == pytest.approx(b), f"{name}: results diverge across systems"
+
+
+@pytest.mark.parametrize("name", WORKLOADS)
+def test_scaled_copy_shrinks_input(name):
+    wl = make_workload(name, "tiny")
+    small = wl.scaled(0.5)
+    assert type(small) is type(wl)
+    assert small is not wl
+
+
+def test_unknown_workload_rejected():
+    with pytest.raises(WorkloadError):
+        make_workload("wordcount")
+
+
+def test_unknown_scale_rejected():
+    with pytest.raises(WorkloadError):
+        make_workload("pr", "galactic")
+
+
+def test_tiny_cluster_matches_registry():
+    config = tiny_cluster()
+    assert config.num_executors == 4
