@@ -8,13 +8,11 @@ Components workload — demonstrating the policy extension surface a
 downstream user would build on.
 """
 
-from repro.caching.manager import SparkCacheManager
-from repro.caching.policy import EvictionPolicy, register_policy
-from repro.caching.storage_level import StorageMode
-from repro.core.udl import BlazeCacheManager
+from repro.caching import EvictionPolicy, register_policy
 from repro.dataflow.context import BlazeContext
 from repro.experiments.runner import tiny_cluster
 from repro.metrics.report import format_table
+from repro.systems import make_system
 from repro.workloads.registry import make_workload
 
 
@@ -37,21 +35,22 @@ class BiggestFirstPolicy(EvictionPolicy):
 def run(label: str, manager) -> list:
     ctx = BlazeContext(tiny_cluster(), manager, seed=5)
     result = make_workload("cc", "tiny").run(ctx)
-    m = ctx.metrics
+    r = ctx.report()
     return [
         label,
-        ctx.now,
-        m.total_evictions,
-        m.disk_bytes_written_total / 2**20,
+        r.act_seconds,
+        r.eviction_count,
+        r.disk_bytes_written_total / 2**20,
         result.final_value,
     ]
 
 
 def main() -> None:
     rows = [
-        run("LRU", SparkCacheManager(StorageMode.MEM_AND_DISK, "lru")),
-        run("biggest-first", SparkCacheManager(StorageMode.MEM_AND_DISK, "biggest-first")),
-        run("Blaze", BlazeCacheManager()),
+        run("LRU", make_system("spark_mem_disk").build()),
+        # a registered policy plugs into any spark-kind preset by name
+        run("biggest-first", make_system("spark_mem_disk", policy="biggest-first").build()),
+        run("Blaze", make_system("blaze_no_profile").build()),
     ]
     print(
         format_table(

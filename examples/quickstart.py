@@ -9,11 +9,9 @@ completion times plus cache behavior of each run.
 """
 
 from repro import BlazeContext
-from repro.caching.manager import SparkCacheManager
-from repro.caching.storage_level import StorageMode
 from repro.config import ClusterConfig, DiskConfig, MiB, GiB
-from repro.core.udl import BlazeCacheManager
 from repro.dataflow.operators import OpCost, SizeModel
+from repro.systems import make_system
 
 
 def cluster() -> ClusterConfig:
@@ -57,20 +55,20 @@ def iterative_workload(ctx: BlazeContext, iterations: int = 5) -> float:
     return model
 
 
-def run(name: str, manager) -> None:
-    ctx = BlazeContext(cluster(), manager, seed=7)
+def run(name: str, system: str) -> None:
+    ctx = BlazeContext(cluster(), make_system(system).build(), seed=7)
     model = iterative_workload(ctx)
-    m = ctx.metrics
-    print(f"{name:24s} model={model:.4f}  virtual ACT={ctx.now:8.2f}s  "
-          f"evictions={m.total_evictions:3d}  disk written={m.disk_bytes_written_total / MiB:7.1f} MiB  "
-          f"recompute={m.total.recompute_seconds:6.2f}s")
+    r = ctx.report()
+    print(f"{name:24s} model={model:.4f}  virtual ACT={r.act_seconds:8.2f}s  "
+          f"evictions={r.eviction_count:3d}  disk written={r.disk_bytes_written_total / MiB:7.1f} MiB  "
+          f"recompute={r.recompute_seconds:6.2f}s")
     ctx.stop()
 
 
 def main() -> None:
     print("Same workload, two caching systems (times are simulated seconds):\n")
-    run("Spark (MEM+DISK, LRU)", SparkCacheManager(StorageMode.MEM_AND_DISK, "lru"))
-    run("Blaze (no profiling)", BlazeCacheManager())
+    run("Spark (MEM+DISK, LRU)", "spark_mem_disk")
+    run("Blaze (no profiling)", "blaze_no_profile")
     print("\nBlaze learns on the run that only `data` is reused, caches it at")
     print("partition granularity, and never wastes memory or disk on the")
     print("single-use per-iteration datasets.")

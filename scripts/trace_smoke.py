@@ -1,0 +1,96 @@
+"""Tracing smoke test: PageRank under Blaze with full tracing.
+
+Run:  PYTHONPATH=src python scripts/trace_smoke.py [outdir]
+
+Executes the tiny PageRank workload twice under ``make_system("blaze")``
+with an :class:`InMemoryTracer`, writes the JSONL and Chrome trace files,
+and asserts the acceptance properties of the tracing subsystem:
+
+- the trace is non-empty and contains job/stage/task spans plus cache events;
+- the Chrome document is schema-valid (X/i/M rows, monotonic timestamps,
+  every X row carrying a non-negative ``dur``);
+- two same-seed runs produce byte-identical JSONL.
+
+Exits non-zero on any violation; also wired into the tier-1 pytest suite.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.experiments.runner import run_experiment
+from repro.tracing import InMemoryTracer, to_chrome, to_jsonl, write_chrome, write_jsonl
+
+SEED = 3
+
+
+def traced_pagerank() -> InMemoryTracer:
+    tracer = InMemoryTracer()
+    result = run_experiment("blaze", "pr", scale="tiny", seed=SEED, tracer=tracer)
+    assert result.workload_result is not None, "workload produced a result"
+    return tracer
+
+
+def check_jsonl(events) -> str:
+    text = to_jsonl(events)
+    assert text, "trace must be non-empty"
+    names = set()
+    for line in text.splitlines():
+        rec = json.loads(line)
+        assert rec["kind"] in ("span", "event")
+        names.add(rec["name"])
+    for required in ("job", "stage", "task", "profiling"):
+        assert required in names, f"missing {required!r} spans in the trace"
+    assert any(n.startswith("cache.") for n in names), "no cache events traced"
+    return text
+
+
+def check_chrome(events) -> dict:
+    doc = to_chrome(events)
+    rows = doc["traceEvents"]
+    assert rows, "chrome trace must be non-empty"
+    last_ts = -1.0
+    x_rows = 0
+    for row in rows:
+        assert row["ph"] in ("X", "i", "M"), f"unexpected phase {row['ph']!r}"
+        assert isinstance(row["pid"], int) and isinstance(row["tid"], int)
+        if row["ph"] == "M":
+            continue
+        assert row["ts"] >= max(last_ts, 0.0), "timestamps must be monotonic"
+        last_ts = row["ts"]
+        if row["ph"] == "X":
+            x_rows += 1
+            assert row["dur"] >= 0.0
+    spans = sum(1 for e in events if e.kind == "span")
+    assert x_rows == spans, f"X rows ({x_rows}) must match closed spans ({spans})"
+    return doc
+
+
+def main() -> int:
+    outdir = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(tempfile.mkdtemp())
+    outdir.mkdir(parents=True, exist_ok=True)
+
+    tracer_a = traced_pagerank()
+    tracer_b = traced_pagerank()
+
+    jsonl = check_jsonl(tracer_a.events)
+    assert jsonl == to_jsonl(tracer_b.events), "same-seed traces must be byte-identical"
+    check_chrome(tracer_a.events)
+
+    jsonl_path = outdir / "pagerank_blaze.trace.jsonl"
+    chrome_path = outdir / "pagerank_blaze.trace.json"
+    write_jsonl(tracer_a.events, str(jsonl_path))
+    write_chrome(tracer_a.events, str(chrome_path))
+    assert jsonl_path.read_text(encoding="utf-8") == jsonl
+
+    print(f"trace smoke OK: {len(tracer_a.events)} events")
+    print(f"  jsonl:  {jsonl_path}")
+    print(f"  chrome: {chrome_path}  (load in chrome://tracing or Perfetto)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

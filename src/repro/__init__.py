@@ -4,11 +4,13 @@ processing, on a from-scratch discrete-event dataflow simulator.
 Public API tour:
 
 - :class:`repro.BlazeContext` — build RDDs and run jobs;
-- :mod:`repro.systems` — presets for every system in the evaluation
-  (``spark_mem_only``, ``spark_mem_disk``, ``spark_alluxio``, ``spark_lrc``,
-  ``spark_mrd``, ``blaze``, ablations);
+- :func:`repro.make_system` — the one factory for every system in the
+  evaluation (``spark_mem_only``, ``spark_mem_disk``, ``spark_alluxio``,
+  ``spark_lrc``, ``spark_mrd``, ``blaze``, ablations);
 - :mod:`repro.workloads` — the six paper applications (PR, CC, LR,
   KMeans, GBT, SVD++);
+- :mod:`repro.tracing` — opt-in span/event tracing with JSONL and Chrome
+  exporters, and the :meth:`BlazeContext.report` results façade;
 - :mod:`repro.experiments` — the figure-by-figure benchmark harness.
 """
 
@@ -16,11 +18,13 @@ from .config import BlazeConfig, ClusterConfig, DiskConfig, NetworkConfig
 from .dataflow.context import BlazeContext
 from .dataflow.operators import OpCost, SizeModel
 from .errors import ReproError
+from .systems import make_system
 
 __version__ = "1.0.0"
 
 __all__ = [
     "BlazeContext",
+    "make_system",
     "BlazeConfig",
     "ClusterConfig",
     "DiskConfig",

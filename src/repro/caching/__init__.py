@@ -15,7 +15,7 @@ from .lrc import LRCPolicy
 from .lru import LRUPolicy
 from .manager import SparkCacheManager
 from .mrd import MRDPolicy
-from .policy import EvictionPolicy, POLICY_REGISTRY, make_policy
+from .policy import EvictionPolicy, POLICY_REGISTRY, make_policy, register_policy
 from .storage_level import StorageMode
 from .tinylfu import TinyLFUPolicy
 
@@ -23,6 +23,7 @@ __all__ = [
     "EvictionPolicy",
     "POLICY_REGISTRY",
     "make_policy",
+    "register_policy",
     "StorageMode",
     "SparkCacheManager",
     "LRUPolicy",

@@ -22,6 +22,7 @@ from ..cluster.blocks import Block
 from ..cluster.cachemanager import CacheManager
 from ..dataflow.dag import job_reference_sets
 from ..metrics.collector import TaskMetrics
+from ..tracing.tracer import executor_pid
 from .mrd import _NO_FUTURE_USE
 from .policy import EvictionPolicy, make_policy
 from .storage_level import StorageMode
@@ -37,18 +38,28 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 class SparkCacheManager(CacheManager):
     """Annotation-driven caching with a pluggable eviction policy."""
 
-    def __init__(self, storage_mode: StorageMode = StorageMode.MEM_ONLY, policy: str = "lru") -> None:
+    def __init__(
+        self,
+        storage_mode: StorageMode = StorageMode.MEM_ONLY,
+        policy: str = "lru",
+        **policy_kwargs,
+    ) -> None:
         super().__init__()
         self.storage_mode = storage_mode
         self.policy_name = policy
+        self.policy_kwargs = dict(policy_kwargs)
         self.name = f"spark[{storage_mode.value},{policy}]"
         self._policies: dict[int, EvictionPolicy] = {}
         self._materialized_ids: set[int] = set()
 
     def attach(self, cluster: "Cluster") -> None:
         super().attach(cluster)
+        # Fresh per-run state: attaching to a new cluster must not carry
+        # policy histories or materialization knowledge from a prior run.
+        self._materialized_ids = set()
         self._policies = {
-            ex.executor_id: make_policy(self.policy_name) for ex in cluster.executors
+            ex.executor_id: make_policy(self.policy_name, **self.policy_kwargs)
+            for ex in cluster.executors
         }
 
     def policy_for(self, executor: "Executor") -> EvictionPolicy:
@@ -113,6 +124,13 @@ class SparkCacheManager(CacheManager):
         if victims is None or not policy.admit(size_bytes, rdd.rdd_id, victims):
             # Cannot (or should not) displace residents: fall back to disk
             # when the mode has one, otherwise give up caching.
+            if self.tracer.enabled:
+                self.tracer.instant(
+                    "cache.reject", "cache",
+                    pid=executor_pid(executor.executor_id),
+                    rdd=rdd.rdd_id, split=split, bytes=size_bytes,
+                    reason="no_victims" if victims is None else "not_admitted",
+                )
             if self.storage_mode.spills_to_disk:
                 bm.insert_disk(block, tm, include_ser=True)
             return
@@ -190,6 +208,13 @@ class SparkCacheManager(CacheManager):
                 policy.on_insert(promoted, now)
                 promoted.touch(now)
                 self.cluster.metrics.record_prefetch(executor.executor_id)
+                if self.tracer.enabled:
+                    self.tracer.instant(
+                        "cache.prefetch", "cache",
+                        pid=executor_pid(executor.executor_id),
+                        rdd=promoted.rdd_id, split=promoted.split,
+                        bytes=promoted.size_bytes,
+                    )
                 moved = True
             if moved:
                 self.cluster.metrics.record_task(job_id, executor.executor_id, tm)

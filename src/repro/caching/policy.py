@@ -25,7 +25,35 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 
 class EvictionPolicy(ABC):
-    """Per-executor eviction logic."""
+    """Per-executor eviction logic.
+
+    Hook contract (what the cache manager calls, and when):
+
+    =====================  ==================================================
+    hook                   called when
+    =====================  ==================================================
+    ``on_insert``          a block entered the memory store (admission,
+                           promote-on-read, prefetch)
+    ``on_access``          a block was read from the memory store
+    ``on_remove``          a block left the memory store (evicted,
+                           spilled, or unpersisted)
+    ``on_job_submit``      a new job's DAG became available
+    ``on_job_references``  per-stage expected dataset references for the
+                           new job (LRC/MRD reference-distance input)
+    ``on_stage_complete``  a stage of the current job finished
+    ``victim_priority``    ordering decision: smallest value evicts first
+    ``admit``              gate: may the incoming block displace the
+                           selected victims? (TinyLFU-style admission)
+    ``select_victims``     the core decision: free ``needed_bytes`` or
+                           return ``None`` when impossible
+    ``wants_prefetch`` /   opt-in prefetching (MRD): blocks with the
+    ``prefetch_priority``  smallest priority are promoted first
+    =====================  ==================================================
+
+    Policies are constructed through :func:`make_policy`, which forwards
+    keyword arguments to the subclass constructor (e.g.
+    ``make_policy("lecar", learning_rate=0.3)``).
+    """
 
     name = "abstract"
 
@@ -116,12 +144,18 @@ class EvictionPolicy(ABC):
         return f"<{type(self).__name__}>"
 
 
-#: name -> zero-argument factory
-POLICY_REGISTRY: dict[str, Callable[[], EvictionPolicy]] = {}
+#: name -> policy factory (class or callable accepting keyword arguments)
+POLICY_REGISTRY: dict[str, Callable[..., EvictionPolicy]] = {}
 
 
 def register_policy(name: str) -> Callable[[type], type]:
-    """Class decorator adding a policy to :data:`POLICY_REGISTRY`."""
+    """Class decorator adding a policy factory to :data:`POLICY_REGISTRY`.
+
+    The registered class (or any ``Callable[..., EvictionPolicy]`` assigned
+    to the registry directly) is invoked by :func:`make_policy` with the
+    caller's keyword arguments, so policies expose their tunables simply by
+    declaring constructor parameters.
+    """
 
     def wrap(cls: type) -> type:
         cls.name = name
@@ -131,12 +165,19 @@ def register_policy(name: str) -> Callable[[type], type]:
     return wrap
 
 
-def make_policy(name: str) -> EvictionPolicy:
-    """Instantiate a registered policy by name."""
+def make_policy(name: str, **kwargs) -> EvictionPolicy:
+    """Instantiate a registered policy by name, forwarding ``kwargs``.
+
+    >>> make_policy("lru")
+    >>> make_policy("lecar", learning_rate=0.3, ghost_capacity=64)
+    """
     try:
         factory = POLICY_REGISTRY[name]
     except KeyError:
         raise PolicyError(
             f"unknown policy {name!r}; known: {sorted(POLICY_REGISTRY)}"
         ) from None
-    return factory()
+    try:
+        return factory(**kwargs)
+    except TypeError as exc:
+        raise PolicyError(f"cannot construct policy {name!r}: {exc}") from exc

@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Any
 
 from ..errors import StorageError
+from ..tracing.tracer import NULL_TRACER, Tracer, executor_pid
 from .blocks import Block, BlockId, BlockLocation
 from .stores import BlockStore
 
@@ -27,12 +28,22 @@ class BlockManager:
         executor_id: int,
         config: "ClusterConfig",
         metrics: "MetricsCollector",
+        tracer: Tracer = NULL_TRACER,
     ) -> None:
         self.executor_id = executor_id
         self._config = config
         self._metrics = metrics
+        self._tracer = tracer
         self.memory = BlockStore(config.memory_store_bytes, f"mem[{executor_id}]")
         self.disk = BlockStore(config.disk.capacity_bytes, f"disk[{executor_id}]")
+
+    def _trace(self, name: str, block: Block) -> None:
+        """Emit one cache event on this executor's storage timeline."""
+        self._tracer.instant(
+            name, "cache",
+            pid=executor_pid(self.executor_id),
+            rdd=block.rdd_id, split=block.split, bytes=block.size_bytes,
+        )
 
     # ------------------------------------------------------------------
     # Lookup
@@ -85,6 +96,8 @@ class BlockManager:
     def insert_memory(self, block: Block) -> None:
         """Admit a block to the memory tier (space must exist)."""
         self.memory.put(block)
+        if self._tracer.enabled:
+            self._trace("cache.admit_mem", block)
 
     def insert_disk(self, block: Block, tm: "TaskMetrics", include_ser: bool = True) -> None:
         """Write a freshly produced block straight to disk, charging I/O."""
@@ -92,6 +105,8 @@ class BlockManager:
         self.charge_disk_write(block, tm, include_ser)
         self.disk.put(block)
         self._metrics.record_disk_put(block.size_bytes)
+        if self._tracer.enabled:
+            self._trace("cache.admit_disk", block)
 
     def spill_to_disk(self, block_id: BlockId, tm: "TaskMetrics", include_ser: bool = True) -> Block:
         """Evict a memory block to the disk tier, charging write I/O."""
@@ -101,6 +116,8 @@ class BlockManager:
         self.disk.put(block)
         self._metrics.record_disk_put(block.size_bytes)
         self._metrics.record_eviction_to_disk(self.executor_id, block.size_bytes)
+        if self._tracer.enabled:
+            self._trace("cache.evict_spill", block)
         return block
 
     def discard(self, block_id: BlockId, *, evicted: bool) -> Block:
@@ -118,6 +135,8 @@ class BlockManager:
         else:
             raise StorageError(f"discard of unknown block {block_id}")
         self._metrics.record_unpersist(self.executor_id, block.size_bytes, evicted=evicted)
+        if self._tracer.enabled:
+            self._trace("cache.evict_discard" if evicted else "cache.unpersist", block)
         return block
 
     def read_from_disk(self, block_id: BlockId, tm: "TaskMetrics") -> Block:
@@ -126,6 +145,8 @@ class BlockManager:
         if block is None:
             raise StorageError(f"disk read of missing block {block_id}")
         self.charge_disk_read(block, tm)
+        if self._tracer.enabled:
+            self._trace("cache.disk_read", block)
         return block
 
     def promote_to_memory(self, block_id: BlockId) -> Block | None:
@@ -140,6 +161,8 @@ class BlockManager:
         self.disk.remove(block_id)
         self._metrics.record_disk_remove(block.size_bytes)
         self.memory.put(block)
+        if self._tracer.enabled:
+            self._trace("cache.promote", block)
         return block
 
     def _ensure_disk_space(self, size_bytes: float) -> None:
@@ -149,6 +172,8 @@ class BlockManager:
             self.disk.remove(victim.block_id)
             self._metrics.record_disk_remove(victim.size_bytes)
             self._metrics.record_unpersist(self.executor_id, victim.size_bytes, evicted=True)
+            if self._tracer.enabled:
+                self._trace("cache.disk_evict", victim)
         if not self.disk.fits(size_bytes):
             raise StorageError(
                 f"disk[{self.executor_id}] cannot fit a {size_bytes:.0f}B block at all"
@@ -158,6 +183,16 @@ class BlockManager:
     def cached_blocks(self) -> list[Block]:
         """All blocks on this executor (memory first, then disk)."""
         return list(self.memory.blocks()) + list(self.disk.blocks())
+
+    def release(self) -> None:
+        """Drop both tiers without eviction accounting (context shutdown).
+
+        Metric totals (peak occupancy, bytes written) are deliberately left
+        untouched: shutdown is not an eviction, and reports stay readable
+        after :meth:`~repro.dataflow.context.BlazeContext.stop`.
+        """
+        self.memory.clear()
+        self.disk.clear()
 
     def __repr__(self) -> str:
         return f"<BlockManager exec={self.executor_id} {self.memory!r} {self.disk!r}>"

@@ -22,6 +22,8 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from typing import TYPE_CHECKING, Any
 
+from ..tracing.tracer import NULL_TRACER, Tracer
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..dataflow.dag import Job, Stage
     from ..dataflow.rdd import RDD
@@ -38,10 +40,23 @@ class CacheManager(ABC):
 
     def __init__(self) -> None:
         self.cluster: "Cluster | None" = None
+        #: the run's tracer; bound in :meth:`attach`, no-op until then
+        self.tracer: Tracer = NULL_TRACER
 
     def attach(self, cluster: "Cluster") -> None:
         """Bind to the cluster before the first job runs."""
         self.cluster = cluster
+        self.tracer = cluster.tracer
+
+    def detach(self) -> None:
+        """Release the cluster binding (context shutdown).
+
+        Subclasses that keep per-run state keyed on the cluster should
+        reset it here so a manager instance cannot leak state into a
+        later :class:`~repro.dataflow.context.BlazeContext`.
+        """
+        self.cluster = None
+        self.tracer = NULL_TRACER
 
     # ------------------------------------------------------------------
     # Candidate selection (the caching layer)

@@ -7,6 +7,7 @@ from typing import TYPE_CHECKING
 from ..config import ClusterConfig
 from ..metrics.collector import MetricsCollector
 from ..sim.clock import VirtualClock
+from ..tracing.tracer import NULL_TRACER, Tracer
 from .blocks import Block, BlockId, BlockLocation
 from .executor import Executor
 from .shuffle import ShuffleManager
@@ -18,12 +19,20 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 class Cluster:
     """Owns the executors and the shared simulation state."""
 
-    def __init__(self, config: ClusterConfig, metrics: MetricsCollector | None = None) -> None:
+    def __init__(
+        self,
+        config: ClusterConfig,
+        metrics: MetricsCollector | None = None,
+        tracer: Tracer | None = None,
+    ) -> None:
         self.config = config
         self.clock = VirtualClock()
         self.metrics = metrics or MetricsCollector()
+        self.tracer = NULL_TRACER if tracer is None else tracer
+        self.tracer.bind_clock(self.clock)
         self.executors = [
-            Executor(i, config, self.metrics) for i in range(config.num_executors)
+            Executor(i, config, self.metrics, self.tracer)
+            for i in range(config.num_executors)
         ]
         self.shuffle = ShuffleManager(config)
 

@@ -22,6 +22,7 @@ from ..dataflow.dag import Job, Stage, build_job
 from ..dataflow.dependencies import ShuffleDependency
 from ..errors import DataflowError
 from ..metrics.collector import TaskMetrics
+from ..tracing.tracer import executor_pid
 from .blocks import Block, BlockId, BlockLocation
 from .scheduler import SlotScheduler, TaskSlot
 
@@ -39,7 +40,8 @@ class Driver:
         self.cluster = cluster
         self.cache_manager = cache_manager
         self.metrics = cluster.metrics
-        self.scheduler = SlotScheduler(cluster.clock)
+        self.tracer = cluster.tracer
+        self.scheduler = SlotScheduler(cluster.clock, cluster.tracer)
         self.job_log: list[Job] = []
         self._job_ids = itertools.count()
         #: block ids ever admitted to any store — a later materialization of
@@ -58,18 +60,33 @@ class Driver:
         job = build_job(next(self._job_ids), final_rdd, action_fn)
         job.stages_to_run = self._select_stages(job)
         self.job_log.append(job)
+        job_span = self.tracer.begin(
+            "job", "job", job_id=job.job_id,
+            final_rdd=final_rdd.rdd_id, num_stages=len(job.stages_to_run),
+        )
         self.cache_manager.on_job_submit(job)
 
         results: list = [None] * final_rdd.num_partitions
         for stage in job.stages_to_run:
             if not stage.is_result and self.cluster.shuffle.is_complete(stage.shuffle_dep):
                 continue  # skipped stage: shuffle outputs already exist
+            # Stages are identified by their job-relative sequence: raw
+            # stage ids come from a process-global counter and would break
+            # byte-identical traces across runs in one process.
+            stage_span = self.tracer.begin(
+                "stage", "stage", job_id=job.job_id,
+                seq=stage.seq_in_job, rdd=stage.rdd.rdd_id,
+                num_tasks=stage.num_tasks,
+                kind="result" if stage.is_result else "shuffle_map",
+            )
             self.cache_manager.on_stage_start(stage)
             self._run_stage(stage, job, results)
             self.cache_manager.on_stage_complete(stage)
+            self.tracer.end(stage_span)
 
         self.cache_manager.on_job_complete(job)
         self.metrics.record_job()
+        self.tracer.end(job_span)
         min_keep = job.job_id - self.cluster.config.shuffle_retention_jobs + 1
         self.cluster.shuffle.cleanup_older_than(min_keep)
         for hook in list(self.post_job_hooks):
@@ -125,6 +142,7 @@ class Driver:
         ]
 
         def execute(task: TaskSlot) -> float:
+            start = self.cluster.clock.now
             tm = TaskMetrics()
             self._task_memo: dict[BlockId, list] = {}
             self._recovery_depth = 0
@@ -136,6 +154,21 @@ class Driver:
                     stage.shuffle_dep, task.split, data, tm, job.job_id
                 )
             self.metrics.record_task(job.job_id, task.executor.executor_id, tm)
+            if self.tracer.enabled:
+                eid, slot = self.scheduler.current_slot
+                self.tracer.complete(
+                    "task", "task",
+                    ts=start, dur=tm.duration_seconds,
+                    pid=executor_pid(eid), tid=slot + 1,
+                    job_id=job.job_id, stage=stage.seq_in_job, split=task.split,
+                    compute_s=tm.compute_seconds,
+                    recompute_s=tm.recompute_seconds,
+                    shuffle_s=tm.shuffle_read_seconds + tm.shuffle_write_seconds,
+                    disk_io_s=tm.disk_io_seconds,
+                    remote_read_s=tm.remote_read_seconds,
+                    offloaded_s=tm.offloaded_seconds,
+                    total_s=tm.total_seconds,
+                )
             return tm.duration_seconds
 
         self.scheduler.run_stage(tasks, execute)
@@ -164,6 +197,11 @@ class Driver:
                 return hit
 
         is_recovery = candidate and block_id in self._was_cached
+        if candidate and self.tracer.enabled:
+            self.tracer.instant(
+                "cache.miss", "cache", pid=executor_pid(executor.executor_id),
+                rdd=rdd.rdd_id, split=split, recovery=is_recovery,
+            )
         if is_recovery:
             self._recovery_depth += 1
         try:
@@ -192,11 +230,13 @@ class Driver:
         if loc is BlockLocation.MEMORY:
             block = executor.bm.memory.get(block_id)
             block.touch(now)
+            self._trace_hit("cache.hit_mem", executor, block)
             self.cache_manager.on_memory_hit(executor, block, tm)
             return block.data
         if loc is BlockLocation.DISK:
             block = executor.bm.read_from_disk(block_id, tm)
             block.touch(now)
+            self._trace_hit("cache.hit_disk", executor, block)
             self.cache_manager.on_disk_hit(executor, block, tm)
             return block.data
         if not self.cluster.config.allow_remote_cache_reads:
@@ -209,12 +249,22 @@ class Driver:
         if loc is BlockLocation.DISK:
             owner.bm.charge_disk_read(block, tm)
             block.touch(now)
+            self._trace_hit("cache.hit_disk", owner, block, remote=True)
             self.cache_manager.on_disk_hit(owner, block, tm)
         else:
             block.touch(now)
+            self._trace_hit("cache.hit_mem", owner, block, remote=True)
             self.cache_manager.on_memory_hit(owner, block, tm)
         self.cluster.charge_remote_read(block, tm)
         return block.data
+
+    def _trace_hit(self, name: str, executor: "Executor", block: Block, **extra) -> None:
+        if self.tracer.enabled:
+            self.tracer.instant(
+                name, "cache", pid=executor_pid(executor.executor_id),
+                rdd=block.rdd_id, split=block.split, bytes=block.size_bytes,
+                **extra,
+            )
 
     def _compute(
         self,

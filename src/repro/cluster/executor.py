@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from ..tracing.tracer import NULL_TRACER, Tracer
 from .blockmanager import BlockManager
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -25,9 +26,10 @@ class Executor:
         executor_id: int,
         config: "ClusterConfig",
         metrics: "MetricsCollector",
+        tracer: Tracer = NULL_TRACER,
     ) -> None:
         self.executor_id = executor_id
-        self.block_manager = BlockManager(executor_id, config, metrics)
+        self.block_manager = BlockManager(executor_id, config, metrics, tracer)
         self.num_slots = config.slots_per_executor
         #: virtual time before which no new task may start on this executor
         #: (background block migrations extend it)

@@ -4,6 +4,11 @@ Each executor exposes ``slots_per_executor`` slots; tasks are pinned to
 their partition's home executor (locality-aware scheduling) and drain in
 partition order.  The scheduler advances the virtual clock event-by-event:
 ties break on (time, executor, slot) so identical inputs replay identically.
+
+When tracing is on, the scheduler emits one ``scheduler.stage`` span per
+stage (its makespan on the driver timeline) and publishes the slot a task
+runs on via :attr:`SlotScheduler.current_slot`, which is how task spans
+land on the right executor/slot (pid/tid) lane of the trace.
 """
 
 from __future__ import annotations
@@ -14,6 +19,7 @@ from dataclasses import dataclass
 from typing import Callable, TYPE_CHECKING
 
 from ..errors import SchedulerError
+from ..tracing.tracer import NULL_TRACER, Tracer
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..sim.clock import VirtualClock
@@ -31,8 +37,12 @@ class TaskSlot:
 class SlotScheduler:
     """Runs a list of tasks over executor slots on the virtual clock."""
 
-    def __init__(self, clock: "VirtualClock") -> None:
+    def __init__(self, clock: "VirtualClock", tracer: Tracer = NULL_TRACER) -> None:
         self._clock = clock
+        self._tracer = tracer
+        #: (executor_id, slot_index) of the task currently being executed;
+        #: valid only inside the ``execute`` callback (single-threaded sim)
+        self.current_slot: tuple[int, int] = (0, 0)
 
     def run_stage(
         self,
@@ -75,6 +85,7 @@ class SlotScheduler:
             task = queue.popleft()
             remaining -= 1
             self._clock.advance_to(free_at)
+            self.current_slot = (eid, slot)
             duration = execute(task)
             if duration < 0:
                 raise SchedulerError(f"task {task.split} reported negative duration")
@@ -83,4 +94,10 @@ class SlotScheduler:
             heapq.heappush(heap, (done_at, eid, slot))
 
         self._clock.advance_to(stage_end)
+        if self._tracer.enabled:
+            self._tracer.complete(
+                "scheduler.stage", "scheduler",
+                ts=stage_start, dur=stage_end - stage_start,
+                tasks=len(tasks), executors=len(executors),
+            )
         return stage_end - stage_start

@@ -44,6 +44,11 @@ class ShuffleManager:
         present = self._outputs.get(dep.shuffle_id, {})
         return [s for s in range(dep.parent.num_partitions) if s not in present]
 
+    def release(self) -> None:
+        """Drop every registered shuffle output (context shutdown)."""
+        self._outputs.clear()
+        self._producer_job.clear()
+
     # ------------------------------------------------------------------
     def write(
         self,

@@ -67,6 +67,11 @@ class BlockStore:
         self._used = max(0.0, self._used)
         return block
 
+    def clear(self) -> None:
+        """Drop every block without eviction accounting (shutdown path)."""
+        self._blocks.clear()
+        self._used = 0.0
+
     def blocks(self) -> Iterator[Block]:
         """Blocks in insertion order."""
         return iter(list(self._blocks.values()))

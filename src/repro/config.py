@@ -78,6 +78,10 @@ class ClusterConfig:
     # Remote cache reads are allowed (Spark semantics) but tasks are
     # scheduled for locality, so they are rare.
     allow_remote_cache_reads: bool = True
+    # Opt-in structured tracing: when True (and no explicit tracer is
+    # passed to BlazeContext) the context records an in-memory trace of
+    # spans and cache events on the virtual clock.
+    tracing_enabled: bool = False
 
     def __post_init__(self) -> None:
         if self.num_executors <= 0:

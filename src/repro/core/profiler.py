@@ -22,6 +22,7 @@ from ..cluster.cachemanager import CacheManager
 from ..config import BlazeConfig, ClusterConfig, DiskConfig, GiB
 from ..errors import ProfilingError
 from ..metrics.collector import TaskMetrics
+from ..tracing.tracer import NULL_TRACER, PROFILER_PID, Tracer
 from .cost_lineage import CostLineage, JobCapture, capture_job
 
 
@@ -84,12 +85,18 @@ class _RecordingCacheManager(CacheManager):
 
     name = "profiler"
 
-    def __init__(self, scale: float, timeout_seconds: float) -> None:
+    def __init__(
+        self, scale: float, timeout_seconds: float, trace_to: Tracer = NULL_TRACER
+    ) -> None:
         super().__init__()
         if scale < 1.0:
             raise ProfilingError("profile scale factor must be >= 1")
         self.scale = scale
         self.timeout_seconds = timeout_seconds
+        #: the *real run's* tracer; the sandbox context itself is untraced,
+        #: but the phase reports its job captures with explicit sandbox
+        #: timestamps on the profiler's trace process
+        self._trace_to = trace_to
         self.profile = LineageProfile()
         self._materialized_ids: set[int] = set()
 
@@ -106,6 +113,12 @@ class _RecordingCacheManager(CacheManager):
         self.profile.captures.append(
             capture_job(job, is_stage_skipped=skipped, materialized=self._materialized_ids)
         )
+        if self._trace_to.enabled:
+            self._trace_to.instant(
+                "profiling.job", "profiling",
+                ts=self.cluster.clock.now, pid=PROFILER_PID,
+                job_id=job.job_id, stages=len(job.stages),
+            )
         for rdd in job.lineage_rdds():
             self.profile.parents.setdefault(
                 rdd.rdd_id, tuple(p.rdd_id for p in rdd.parents)
@@ -158,6 +171,7 @@ def run_dependency_extraction(
     scaled_run_fn: Callable[[Any], None],
     config: BlazeConfig,
     seed: int = 0,
+    tracer: Tracer = NULL_TRACER,
 ) -> LineageProfile:
     """Execute the sampled workload and return the captured profile.
 
@@ -165,12 +179,17 @@ def run_dependency_extraction(
     ``config.profiling_sample_fraction`` (the caller owns the scaling so the
     profiler stays workload-agnostic).  A timeout truncates the capture
     rather than failing it.
+
+    ``tracer`` (the real run's tracer, if any) receives the phase summary:
+    per-captured-job instants plus one ``profiling`` span covering the
+    phase's virtual duration, all on the profiler's trace process.
     """
     from ..dataflow.context import BlazeContext  # local import: layer cycle
 
     manager = _RecordingCacheManager(
         scale=1.0 / config.profiling_sample_fraction,
         timeout_seconds=config.profiling_timeout_seconds,
+        trace_to=tracer,
     )
     ctx = BlazeContext(profiling_cluster_config(), manager, seed=seed)
     try:
@@ -181,4 +200,10 @@ def run_dependency_extraction(
         ctx.stop()
     profile = manager.profile
     profile.virtual_seconds = min(ctx.now, config.profiling_timeout_seconds)
+    if tracer.enabled:
+        tracer.complete(
+            "profiling", "profiling",
+            ts=0.0, dur=profile.virtual_seconds, pid=PROFILER_PID,
+            jobs=profile.num_jobs, truncated=profile.truncated,
+        )
     return profile

@@ -27,6 +27,7 @@ from ..cluster.blocks import Block, BlockId, BlockLocation
 from ..cluster.cachemanager import CacheManager
 from ..config import BlazeConfig
 from ..metrics.collector import TaskMetrics
+from ..tracing.tracer import executor_pid
 from .cost_lineage import CostLineage, capture_job
 from .cost_model import CostModel, PartitionState
 from .ilp import IlpItem, solve_partition_states
@@ -274,6 +275,15 @@ class BlazeCacheManager(CacheManager):
             displaced_value = sum(self._block_value(v, memo) for v in victims)
             if displaced_value >= incoming_value:
                 # Keeping the residents saves more: do not cache in memory.
+                if self.tracer.enabled:
+                    self.tracer.instant(
+                        "cache.reject", "cache",
+                        pid=executor_pid(executor.executor_id),
+                        rdd=block.rdd_id, split=block.split,
+                        bytes=block.size_bytes, reason="admission",
+                        incoming_value=incoming_value,
+                        displaced_value=displaced_value,
+                    )
                 if not from_disk:
                     self._maybe_write_to_disk(executor, block, tm)
                 return
@@ -424,6 +434,12 @@ class BlazeCacheManager(CacheManager):
                     items, capacity, disk_capacity=disk_cap, backend=cfg.ilp_backend
                 )
                 self.cluster.metrics.ilp_solves += 1
+                if self.tracer.enabled:
+                    self.tracer.instant(
+                        "ilp.solve", "ilp",
+                        executor=executor.executor_id, job_id=job.job_id,
+                        round=_round, items=len(items),
+                    )
                 if solution.states == planned:
                     break
                 planned = solution.states
@@ -484,3 +500,9 @@ class BlazeCacheManager(CacheManager):
             executor.charge_background(now, tm.total_seconds)
             self.cluster.metrics.record_task(job_id, executor.executor_id, tm)
         self.cluster.metrics.ilp_migrations += moved
+        if moved and self.tracer.enabled:
+            self.tracer.instant(
+                "ilp.migrate", "ilp",
+                executor=executor.executor_id, job_id=job_id,
+                moved=moved, seconds=tm.total_seconds,
+            )

@@ -19,6 +19,8 @@ from ..config import ClusterConfig
 from ..errors import DataflowError
 from ..metrics.collector import MetricsCollector
 from ..sim.rng import make_rng
+from ..tracing.report import RunReport
+from ..tracing.tracer import NULL_TRACER, InMemoryTracer, Tracer
 from .operators import OpCost, SizeModel
 from .rdd import ParallelCollectionRDD, RDD, SourceRDD
 
@@ -31,6 +33,7 @@ class BlazeContext:
         cluster_config: ClusterConfig | None = None,
         cache_manager: CacheManager | None = None,
         seed: int = 0,
+        tracer: Tracer | None = None,
     ) -> None:
         if cache_manager is None:
             from ..caching.manager import SparkCacheManager
@@ -38,7 +41,10 @@ class BlazeContext:
             cache_manager = SparkCacheManager()
         self.config = cluster_config or ClusterConfig()
         self.seed = int(seed)
-        self.cluster = Cluster(self.config)
+        if tracer is None:
+            tracer = InMemoryTracer() if self.config.tracing_enabled else NULL_TRACER
+        self.tracer = tracer
+        self.cluster = Cluster(self.config, tracer=tracer)
         self.driver = Driver(self.cluster, cache_manager)
         self.cache_manager = cache_manager
         self._rdds: list[RDD] = []
@@ -115,14 +121,34 @@ class BlazeContext:
     def metrics(self) -> MetricsCollector:
         return self.cluster.metrics
 
+    def report(self) -> RunReport:
+        """The stable results façade: metric aggregates plus trace replay.
+
+        Benchmarks and examples should read results from here instead of
+        reaching into ``ctx.cluster.metrics``.  Callable before or after
+        :meth:`stop`; the metric ledgers survive shutdown.
+        """
+        return RunReport.from_context(self)
+
     @property
     def jobs(self):
         """Jobs submitted so far, in order."""
         return self.driver.job_log
 
     def stop(self) -> None:
-        """Finish the application; further jobs are rejected."""
+        """Finish the application; further jobs are rejected.
+
+        Idempotent.  Releases the run's block-store and shuffle state so
+        repeated context creation in one process cannot leak blocks between
+        experiments; metric ledgers and the trace remain readable.
+        """
+        if self._stopped:
+            return
         self._stopped = True
+        for executor in self.cluster.executors:
+            executor.bm.release()
+        self.cluster.shuffle.release()
+        self.cache_manager.detach()
 
     def __enter__(self) -> "BlazeContext":
         return self

@@ -4,7 +4,9 @@ the evaluation figures need.
 A cell runs the dependency-extraction phase first when the system calls
 for it (Blaze and its ablations), charges its virtual duration into the
 application completion time (ACT), then executes the real workload and
-snapshots the metric ledgers.
+snapshots the metric ledgers through the :meth:`BlazeContext.report`
+façade.  Pass a :class:`~repro.tracing.InMemoryTracer` to capture a full
+span/event trace of the cell.
 """
 
 from __future__ import annotations
@@ -15,7 +17,8 @@ from typing import Any
 from ..config import BlazeConfig, ClusterConfig, GiB, MiB, DiskConfig, paper_cluster
 from ..core.profiler import run_dependency_extraction
 from ..dataflow.context import BlazeContext
-from ..systems.presets import SYSTEMS, make_cache_manager
+from ..systems.presets import make_system
+from ..tracing import InMemoryTracer, NULL_TRACER, RunReport, Tracer
 from ..workloads.base import WorkloadResult
 from ..workloads.registry import make_workload
 
@@ -48,6 +51,8 @@ class RunResult:
     ilp_solves: int
     ilp_migrations: int
     workload_result: WorkloadResult | None = None
+    #: the full report (carries the trace when the cell was traced)
+    report: RunReport | None = None
     extras: dict[str, Any] = field(default_factory=dict)
 
     @property
@@ -76,49 +81,61 @@ def run_experiment(
     seed: int = 0,
     cluster_config: ClusterConfig | None = None,
     blaze_config: BlazeConfig | None = None,
+    tracer: Tracer | None = None,
 ) -> RunResult:
-    """Execute one evaluation cell and return its measurements."""
-    spec = SYSTEMS[system]
+    """Execute one evaluation cell and return its measurements.
+
+    ``tracer=None`` defers to ``cluster_config.tracing_enabled`` (an
+    :class:`~repro.tracing.InMemoryTracer` is created when set); pass an
+    explicit tracer to capture the trace yourself.
+    """
+    spec = make_system(system)
     wl = make_workload(workload, scale)
     config = cluster_config or cluster_for_scale(scale)
     bcfg = blaze_config or BlazeConfig()
+    if tracer is None:
+        tracer = InMemoryTracer() if config.tracing_enabled else NULL_TRACER
 
     profile = None
     profiling_seconds = 0.0
     if spec.needs_profile:
         profile = run_dependency_extraction(
-            wl.profiling_run_fn(bcfg.profiling_sample_fraction), bcfg, seed=seed
+            wl.profiling_run_fn(bcfg.profiling_sample_fraction), bcfg, seed=seed,
+            tracer=tracer,
         )
         profiling_seconds = profile.virtual_seconds
 
-    manager = make_cache_manager(system, profile=profile, blaze_config=bcfg)
-    ctx = BlazeContext(config, manager, seed=seed)
+    manager = spec.build(profile=profile, blaze_config=bcfg)
+    ctx = BlazeContext(config, manager, seed=seed, tracer=tracer)
     wl_result = wl.run(ctx)
+    ctx.metrics.profiling_seconds = profiling_seconds
+    report = ctx.report()
     ctx.stop()
 
-    m = ctx.metrics
-    m.profiling_seconds = profiling_seconds
     return RunResult(
         system=system,
         workload=workload,
         scale=scale,
         seed=seed,
-        act_seconds=ctx.now + profiling_seconds,
+        act_seconds=report.act_seconds + profiling_seconds,
         profiling_seconds=profiling_seconds,
-        disk_io_seconds=m.total.disk_io_seconds,
-        compute_shuffle_seconds=m.total.compute_shuffle_seconds,
-        total_task_seconds=m.total.total_seconds,
-        recompute_seconds=m.total.recompute_seconds,
-        recompute_by_job={j: tm.recompute_seconds for j, tm in sorted(m.per_job.items())},
-        eviction_count=m.total_evictions,
-        evictions_to_disk=sum(s.evictions_to_disk for s in m.executor_cache.values()),
-        unpersists=sum(s.unpersists for s in m.executor_cache.values()),
-        evicted_bytes_by_executor=m.evicted_bytes_by_executor(),
-        disk_bytes_written_total=m.disk_bytes_written_total,
-        disk_bytes_peak=m.disk_bytes_peak,
-        ilp_solves=m.ilp_solves,
-        ilp_migrations=m.ilp_migrations,
+        disk_io_seconds=report.disk_io_seconds,
+        compute_shuffle_seconds=report.compute_shuffle_seconds,
+        total_task_seconds=report.total_seconds,
+        recompute_seconds=report.recompute_seconds,
+        recompute_by_job={
+            j: tm.recompute_seconds for j, tm in sorted(ctx.metrics.per_job.items())
+        },
+        eviction_count=report.eviction_count,
+        evictions_to_disk=report.evictions_to_disk,
+        unpersists=report.unpersists,
+        evicted_bytes_by_executor=report.evicted_bytes_by_executor,
+        disk_bytes_written_total=report.disk_bytes_written_total,
+        disk_bytes_peak=report.disk_bytes_peak,
+        ilp_solves=report.ilp_solves,
+        ilp_migrations=report.ilp_migrations,
         workload_result=wl_result,
+        report=report,
     )
 
 

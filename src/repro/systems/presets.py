@@ -21,15 +21,23 @@ blaze_no_profile  Blaze without the dependency-extraction phase (Fig. 13)
 
 Additional conventional-policy presets (``spark_fifo`` etc.) cover the
 policies the paper surveys but does not chart individually.
+
+:func:`make_system` is the single construction entry point: it resolves a
+preset, applies per-call overrides, and returns a :class:`SystemSpec` whose
+:meth:`SystemSpec.build` constructs the cache manager.  The legacy
+``make_cache_manager`` helper survives as a :class:`DeprecationWarning`
+shim.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable
+import warnings
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Mapping
 
 from ..caching.manager import SparkCacheManager
+from ..caching.policy import POLICY_REGISTRY, make_policy
 from ..caching.storage_level import StorageMode
 from ..config import BlazeConfig
 from ..core.udl import BlazeCacheManager
@@ -39,82 +47,157 @@ if TYPE_CHECKING:  # pragma: no cover
     from ..cluster.cachemanager import CacheManager
     from ..core.profiler import LineageProfile
 
+#: BlazeConfig field names accepted as ``make_system`` overrides for
+#: blaze-kind systems.
+_BLAZE_FIELDS = frozenset(f.name for f in dataclasses.fields(BlazeConfig))
+
 
 @dataclass(frozen=True)
 class SystemSpec:
-    """One system under test."""
+    """One system under test, declaratively.
+
+    A spec is pure data — what kind of manager to build and with which
+    knobs — so presets can be inspected, compared, and overridden without
+    poking at opaque factory closures.  Call :meth:`build` to construct
+    the actual cache manager.
+    """
 
     key: str
     label: str
-    factory: Callable[..., "CacheManager"]
+    #: "spark" (baseline ``SparkCacheManager``) or "blaze" (UDL).
+    kind: str
+    #: Spark-kind knobs; ignored for blaze-kind systems.
+    storage_mode: StorageMode = StorageMode.MEM_AND_DISK
+    policy: str = "lru"
+    policy_kwargs: Mapping[str, Any] = field(default_factory=dict)
+    #: Blaze-kind knobs applied on top of the caller's ``BlazeConfig``.
+    blaze_overrides: Mapping[str, Any] = field(default_factory=dict)
     #: whether the system runs the dependency-extraction phase first
     needs_profile: bool = False
 
+    def __post_init__(self) -> None:
+        if self.kind not in ("spark", "blaze"):
+            raise ConfigError(f"system kind must be 'spark' or 'blaze', got {self.kind!r}")
+        unknown = set(self.blaze_overrides) - _BLAZE_FIELDS
+        if unknown:
+            raise ConfigError(
+                f"unknown BlazeConfig fields for system {self.key!r}: {sorted(unknown)}"
+            )
 
-def _spark(mode: StorageMode, policy: str) -> Callable[..., "CacheManager"]:
-    def make(profile: "LineageProfile | None" = None, blaze_config: BlazeConfig | None = None):
-        return SparkCacheManager(mode, policy)
-
-    return make
-
-
-def _blaze(**flag_overrides) -> Callable[..., "CacheManager"]:
-    def make(profile: "LineageProfile | None" = None, blaze_config: BlazeConfig | None = None):
+    def build(
+        self,
+        profile: "LineageProfile | None" = None,
+        blaze_config: BlazeConfig | None = None,
+    ) -> "CacheManager":
+        """Construct the cache manager this spec describes."""
+        if self.kind == "spark":
+            # Fail fast on bad policy kwargs (the manager itself only
+            # constructs its per-executor policies at attach time).
+            make_policy(self.policy, **dict(self.policy_kwargs))
+            return SparkCacheManager(self.storage_mode, self.policy, **dict(self.policy_kwargs))
         base = blaze_config or BlazeConfig()
-        config = dataclasses.replace(base, **flag_overrides)
+        config = dataclasses.replace(base, **dict(self.blaze_overrides))
         return BlazeCacheManager(config=config, profile=profile)
 
-    return make
+
+def _spark(key: str, label: str, mode: StorageMode, policy: str) -> SystemSpec:
+    return SystemSpec(key, label, "spark", storage_mode=mode, policy=policy)
+
+
+def _blaze(key: str, label: str, needs_profile: bool = True, **flag_overrides) -> SystemSpec:
+    return SystemSpec(
+        key, label, "blaze", blaze_overrides=flag_overrides, needs_profile=needs_profile
+    )
 
 
 SYSTEMS: dict[str, SystemSpec] = {
     spec.key: spec
     for spec in [
-        SystemSpec("spark_mem_only", "Spark (MEM)", _spark(StorageMode.MEM_ONLY, "lru")),
-        SystemSpec("spark_mem_disk", "Spark (MEM+DISK)", _spark(StorageMode.MEM_AND_DISK, "lru")),
-        SystemSpec("spark_alluxio", "Spark+Alluxio", _spark(StorageMode.ALLUXIO, "lru")),
-        SystemSpec("spark_lrc", "LRC", _spark(StorageMode.MEM_AND_DISK, "lrc")),
-        SystemSpec("spark_mrd", "MRD", _spark(StorageMode.MEM_AND_DISK, "mrd")),
-        SystemSpec("spark_fifo", "FIFO", _spark(StorageMode.MEM_AND_DISK, "fifo")),
-        SystemSpec("spark_lfu", "LFU", _spark(StorageMode.MEM_AND_DISK, "lfu")),
-        SystemSpec("spark_lfuda", "LFUDA", _spark(StorageMode.MEM_AND_DISK, "lfuda")),
-        SystemSpec("spark_gdwheel", "GDWheel", _spark(StorageMode.MEM_AND_DISK, "gdwheel")),
-        SystemSpec("spark_tinylfu", "TinyLFU", _spark(StorageMode.MEM_AND_DISK, "tinylfu")),
-        SystemSpec("spark_lecar", "LeCaR", _spark(StorageMode.MEM_AND_DISK, "lecar")),
-        SystemSpec("blaze", "Blaze", _blaze(), needs_profile=True),
-        SystemSpec(
+        _spark("spark_mem_only", "Spark (MEM)", StorageMode.MEM_ONLY, "lru"),
+        _spark("spark_mem_disk", "Spark (MEM+DISK)", StorageMode.MEM_AND_DISK, "lru"),
+        _spark("spark_alluxio", "Spark+Alluxio", StorageMode.ALLUXIO, "lru"),
+        _spark("spark_lrc", "LRC", StorageMode.MEM_AND_DISK, "lrc"),
+        _spark("spark_mrd", "MRD", StorageMode.MEM_AND_DISK, "mrd"),
+        _spark("spark_fifo", "FIFO", StorageMode.MEM_AND_DISK, "fifo"),
+        _spark("spark_lfu", "LFU", StorageMode.MEM_AND_DISK, "lfu"),
+        _spark("spark_lfuda", "LFUDA", StorageMode.MEM_AND_DISK, "lfuda"),
+        _spark("spark_gdwheel", "GDWheel", StorageMode.MEM_AND_DISK, "gdwheel"),
+        _spark("spark_tinylfu", "TinyLFU", StorageMode.MEM_AND_DISK, "tinylfu"),
+        _spark("spark_lecar", "LeCaR", StorageMode.MEM_AND_DISK, "lecar"),
+        _blaze("blaze", "Blaze"),
+        _blaze(
             "autocache",
             "+AutoCache",
-            _blaze(
-                cost_aware_enabled=False,
-                recompute_option_enabled=False,
-                ilp_enabled=False,
-                admission_enabled=False,
-            ),
-            needs_profile=True,
+            cost_aware_enabled=False,
+            recompute_option_enabled=False,
+            ilp_enabled=False,
+            admission_enabled=False,
         ),
-        SystemSpec(
+        _blaze(
             "costaware",
             "+CostAware",
-            _blaze(
-                cost_aware_enabled=True,
-                recompute_option_enabled=False,
-                ilp_enabled=False,
-                admission_enabled=False,
-            ),
-            needs_profile=True,
+            cost_aware_enabled=True,
+            recompute_option_enabled=False,
+            ilp_enabled=False,
+            admission_enabled=False,
         ),
-        SystemSpec("lrc_mem_only", "LRC (MEM)", _spark(StorageMode.MEM_ONLY, "lrc")),
-        SystemSpec("mrd_mem_only", "MRD (MEM)", _spark(StorageMode.MEM_ONLY, "mrd")),
-        SystemSpec("blaze_mem_only", "Blaze (MEM)", _blaze(disk_enabled=False), needs_profile=True),
-        SystemSpec(
-            "blaze_no_profile",
-            "Blaze w/o Profiling",
-            _blaze(profiling_enabled=False),
-            needs_profile=False,
-        ),
+        _spark("lrc_mem_only", "LRC (MEM)", StorageMode.MEM_ONLY, "lrc"),
+        _spark("mrd_mem_only", "MRD (MEM)", StorageMode.MEM_ONLY, "mrd"),
+        _blaze("blaze_mem_only", "Blaze (MEM)", disk_enabled=False),
+        _blaze("blaze_no_profile", "Blaze w/o Profiling", needs_profile=False,
+               profiling_enabled=False),
     ]
 }
+
+
+def make_system(name: str, **overrides) -> SystemSpec:
+    """Resolve a preset and apply per-call overrides, returning the spec.
+
+    Spark-kind systems accept ``policy=``, ``storage_mode=`` and any extra
+    keyword argument, which is forwarded to the policy constructor::
+
+        make_system("spark_lecar", learning_rate=0.3)
+        make_system("spark_mem_disk", policy="lfu")
+
+    Blaze-kind systems accept any :class:`~repro.config.BlazeConfig` field::
+
+        make_system("blaze", ilp_backend="greedy")
+
+    Unknown system names and unknown blaze fields raise
+    :class:`~repro.errors.ConfigError`; bad policy kwargs surface as
+    :class:`~repro.errors.PolicyError` at :meth:`SystemSpec.build` time.
+    """
+    spec = SYSTEMS.get(name)
+    if spec is None:
+        raise ConfigError(f"unknown system {name!r}; known: {sorted(SYSTEMS)}")
+    if not overrides:
+        return spec
+    if spec.kind == "spark":
+        changes: dict[str, Any] = {}
+        if "policy" in overrides:
+            policy = overrides.pop("policy")
+            if policy not in POLICY_REGISTRY:
+                raise ConfigError(
+                    f"unknown policy {policy!r}; known: {sorted(POLICY_REGISTRY)}"
+                )
+            changes["policy"] = policy
+        if "storage_mode" in overrides:
+            mode = overrides.pop("storage_mode")
+            if not isinstance(mode, StorageMode):
+                mode = StorageMode(mode)
+            changes["storage_mode"] = mode
+        if overrides:  # remaining kwargs go to the policy constructor
+            changes["policy_kwargs"] = {**spec.policy_kwargs, **overrides}
+        return dataclasses.replace(spec, **changes)
+    unknown = set(overrides) - _BLAZE_FIELDS
+    if unknown:
+        raise ConfigError(
+            f"unknown BlazeConfig fields for system {name!r}: {sorted(unknown)}; "
+            f"known: {sorted(_BLAZE_FIELDS)}"
+        )
+    return dataclasses.replace(
+        spec, blaze_overrides={**spec.blaze_overrides, **overrides}
+    )
 
 
 def make_cache_manager(
@@ -122,11 +205,14 @@ def make_cache_manager(
     profile: "LineageProfile | None" = None,
     blaze_config: BlazeConfig | None = None,
 ):
-    """Build the cache manager for a system preset."""
-    spec = SYSTEMS.get(key)
-    if spec is None:
-        raise ConfigError(f"unknown system {key!r}; known: {sorted(SYSTEMS)}")
-    return spec.factory(profile=profile, blaze_config=blaze_config)
+    """Deprecated: use ``make_system(key).build(profile, blaze_config)``."""
+    warnings.warn(
+        "make_cache_manager() is deprecated; use "
+        "make_system(name).build(profile=..., blaze_config=...)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return make_system(key).build(profile=profile, blaze_config=blaze_config)
 
 
 def system_label(key: str) -> str:

@@ -1,0 +1,50 @@
+"""Structured tracing on the virtual clock (spans, events, exporters).
+
+The tracer is the observability backbone of the simulator: the engine emits
+nested spans for job -> stage -> task execution and point events for every
+cache operation (admission, hits, misses, evictions, spills, prefetches),
+profiling phases, and ILP solves/migrations.  All timestamps come from the
+:class:`~repro.sim.clock.VirtualClock`, so a trace is a deterministic
+function of (workload, system, seed) — two same-seed runs export
+byte-identical JSONL, which doubles as a determinism regression harness.
+
+Tracing is opt-in and near-zero-cost when off: the engine holds a
+:data:`NULL_TRACER` whose hooks are no-ops, and every call site guards
+argument construction behind ``tracer.enabled``.
+
+- :class:`InMemoryTracer` — records :class:`TraceEvent` rows;
+- :mod:`repro.tracing.exporters` — JSONL and Chrome ``trace_event`` output
+  (loadable in Perfetto; executors/slots map to pid/tid);
+- :class:`RunReport` — replays a trace into per-job timelines, per-executor
+  eviction timelines, and a cache hit/miss ratio series.
+"""
+
+from .exporters import to_chrome, to_jsonl, write_chrome, write_jsonl
+from .report import EvictionEvent, HitMissPoint, JobTimeline, RunReport
+from .tracer import (
+    DRIVER_PID,
+    NULL_TRACER,
+    PROFILER_PID,
+    InMemoryTracer,
+    TraceEvent,
+    Tracer,
+    executor_pid,
+)
+
+__all__ = [
+    "Tracer",
+    "InMemoryTracer",
+    "NULL_TRACER",
+    "TraceEvent",
+    "DRIVER_PID",
+    "PROFILER_PID",
+    "executor_pid",
+    "to_jsonl",
+    "write_jsonl",
+    "to_chrome",
+    "write_chrome",
+    "RunReport",
+    "JobTimeline",
+    "EvictionEvent",
+    "HitMissPoint",
+]

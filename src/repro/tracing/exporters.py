@@ -1,0 +1,106 @@
+"""Trace exporters: JSONL event log and Chrome ``trace_event`` JSON.
+
+JSONL is the canonical archival format: one compact JSON object per event
+in emission order, with sorted keys — two same-seed runs produce
+byte-identical files, so diffing two JSONL traces is a determinism check.
+
+The Chrome format targets ``chrome://tracing`` / Perfetto: closed spans
+become complete (``"ph": "X"``) events, point events become instants
+(``"ph": "i"``), and metadata events name the processes (driver,
+executors, profiler) and threads (task slots).  Timestamps are virtual
+microseconds sorted monotonically.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable
+
+from .tracer import DRIVER_PID, PROFILER_PID, TraceEvent
+
+
+def _event_rows(events: Iterable[TraceEvent]) -> list[TraceEvent]:
+    return list(events)
+
+
+# ----------------------------------------------------------------------
+# JSONL
+# ----------------------------------------------------------------------
+def to_jsonl(events: Iterable[TraceEvent]) -> str:
+    """Serialize events to JSON-lines (deterministic byte output)."""
+    lines = [
+        json.dumps(e.to_dict(), sort_keys=True, separators=(",", ":"))
+        for e in _event_rows(events)
+    ]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+def write_jsonl(events: Iterable[TraceEvent], path: str) -> None:
+    with open(path, "w", encoding="utf-8", newline="\n") as f:
+        f.write(to_jsonl(events))
+
+
+# ----------------------------------------------------------------------
+# Chrome trace_event
+# ----------------------------------------------------------------------
+def _micros(seconds: float) -> float:
+    """Virtual seconds -> trace microseconds (rounded for stable output)."""
+    return round(seconds * 1_000_000, 3)
+
+
+def _process_name(pid: int) -> str:
+    if pid == DRIVER_PID:
+        return "driver"
+    if pid == PROFILER_PID:
+        return "profiler"
+    return f"executor {pid - 1}"
+
+
+def _thread_name(pid: int, tid: int) -> str:
+    if tid == 0:
+        return "control" if pid in (DRIVER_PID, PROFILER_PID) else "storage"
+    return f"slot {tid - 1}"
+
+
+def to_chrome(events: Iterable[TraceEvent]) -> dict:
+    """Build a Chrome ``trace_event`` document (JSON-object format)."""
+    rows = _event_rows(events)
+    pids = sorted({e.pid for e in rows})
+    threads = sorted({(e.pid, e.tid) for e in rows})
+
+    trace_events: list[dict] = []
+    for pid in pids:
+        trace_events.append(
+            {"ph": "M", "name": "process_name", "pid": pid, "tid": 0,
+             "args": {"name": _process_name(pid)}}
+        )
+    for pid, tid in threads:
+        trace_events.append(
+            {"ph": "M", "name": "thread_name", "pid": pid, "tid": tid,
+             "args": {"name": _thread_name(pid, tid)}}
+        )
+
+    # Monotonic ts: sort data events by (ts, seq); ties keep emission order.
+    for e in sorted(rows, key=lambda e: (e.ts, e.seq)):
+        record = {
+            "name": e.name,
+            "cat": e.cat,
+            "pid": e.pid,
+            "tid": e.tid,
+            "ts": _micros(e.ts),
+            "args": dict(e.args),
+        }
+        if e.kind == "span":
+            record["ph"] = "X"
+            record["dur"] = _micros(e.dur or 0.0)
+        else:
+            record["ph"] = "i"
+            record["s"] = "t"
+        trace_events.append(record)
+
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def write_chrome(events: Iterable[TraceEvent], path: str) -> None:
+    with open(path, "w", encoding="utf-8", newline="\n") as f:
+        json.dump(to_chrome(events), f, sort_keys=True, separators=(",", ":"))
+        f.write("\n")

@@ -1,0 +1,204 @@
+"""The stable run-report façade: aggregates plus trace replay.
+
+:class:`RunReport` is the one object benchmarks, examples, and experiment
+harnesses read results from (``ctx.report()``), instead of reaching into
+``ctx.cluster.metrics`` internals.  It snapshots the
+:class:`~repro.metrics.collector.MetricsCollector` aggregates and, when the
+run was traced, replays the event log into timelines the paper's figures
+are drawn from:
+
+- :meth:`job_timelines` — when each job ran on the virtual clock;
+- :meth:`eviction_timeline` — per-executor eviction events over time
+  (Fig. 3 as a time series, not just totals);
+- :meth:`hit_miss_series` — the cumulative cache hit/miss ratio.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from .tracer import TraceEvent
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..dataflow.context import BlazeContext
+
+#: event names counted as capacity-driven evictions in the replay
+_EVICTION_EVENTS = {
+    "cache.evict_spill": "spill",
+    "cache.evict_discard": "discard",
+    "cache.disk_evict": "disk_discard",
+}
+_HIT_EVENTS = {"cache.hit_mem", "cache.hit_disk"}
+_MISS_EVENT = "cache.miss"
+
+
+@dataclass(frozen=True)
+class JobTimeline:
+    """One job's placement on the virtual timeline."""
+
+    job_id: int
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class EvictionEvent:
+    """One capacity-driven eviction, located in time and space."""
+
+    ts: float
+    executor_id: int
+    rdd_id: int
+    split: int
+    bytes: float
+    kind: str  # "spill" | "discard" | "disk_discard"
+
+
+@dataclass(frozen=True)
+class HitMissPoint:
+    """Cumulative cache-access counters after one access."""
+
+    ts: float
+    hits: int
+    misses: int
+
+    @property
+    def ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+@dataclass(frozen=True)
+class RunReport:
+    """Everything measured from one application run.
+
+    Aggregate fields are always populated; the ``*_timeline`` / ``*_series``
+    replay methods need a traced run (``events`` non-empty) and return empty
+    sequences otherwise.
+    """
+
+    #: end-to-end virtual time of the run (profiling not included)
+    act_seconds: float
+    job_count: int
+    task_count: int
+    #: the Fig. 4 / Fig. 10 accumulated-task-time split
+    breakdown: dict[str, float]
+    recompute_seconds: float
+    eviction_count: int
+    evictions_to_disk: int
+    unpersists: int
+    evicted_bytes_by_executor: dict[int, float]
+    disk_bytes_written_total: float
+    disk_bytes_peak: float
+    ilp_solves: int
+    ilp_migrations: int
+    profiling_seconds: float
+    events: tuple[TraceEvent, ...] = field(default_factory=tuple)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_context(cls, ctx: "BlazeContext") -> "RunReport":
+        """Snapshot a context's metrics and trace into a report."""
+        m = ctx.metrics
+        return cls(
+            act_seconds=ctx.now,
+            job_count=m.job_count,
+            task_count=m.task_count,
+            breakdown=m.breakdown(),
+            recompute_seconds=m.total.recompute_seconds,
+            eviction_count=m.total_evictions,
+            evictions_to_disk=sum(s.evictions_to_disk for s in m.executor_cache.values()),
+            unpersists=sum(s.unpersists for s in m.executor_cache.values()),
+            evicted_bytes_by_executor=m.evicted_bytes_by_executor(),
+            disk_bytes_written_total=m.disk_bytes_written_total,
+            disk_bytes_peak=m.disk_bytes_peak,
+            ilp_solves=m.ilp_solves,
+            ilp_migrations=m.ilp_migrations,
+            profiling_seconds=m.profiling_seconds,
+            events=ctx.tracer.events,
+        )
+
+    # ------------------------------------------------------------------
+    # Convenience aggregates
+    # ------------------------------------------------------------------
+    @property
+    def traced(self) -> bool:
+        return bool(self.events)
+
+    @property
+    def total_seconds(self) -> float:
+        return self.breakdown["total_seconds"]
+
+    @property
+    def disk_io_seconds(self) -> float:
+        return self.breakdown["disk_io_seconds"]
+
+    @property
+    def compute_shuffle_seconds(self) -> float:
+        return self.breakdown["compute_shuffle_seconds"]
+
+    @property
+    def evicted_bytes_total(self) -> float:
+        return sum(self.evicted_bytes_by_executor.values())
+
+    # ------------------------------------------------------------------
+    # Trace replay
+    # ------------------------------------------------------------------
+    def job_timelines(self) -> list[JobTimeline]:
+        """Per-job (start, end) on the virtual clock, in job order."""
+        timelines = [
+            JobTimeline(e.args["job_id"], e.ts, e.ts + (e.dur or 0.0))
+            for e in self.events
+            if e.kind == "span" and e.name == "job"
+        ]
+        return sorted(timelines, key=lambda t: t.job_id)
+
+    def eviction_timeline(self, executor_id: int | None = None) -> list[EvictionEvent]:
+        """Every eviction event in time order (optionally one executor)."""
+        out = []
+        for e in self.events:
+            kind = _EVICTION_EVENTS.get(e.name)
+            if kind is None:
+                continue
+            eid = e.pid - 1
+            if executor_id is not None and eid != executor_id:
+                continue
+            out.append(
+                EvictionEvent(e.ts, eid, e.args["rdd"], e.args["split"],
+                              e.args["bytes"], kind)
+            )
+        return sorted(out, key=lambda ev: (ev.ts, ev.executor_id, ev.rdd_id, ev.split))
+
+    def evicted_bytes_series(self) -> dict[int, list[tuple[float, float]]]:
+        """Cumulative evicted bytes per executor over time (Fig. 3 replay)."""
+        series: dict[int, list[tuple[float, float]]] = {}
+        totals: dict[int, float] = {}
+        for ev in self.eviction_timeline():
+            totals[ev.executor_id] = totals.get(ev.executor_id, 0.0) + ev.bytes
+            series.setdefault(ev.executor_id, []).append((ev.ts, totals[ev.executor_id]))
+        return series
+
+    def hit_miss_series(self) -> list[HitMissPoint]:
+        """Cumulative hit/miss counters after each cache access."""
+        points: list[HitMissPoint] = []
+        hits = misses = 0
+        for e in self.events:
+            if e.kind != "event":
+                continue
+            if e.name in _HIT_EVENTS:
+                hits += 1
+            elif e.name == _MISS_EVENT:
+                misses += 1
+            else:
+                continue
+            points.append(HitMissPoint(e.ts, hits, misses))
+        return points
+
+    def hit_ratio(self) -> float:
+        """Final cache hit ratio (0.0 when untraced or no accesses)."""
+        series = self.hit_miss_series()
+        return series[-1].ratio if series else 0.0

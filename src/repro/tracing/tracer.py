@@ -1,0 +1,233 @@
+"""The tracer: nested spans and point events on the virtual clock.
+
+Two implementations share one interface:
+
+- :class:`Tracer` — the no-op base.  Every hook returns immediately;
+  ``enabled`` is ``False`` so call sites can skip argument construction
+  entirely.  The engine default (:data:`NULL_TRACER`) makes tracing cost
+  one attribute read per potential event when disabled.
+- :class:`InMemoryTracer` — records :class:`TraceEvent` rows in emission
+  order.  Spans are emitted when they *close* (their duration is then
+  known), carrying the parent span open at the time they began, so
+  nesting (job -> stage -> task) survives the flat event list.
+
+Timeline addressing mirrors a real cluster: the driver is process 0,
+executor ``e`` is process ``e + 1`` (its task slots are threads ``1..n``;
+thread 0 is the executor's storage plane), and the profiling sandbox is
+process :data:`PROFILER_PID`.  The Chrome exporter turns these directly
+into ``pid``/``tid``.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..sim.clock import VirtualClock
+
+#: process id of driver-side events (jobs, stages, ILP solves)
+DRIVER_PID = 0
+#: process id of the dependency-extraction sandbox
+PROFILER_PID = 1000
+
+
+def executor_pid(executor_id: int) -> int:
+    """Trace process id of an executor (driver is 0, executors are 1+)."""
+    return executor_id + 1
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One trace record: a closed span (``dur`` set) or a point event."""
+
+    seq: int
+    kind: str  # "span" | "event"
+    name: str
+    cat: str
+    ts: float
+    dur: float | None
+    pid: int
+    tid: int
+    span_id: int | None
+    parent_id: int | None
+    args: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dict form for the JSONL exporter (stable key set)."""
+        return {
+            "seq": self.seq,
+            "kind": self.kind,
+            "name": self.name,
+            "cat": self.cat,
+            "ts": self.ts,
+            "dur": self.dur,
+            "pid": self.pid,
+            "tid": self.tid,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "args": self.args,
+        }
+
+
+class Tracer:
+    """No-op tracer: the interface, with every hook stubbed out.
+
+    Engine code holds one of these unconditionally; when tracing is off it
+    is :data:`NULL_TRACER` and the only cost on the hot path is the
+    ``tracer.enabled`` guard.
+    """
+
+    enabled: bool = False
+
+    def bind_clock(self, clock: "VirtualClock") -> None:  # noqa: B027
+        """Attach the virtual clock that stamps default timestamps."""
+
+    # ------------------------------------------------------------------
+    def instant(
+        self, name: str, cat: str, *, ts: float | None = None,
+        pid: int = DRIVER_PID, tid: int = 0, **args: Any,
+    ) -> None:  # noqa: B027
+        """Record a point event (cache op, ILP solve, ...)."""
+
+    def complete(
+        self, name: str, cat: str, *, ts: float, dur: float,
+        pid: int = DRIVER_PID, tid: int = 0, **args: Any,
+    ) -> None:  # noqa: B027
+        """Record a span whose start and duration are already known."""
+
+    def begin(
+        self, name: str, cat: str, *, ts: float | None = None,
+        pid: int = DRIVER_PID, tid: int = 0, **args: Any,
+    ) -> int:
+        """Open a nested span; returns a handle for :meth:`end`."""
+        return -1
+
+    def end(self, handle: int, *, ts: float | None = None, **args: Any) -> None:  # noqa: B027
+        """Close the span opened as ``handle`` (extra args are merged)."""
+
+    @contextmanager
+    def span(
+        self, name: str, cat: str, *,
+        pid: int = DRIVER_PID, tid: int = 0, **args: Any,
+    ) -> Iterator[None]:
+        """Context-managed :meth:`begin`/:meth:`end` pair."""
+        handle = self.begin(name, cat, pid=pid, tid=tid, **args)
+        try:
+            yield
+        finally:
+            self.end(handle)
+
+    @property
+    def events(self) -> tuple[TraceEvent, ...]:
+        return ()
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} enabled={self.enabled}>"
+
+
+#: the shared disabled tracer (stateless, safe to share across contexts)
+NULL_TRACER = Tracer()
+
+
+@dataclass
+class _OpenSpan:
+    span_id: int
+    name: str
+    cat: str
+    ts: float
+    pid: int
+    tid: int
+    parent_id: int | None
+    args: dict[str, Any]
+
+
+class InMemoryTracer(Tracer):
+    """Records every span and event, stamped by the bound virtual clock."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._clock: "VirtualClock | None" = None
+        self._events: list[TraceEvent] = []
+        self._seq = 0
+        self._next_span_id = 0
+        self._open: list[_OpenSpan] = []
+
+    def bind_clock(self, clock: "VirtualClock") -> None:
+        self._clock = clock
+
+    # ------------------------------------------------------------------
+    def _now(self, ts: float | None) -> float:
+        if ts is not None:
+            return float(ts)
+        return self._clock.now if self._clock is not None else 0.0
+
+    def _emit(
+        self, kind: str, name: str, cat: str, ts: float, dur: float | None,
+        pid: int, tid: int, span_id: int | None, parent_id: int | None,
+        args: dict[str, Any],
+    ) -> None:
+        self._events.append(
+            TraceEvent(self._seq, kind, name, cat, ts, dur, pid, tid, span_id, parent_id, args)
+        )
+        self._seq += 1
+
+    def _current_parent(self) -> int | None:
+        return self._open[-1].span_id if self._open else None
+
+    # ------------------------------------------------------------------
+    def instant(
+        self, name: str, cat: str, *, ts: float | None = None,
+        pid: int = DRIVER_PID, tid: int = 0, **args: Any,
+    ) -> None:
+        self._emit(
+            "event", name, cat, self._now(ts), None, pid, tid,
+            None, self._current_parent(), args,
+        )
+
+    def complete(
+        self, name: str, cat: str, *, ts: float, dur: float,
+        pid: int = DRIVER_PID, tid: int = 0, **args: Any,
+    ) -> None:
+        span_id = self._next_span_id
+        self._next_span_id += 1
+        self._emit(
+            "span", name, cat, float(ts), float(dur), pid, tid,
+            span_id, self._current_parent(), args,
+        )
+
+    def begin(
+        self, name: str, cat: str, *, ts: float | None = None,
+        pid: int = DRIVER_PID, tid: int = 0, **args: Any,
+    ) -> int:
+        span_id = self._next_span_id
+        self._next_span_id += 1
+        self._open.append(
+            _OpenSpan(span_id, name, cat, self._now(ts), pid, tid,
+                      self._current_parent(), dict(args))
+        )
+        return span_id
+
+    def end(self, handle: int, *, ts: float | None = None, **args: Any) -> None:
+        if not self._open or self._open[-1].span_id != handle:
+            raise ValueError(f"span {handle} is not the innermost open span")
+        span = self._open.pop()
+        span.args.update(args)
+        end_ts = self._now(ts)
+        self._emit(
+            "span", span.name, span.cat, span.ts, max(end_ts - span.ts, 0.0),
+            span.pid, span.tid, span.span_id, span.parent_id, span.args,
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def events(self) -> tuple[TraceEvent, ...]:
+        return tuple(self._events)
+
+    # NOTE: no __len__ — an empty tracer must never be falsy (callers use
+    # ``tracer is None`` checks, and ``tracer or NULL_TRACER`` would
+    # silently drop a fresh tracer).
+    def __repr__(self) -> str:
+        return f"<InMemoryTracer events={len(self._events)} open={len(self._open)}>"

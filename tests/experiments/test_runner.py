@@ -3,7 +3,7 @@
 import pytest
 
 from repro.experiments.runner import clear_cache, run_cached, run_experiment
-from repro.systems.presets import SYSTEMS, make_cache_manager, system_label
+from repro.systems.presets import SYSTEMS, make_system, system_label
 from repro.errors import ConfigError
 
 
@@ -46,16 +46,23 @@ def test_run_cached_memoizes():
 
 def test_all_presets_construct():
     for key in SYSTEMS:
-        manager = make_cache_manager(key)
+        manager = make_system(key).build()
         assert manager is not None
         assert system_label(key)
 
 
 def test_unknown_preset_rejected():
     with pytest.raises(ConfigError):
-        make_cache_manager("spark_quantum")
+        make_system("spark_quantum")
     with pytest.raises(ConfigError):
         system_label("nope")
+
+
+def test_run_report_attached():
+    r = run_experiment("spark_mem_disk", "pr", scale="tiny", seed=5)
+    assert r.report is not None
+    assert r.report.total_seconds == pytest.approx(r.total_task_seconds)
+    assert not r.report.traced  # no tracer was passed
 
 
 def test_evicted_bytes_total_property():

@@ -1,0 +1,111 @@
+"""Exporters: JSONL byte stability and Chrome trace_event schema."""
+
+import json
+
+from repro.sim.clock import VirtualClock
+from repro.tracing import (
+    InMemoryTracer,
+    PROFILER_PID,
+    to_chrome,
+    to_jsonl,
+    write_chrome,
+    write_jsonl,
+)
+
+
+def traced_run() -> InMemoryTracer:
+    """A small hand-driven trace with all record kinds."""
+    clock = VirtualClock()
+    tracer = InMemoryTracer()
+    tracer.bind_clock(clock)
+    job = tracer.begin("job", "job", job_id=0)
+    stage = tracer.begin("stage", "stage", stage_id=0)
+    tracer.instant("cache.miss", "cache", pid=2, rdd=3, split=1)
+    tracer.complete("task", "task", ts=0.0, dur=0.25, pid=2, tid=1, split=1)
+    clock.advance_to(0.25)
+    tracer.end(stage)
+    tracer.end(job)
+    tracer.complete("profiling", "profiling", ts=0.0, dur=0.1, pid=PROFILER_PID)
+    return tracer
+
+
+def test_jsonl_is_one_object_per_event():
+    tracer = traced_run()
+    text = to_jsonl(tracer.events)
+    lines = text.splitlines()
+    assert len(lines) == len(tracer.events)
+    assert text.endswith("\n")
+    for line in lines:
+        rec = json.loads(line)
+        assert set(rec) == {
+            "seq", "kind", "name", "cat", "ts", "dur",
+            "pid", "tid", "span_id", "parent_id", "args",
+        }
+
+
+def test_jsonl_empty_trace_is_empty_string():
+    assert to_jsonl([]) == ""
+
+
+def test_jsonl_bytes_are_deterministic():
+    a = to_jsonl(traced_run().events)
+    b = to_jsonl(traced_run().events)
+    assert a == b
+
+
+def test_chrome_schema_and_monotonic_ts():
+    doc = to_chrome(traced_run().events)
+    assert doc["displayTimeUnit"] == "ms"
+    rows = doc["traceEvents"]
+    assert rows, "non-empty trace"
+
+    data = [r for r in rows if r["ph"] != "M"]
+    meta = [r for r in rows if r["ph"] == "M"]
+    # every pid is named, every (pid, tid) thread is named
+    named_pids = {r["pid"] for r in meta if r["name"] == "process_name"}
+    assert named_pids == {r["pid"] for r in data}
+    named_threads = {(r["pid"], r["tid"]) for r in meta if r["name"] == "thread_name"}
+    assert named_threads >= {(r["pid"], r["tid"]) for r in data}
+
+    last = -1.0
+    for r in data:
+        assert r["ph"] in ("X", "i")
+        assert r["ts"] >= last, "timestamps sorted monotonically"
+        last = r["ts"]
+        assert isinstance(r["args"], dict)
+        if r["ph"] == "X":
+            assert r["dur"] >= 0
+        else:
+            assert r["s"] == "t"
+
+
+def test_chrome_span_and_instant_counts_match():
+    events = traced_run().events
+    doc = to_chrome(events)
+    xs = [r for r in doc["traceEvents"] if r.get("ph") == "X"]
+    instants = [r for r in doc["traceEvents"] if r.get("ph") == "i"]
+    assert len(xs) == sum(1 for e in events if e.kind == "span")
+    assert len(instants) == sum(1 for e in events if e.kind == "event")
+
+
+def test_chrome_process_names(tmp_path):
+    doc = to_chrome(traced_run().events)
+    names = {
+        r["pid"]: r["args"]["name"]
+        for r in doc["traceEvents"]
+        if r["ph"] == "M" and r["name"] == "process_name"
+    }
+    assert names[0] == "driver"
+    assert names[2] == "executor 1"
+    assert names[PROFILER_PID] == "profiler"
+
+
+def test_writers_round_trip(tmp_path):
+    events = traced_run().events
+    jsonl_path = tmp_path / "trace.jsonl"
+    chrome_path = tmp_path / "trace.json"
+    write_jsonl(events, str(jsonl_path))
+    write_chrome(events, str(chrome_path))
+    assert jsonl_path.read_text(encoding="utf-8") == to_jsonl(events)
+    loaded = json.loads(chrome_path.read_text(encoding="utf-8"))
+    assert loaded == json.loads(json.dumps(to_chrome(events)))

@@ -1,0 +1,24 @@
+"""The trace smoke script runs clean as a subprocess (tier-1 wiring)."""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+def test_trace_smoke_script_passes(tmp_path):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    proc = subprocess.run(
+        [sys.executable, str(REPO / "scripts" / "trace_smoke.py"), str(tmp_path)],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=300,
+    )
+    assert proc.returncode == 0, f"stdout:\n{proc.stdout}\nstderr:\n{proc.stderr}"
+    assert "trace smoke OK" in proc.stdout
+    assert (tmp_path / "pagerank_blaze.trace.jsonl").is_file()
+    assert (tmp_path / "pagerank_blaze.trace.json").is_file()

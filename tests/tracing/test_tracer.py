@@ -1,0 +1,114 @@
+"""Tracer unit behavior: nesting, no-op cost, clock stamping."""
+
+import pytest
+
+from repro.sim.clock import VirtualClock
+from repro.tracing import (
+    DRIVER_PID,
+    InMemoryTracer,
+    NULL_TRACER,
+    Tracer,
+    executor_pid,
+)
+
+
+def make_tracer(start: float = 0.0) -> tuple[InMemoryTracer, VirtualClock]:
+    clock = VirtualClock()
+    if start:
+        clock.advance_to(start)
+    tracer = InMemoryTracer()
+    tracer.bind_clock(clock)
+    return tracer, clock
+
+
+def test_null_tracer_is_disabled_and_inert():
+    assert NULL_TRACER.enabled is False
+    NULL_TRACER.instant("x", "cat")
+    NULL_TRACER.complete("x", "cat", ts=0.0, dur=1.0)
+    handle = NULL_TRACER.begin("x", "cat")
+    NULL_TRACER.end(handle)
+    with NULL_TRACER.span("x", "cat"):
+        pass
+    assert NULL_TRACER.events == ()
+
+
+def test_null_tracer_is_shared_base_class_instance():
+    assert type(NULL_TRACER) is Tracer
+
+
+def test_instant_stamped_by_clock():
+    tracer, clock = make_tracer()
+    clock.advance_to(3.5)
+    tracer.instant("cache.hit_mem", "cache", pid=executor_pid(2), rdd=7)
+    (e,) = tracer.events
+    assert e.kind == "event"
+    assert e.ts == 3.5
+    assert e.pid == 3
+    assert e.args == {"rdd": 7}
+
+
+def test_span_nesting_parent_ids():
+    tracer, clock = make_tracer()
+    job = tracer.begin("job", "job", job_id=0)
+    clock.advance_to(1.0)
+    stage = tracer.begin("stage", "stage", stage_id=4)
+    tracer.instant("cache.miss", "cache", rdd=1)
+    clock.advance_to(2.0)
+    tracer.end(stage)
+    clock.advance_to(5.0)
+    tracer.end(job)
+
+    by_name = {e.name: e for e in tracer.events}
+    assert by_name["cache.miss"].parent_id == stage
+    assert by_name["stage"].parent_id == job
+    assert by_name["job"].parent_id is None
+    # spans close with their duration measured on the virtual clock
+    assert by_name["stage"].ts == 1.0
+    assert by_name["stage"].dur == pytest.approx(1.0)
+    assert by_name["job"].ts == 0.0
+    assert by_name["job"].dur == pytest.approx(5.0)
+
+
+def test_end_rejects_non_innermost_span():
+    tracer, _clock = make_tracer()
+    outer = tracer.begin("outer", "job")
+    tracer.begin("inner", "stage")
+    with pytest.raises(ValueError):
+        tracer.end(outer)
+
+
+def test_complete_records_explicit_interval():
+    tracer, clock = make_tracer()
+    clock.advance_to(9.0)
+    tracer.complete("task", "task", ts=2.0, dur=1.5, pid=1, tid=2, split=0)
+    (e,) = tracer.events
+    assert e.kind == "span"
+    assert (e.ts, e.dur) == (2.0, 1.5)
+    assert (e.pid, e.tid) == (1, 2)
+
+
+def test_seq_is_emission_order():
+    tracer, _clock = make_tracer()
+    tracer.instant("a", "cache")
+    span = tracer.begin("s", "stage")
+    tracer.instant("b", "cache")
+    tracer.end(span)
+    assert [e.seq for e in tracer.events] == [0, 1, 2]
+    # the span closed last, so it is emitted after both instants
+    assert [e.name for e in tracer.events] == ["a", "b", "s"]
+
+
+def test_span_context_manager():
+    tracer, clock = make_tracer()
+    with tracer.span("job", "job", pid=DRIVER_PID, job_id=1):
+        clock.advance_to(4.0)
+    (e,) = tracer.events
+    assert e.name == "job" and e.dur == pytest.approx(4.0)
+
+
+def test_end_merges_extra_args():
+    tracer, _clock = make_tracer()
+    h = tracer.begin("stage", "stage", stage_id=1)
+    tracer.end(h, tasks=8)
+    (e,) = tracer.events
+    assert e.args == {"stage_id": 1, "tasks": 8}
