@@ -1,0 +1,189 @@
+"""Decision-layer benchmark: naive vs. incremental hot paths (PR 3).
+
+Runs pressure-heavy evaluation cells (Fig. 9-style configurations whose
+working set overflows the memory store, so eviction/admission decisions
+dominate) for each system variant twice — ``incremental_decisions`` off
+then on — and records wall-clock, peak RSS and the decision-layer work
+counters.  Decisions are bit-identical between the two modes (enforced by
+``tests/integration/test_trace_identity.py``), so the delta is pure
+decision-layer overhead.
+
+Run:  PYTHONPATH=src python scripts/bench.py [--out BENCH_pr3.json]
+      PYTHONPATH=src python scripts/bench.py --smoke      # seconds, tiny scale
+
+Full mode executes every cell in a fresh subprocess so ``ru_maxrss`` is a
+per-cell high-water mark; ``--smoke`` runs a shrunken matrix in-process
+(no RSS, used by the tier-1 suite to assert the counters move the right
+way).  Output schema (``BENCH_pr3.json``)::
+
+    {
+      "scale": "paper" | "tiny",
+      "pressure_factor": <partition multiplier>,
+      "cells": [
+        {"system": ..., "workload": ..., "num_partitions": ..., "seed": ...,
+         "naive":       {"wall_seconds": ..., "peak_rss_kib": ...,
+                         "evictions": ..., "counters": {...}},
+         "incremental": {... same shape ...},
+         "speedup": <naive wall / incremental wall>}
+      ],
+      "min_speedup": ..., "max_speedup": ...
+    }
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import resource
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.config import BlazeConfig, ClusterConfig, DiskConfig, GiB, MiB
+from repro.experiments.runner import run_experiment
+from repro.workloads.base import replace_params
+from repro.workloads.registry import make_workload
+
+SEED = 3
+#: paper-scale partition multiplier (20 -> 160 partitions): ~8x the
+#: memory store, deep into Fig. 9's pressure regime
+PRESSURE_FACTOR = 8
+SYSTEMS = ["blaze", "costaware", "autocache"]
+WORKLOADS = ["pr", "cc"]
+
+
+def smoke_cluster() -> ClusterConfig:
+    return ClusterConfig(
+        num_executors=2,
+        slots_per_executor=2,
+        memory_store_bytes=24 * MiB,
+        disk=DiskConfig(capacity_bytes=5 * GiB),
+    )
+
+
+def run_cell(system: str, workload: str, scale: str, incremental: bool) -> dict:
+    """One measurement: a full experiment with the flag pinned."""
+    if scale == "tiny":
+        wl = replace_params(make_workload(workload, "tiny"), num_partitions=24)
+        cluster = smoke_cluster()
+    else:
+        base = make_workload(workload, scale)
+        wl = replace_params(base, num_partitions=base.num_partitions * PRESSURE_FACTOR)
+        cluster = None
+    # The sim is deterministic, so re-running only de-noises the clock:
+    # repeat short cells (up to 3x / ~8 s) and keep the fastest wall.
+    walls = []
+    while True:
+        t0 = time.perf_counter()
+        result = run_experiment(
+            system,
+            wl,
+            scale=scale,
+            seed=SEED,
+            cluster_config=cluster,
+            blaze_config=BlazeConfig(incremental_decisions=incremental),
+        )
+        walls.append(time.perf_counter() - t0)
+        if len(walls) >= 3 or sum(walls) > 8.0:
+            break
+    return {
+        "wall_seconds": round(min(walls), 3),
+        "peak_rss_kib": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+        "evictions": result.eviction_count,
+        "num_partitions": wl.num_partitions,
+        "counters": result.report.decision_counters,
+    }
+
+
+def run_cell_subprocess(system: str, workload: str, scale: str, incremental: bool) -> dict:
+    """Fork a fresh interpreter so peak RSS is this cell's own high-water."""
+    spec = json.dumps(
+        {"system": system, "workload": workload, "scale": scale, "incremental": incremental}
+    )
+    proc = subprocess.run(
+        [sys.executable, __file__, "--cell", spec],
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    return json.loads(proc.stdout)
+
+
+def run_matrix(scale: str, systems: list[str], workloads: list[str], in_process: bool) -> dict:
+    cells = []
+    for workload in workloads:
+        for system in systems:
+            measurements = {}
+            for incremental in (False, True):
+                label = "incremental" if incremental else "naive"
+                print(f"[bench] {workload} x {system} ({label}, scale={scale}) ...", flush=True)
+                if in_process:
+                    measurements[label] = run_cell(system, workload, scale, incremental)
+                else:
+                    measurements[label] = run_cell_subprocess(system, workload, scale, incremental)
+            cell = {
+                "system": system,
+                "workload": workload,
+                "num_partitions": measurements["naive"].pop("num_partitions"),
+                "seed": SEED,
+                "naive": measurements["naive"],
+                "incremental": measurements["incremental"],
+                "speedup": round(
+                    measurements["naive"]["wall_seconds"]
+                    / max(measurements["incremental"]["wall_seconds"], 1e-9),
+                    2,
+                ),
+            }
+            measurements["incremental"].pop("num_partitions", None)
+            cells.append(cell)
+            print(
+                f"[bench]   {measurements['naive']['wall_seconds']:.1f}s -> "
+                f"{measurements['incremental']['wall_seconds']:.1f}s "
+                f"({cell['speedup']}x)",
+                flush=True,
+            )
+    speedups = [c["speedup"] for c in cells]
+    # The ablations barely exercise the decision layer (cheap ordering
+    # keys, no admission/ILP), so the headline number is the full-Blaze
+    # subset where decisions dominate the naive wall-clock.
+    blaze = [c["speedup"] for c in cells if c["system"] == "blaze"] or speedups
+    return {
+        "scale": scale,
+        "pressure_factor": PRESSURE_FACTOR if scale != "tiny" else None,
+        "seed": SEED,
+        "cells": cells,
+        "min_speedup": min(speedups),
+        "max_speedup": max(speedups),
+        "blaze_min_speedup": min(blaze),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_pr3.json", help="output path")
+    parser.add_argument("--smoke", action="store_true", help="tiny scale, in-process, fast")
+    parser.add_argument("--systems", nargs="+", default=SYSTEMS)
+    parser.add_argument("--workloads", nargs="+", default=WORKLOADS)
+    parser.add_argument("--cell", help="(internal) run one cell from a JSON spec")
+    args = parser.parse_args(argv)
+
+    if args.cell:
+        spec = json.loads(args.cell)
+        print(json.dumps(run_cell(**spec)))
+        return 0
+
+    if args.smoke:
+        doc = run_matrix("tiny", ["blaze"], ["pr"], in_process=True)
+    else:
+        doc = run_matrix("paper", args.systems, args.workloads, in_process=False)
+
+    Path(args.out).write_text(json.dumps(doc, indent=2) + "\n", encoding="utf-8")
+    print(f"[bench] wrote {args.out}: speedups {doc['min_speedup']}x - {doc['max_speedup']}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

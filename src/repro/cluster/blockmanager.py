@@ -36,6 +36,12 @@ class BlockManager:
         self._tracer = tracer
         self.memory = BlockStore(config.memory_store_bytes, f"mem[{executor_id}]")
         self.disk = BlockStore(config.disk.capacity_bytes, f"disk[{executor_id}]")
+        #: optional residency listener (the Blaze decision layer hooks in
+        #: here to invalidate its epoch caches and victim index).  Exactly
+        #: one callback fires per movement primitive:
+        #: ``memory_added`` / ``memory_removed`` for the memory tier,
+        #: ``disk_changed`` for disk-only transitions.
+        self.residency_listener = None
 
     def _trace(self, name: str, block: Block) -> None:
         """Emit one cache event on this executor's storage timeline."""
@@ -96,6 +102,8 @@ class BlockManager:
     def insert_memory(self, block: Block) -> None:
         """Admit a block to the memory tier (space must exist)."""
         self.memory.put(block)
+        if self.residency_listener is not None:
+            self.residency_listener.memory_added(self.executor_id, block)
         if self._tracer.enabled:
             self._trace("cache.admit_mem", block)
 
@@ -105,6 +113,8 @@ class BlockManager:
         self.charge_disk_write(block, tm, include_ser)
         self.disk.put(block)
         self._metrics.record_disk_put(block.size_bytes)
+        if self.residency_listener is not None:
+            self.residency_listener.disk_changed(self.executor_id, block)
         if self._tracer.enabled:
             self._trace("cache.admit_disk", block)
 
@@ -116,6 +126,8 @@ class BlockManager:
         self.disk.put(block)
         self._metrics.record_disk_put(block.size_bytes)
         self._metrics.record_eviction_to_disk(self.executor_id, block.size_bytes)
+        if self.residency_listener is not None:
+            self.residency_listener.memory_removed(self.executor_id, block)
         if self._tracer.enabled:
             self._trace("cache.evict_spill", block)
         return block
@@ -129,9 +141,13 @@ class BlockManager:
         loc = self.location_of(block_id)
         if loc is BlockLocation.MEMORY:
             block = self.memory.remove(block_id)
+            if self.residency_listener is not None:
+                self.residency_listener.memory_removed(self.executor_id, block)
         elif loc is BlockLocation.DISK:
             block = self.disk.remove(block_id)
             self._metrics.record_disk_remove(block.size_bytes)
+            if self.residency_listener is not None:
+                self.residency_listener.disk_changed(self.executor_id, block)
         else:
             raise StorageError(f"discard of unknown block {block_id}")
         self._metrics.record_unpersist(self.executor_id, block.size_bytes, evicted=evicted)
@@ -161,6 +177,8 @@ class BlockManager:
         self.disk.remove(block_id)
         self._metrics.record_disk_remove(block.size_bytes)
         self.memory.put(block)
+        if self.residency_listener is not None:
+            self.residency_listener.memory_added(self.executor_id, block)
         if self._tracer.enabled:
             self._trace("cache.promote", block)
         return block
@@ -172,6 +190,8 @@ class BlockManager:
             self.disk.remove(victim.block_id)
             self._metrics.record_disk_remove(victim.size_bytes)
             self._metrics.record_unpersist(self.executor_id, victim.size_bytes, evicted=True)
+            if self.residency_listener is not None:
+                self.residency_listener.disk_changed(self.executor_id, victim)
             if self._tracer.enabled:
                 self._trace("cache.disk_evict", victim)
         if not self.disk.fits(size_bytes):

@@ -23,6 +23,10 @@ class BlockStore:
         self.capacity_bytes = float(capacity_bytes)
         self.name = name
         self._blocks: dict[BlockId, Block] = {}
+        # Secondary index: rdd_id -> {block_id: block}, insertion-ordered
+        # like the primary map, so per-dataset enumeration needs no O(B)
+        # filter over the whole store.
+        self._by_rdd: dict[int, dict[BlockId, Block]] = {}
         self._used = 0.0
 
     @property
@@ -46,6 +50,7 @@ class BlockStore:
                 f"does not fit in {self.free_bytes:.0f}B free"
             )
         self._blocks[block.block_id] = block
+        self._by_rdd.setdefault(block.rdd_id, {})[block.block_id] = block
         self._used += block.size_bytes
 
     def get(self, block_id: BlockId) -> Block | None:
@@ -59,6 +64,11 @@ class BlockStore:
         block = self._blocks.pop(block_id, None)
         if block is None:
             raise StorageError(f"{self.name}: remove of missing block {block_id}")
+        per_rdd = self._by_rdd.get(block.rdd_id)
+        if per_rdd is not None:
+            per_rdd.pop(block_id, None)
+            if not per_rdd:
+                del self._by_rdd[block.rdd_id]
         self._used -= block.size_bytes
         # Tolerance scales with capacity: GiB-magnitude float64 arithmetic
         # accumulates rounding on the order of capacity * eps per op.
@@ -70,11 +80,26 @@ class BlockStore:
     def clear(self) -> None:
         """Drop every block without eviction accounting (shutdown path)."""
         self._blocks.clear()
+        self._by_rdd.clear()
         self._used = 0.0
 
     def blocks(self) -> Iterator[Block]:
-        """Blocks in insertion order."""
-        return iter(list(self._blocks.values()))
+        """Blocks in insertion order.
+
+        A live view: callers that mutate the store mid-iteration must
+        materialize first (every in-tree call site either builds a list
+        or abandons the iterator before mutating).
+        """
+        return iter(self._blocks.values())
+
+    def blocks_for_rdd(self, rdd_id: int) -> list[Block]:
+        """Resident blocks of one dataset, in insertion order."""
+        per_rdd = self._by_rdd.get(rdd_id)
+        return list(per_rdd.values()) if per_rdd else []
+
+    def resident_rdd_ids(self) -> Iterator[int]:
+        """Dataset ids with at least one resident block."""
+        return iter(self._by_rdd.keys())
 
     def block_ids(self) -> list[BlockId]:
         return list(self._blocks.keys())

@@ -138,6 +138,11 @@ class BlazeConfig:
     # discarded and nothing is spilled.
     disk_enabled: bool = True
 
+    # Incremental decision hot paths (epoch-cached costs + indexed victim
+    # order).  Decisions are bit-identical either way — the flag exists as
+    # a kill switch and as the baseline for `scripts/bench.py`.
+    incremental_decisions: bool = True
+
     def __post_init__(self) -> None:
         if self.ilp_horizon_jobs < 1:
             raise ConfigError("ilp_horizon_jobs must be >= 1")

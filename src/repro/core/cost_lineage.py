@@ -18,7 +18,7 @@ the driver advances the position as stages complete.
 
 from __future__ import annotations
 
-from bisect import bisect_left, bisect_right
+from bisect import bisect_left, bisect_right, insort
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable
 
@@ -89,6 +89,7 @@ class CostLineage:
         self.induction_enabled = induction_enabled
         # ---- structure
         self._parents: dict[int, tuple[int, ...]] = {}
+        self._children: dict[int, set[int]] = {}
         self._num_splits: dict[int, int] = {}
         self._names: dict[int, str] = {}
         self._ser_factors: dict[int, float] = {}
@@ -100,6 +101,19 @@ class CostLineage:
         # profile-seeded estimates
         self._recurrent_events: dict[int, set[Position]] = {}
         self._sorted_cache: dict[int, list[Position]] = {}
+        # per-job count of physical (bucket, rdd, position) event entries,
+        # so max_job_seq never rescans the buckets
+        self._job_event_counts: dict[int, int] = {}
+        self._max_job_seq = -1
+        # ---- decision epochs: ``version`` advances whenever anything a
+        # reference or cost query depends on changes (position, events,
+        # structure, cycle detection); ``structure_version`` advances only
+        # on topology changes (parent edges added/replaced).  Consumers
+        # stamp memoized results with these and re-derive lazily.
+        self.version = 0
+        self.structure_version = 0
+        self._refs_memo: dict[tuple[int, bool], int] = {}
+        self._refs_memo_version = -1
         # ---- job stream bookkeeping
         self._ingested_jobs: set[int] = set()
         self._new_ids_per_job: dict[int, list[int]] = {}
@@ -132,7 +146,24 @@ class CostLineage:
         ser_factor: float = 1.0,
     ) -> None:
         """Add or refresh one dataset's structural facts."""
-        self._parents[rdd_id] = tuple(parent_ids)
+        parents = tuple(parent_ids)
+        old = self._parents.get(rdd_id)
+        if old != parents:
+            if old:
+                for p in old:
+                    self._children.get(p, set()).discard(rdd_id)
+            for p in parents:
+                self._children.setdefault(p, set()).add(rdd_id)
+            self._parents[rdd_id] = parents
+            self.structure_version += 1
+            self.version += 1
+        elif self._num_splits.get(rdd_id) != num_splits:
+            # the split->parent-split mapping changed shape: anything
+            # memoized per partition (affected sets included) is off
+            self.structure_version += 1
+            self.version += 1
+        elif self._ser_factors.get(rdd_id) != ser_factor:
+            self.version += 1
         self._num_splits[rdd_id] = num_splits
         self._ser_factors[rdd_id] = ser_factor
         if name:
@@ -140,6 +171,10 @@ class CostLineage:
 
     def parents_of(self, rdd_id: int) -> tuple[int, ...]:
         return self._parents.get(rdd_id, ())
+
+    def children_of(self, rdd_id: int) -> set[int]:
+        """Direct downstream datasets (inverse of :meth:`parents_of`)."""
+        return self._children.get(rdd_id, set())
 
     def num_splits_of(self, rdd_id: int) -> int:
         return self._num_splits.get(rdd_id, 0)
@@ -167,26 +202,66 @@ class CostLineage:
         if not estimated:
             self._drop_estimates_for_job(job_seq)
             self._ingested_jobs.add(job_seq)
+        bucket_map = self._estimated_events if estimated else self._events
         new_ids: list[int] = []
+        changed = False
         for stage in capture.stages:
+            position = (job_seq, stage.seq)
             for rdd_id in stage.rdd_ids:
-                bucket = self._estimated_events if estimated else self._events
-                bucket.setdefault(rdd_id, set()).add((job_seq, stage.seq))
-                self._sorted_cache.pop(rdd_id, None)
+                events = bucket_map.setdefault(rdd_id, set())
+                if position not in events:
+                    events.add(position)
+                    self._note_event_added(rdd_id, position, bucket_map)
+                    changed = True
                 if rdd_id not in self._seen_ids:
                     self._seen_ids.add(rdd_id)
                     new_ids.append(rdd_id)
+        if changed:
+            self.version += 1
         if new_ids:
             self._new_ids_per_job.setdefault(job_seq, []).extend(new_ids)
             self._refresh_cycle()
 
+    # -- event bookkeeping: counts feed max_job_seq, the sorted cache is
+    # -- repaired in place instead of being rebuilt on next query
+    def _note_event_added(self, rdd_id: int, position: Position, bucket: dict) -> None:
+        job_seq = position[0]
+        self._job_event_counts[job_seq] = self._job_event_counts.get(job_seq, 0) + 1
+        if job_seq > self._max_job_seq:
+            self._max_job_seq = job_seq
+        cached = self._sorted_cache.get(rdd_id)
+        if cached is not None and not any(
+            position in other.get(rdd_id, ())
+            for other in (self._events, self._estimated_events, self._recurrent_events)
+            if other is not bucket
+        ):
+            insort(cached, position)
+
+    def _note_event_removed(self, rdd_id: int, position: Position) -> None:
+        job_seq = position[0]
+        count = self._job_event_counts.get(job_seq, 0) - 1
+        if count > 0:
+            self._job_event_counts[job_seq] = count
+        else:
+            self._job_event_counts.pop(job_seq, None)
+            if job_seq == self._max_job_seq:
+                self._max_job_seq = (
+                    max(self._job_event_counts) if self._job_event_counts else -1
+                )
+
     def _drop_estimates_for_job(self, job_seq: int) -> None:
+        changed = False
         for bucket in (self._estimated_events, self._recurrent_events):
             for rdd_id, events in list(bucket.items()):
                 stale = {e for e in events if e[0] == job_seq}
                 if stale:
                     events -= stale
+                    for position in stale:
+                        self._note_event_removed(rdd_id, position)
                     self._sorted_cache.pop(rdd_id, None)
+                    changed = True
+        if changed:
+            self.version += 1
 
     def _refresh_cycle(self) -> None:
         if not self.induction_enabled:
@@ -200,21 +275,24 @@ class CostLineage:
             self.prior.role_fn = self._role_of
             # Role-based extension supersedes the cruder recurrent-dataset
             # projections made before the cycle was known.
+            for rdd_id, events in self._recurrent_events.items():
+                for position in events:
+                    self._note_event_removed(rdd_id, position)
             self._recurrent_events.clear()
             self._sorted_cache.clear()
+            self.version += 1
 
     def _role_of(self, rdd_id: int) -> tuple[int, int] | None:
         return self.cycle.role_of(rdd_id) if self.cycle is not None else None
 
     def max_job_seq(self) -> int:
-        """Largest job sequence with any (real or estimated) events."""
-        seqs = [
-            j
-            for bucket in (self._events, self._estimated_events, self._recurrent_events)
-            for evs in bucket.values()
-            for j, _ in evs
-        ]
-        return max(seqs) if seqs else -1
+        """Largest job sequence with any (real or estimated) events.
+
+        Tracked incrementally as events are added and removed; this is a
+        hot query (cycle refresh, pattern extension) and must not rescan
+        the event buckets.
+        """
+        return self._max_job_seq
 
     # ------------------------------------------------------------------
     # Induction of future iterations (truncated profiles / on-the-run)
@@ -299,7 +377,8 @@ class CostLineage:
         ):
             return False
         events.add(position)
-        self._sorted_cache.pop(rdd_id, None)
+        self._note_event_added(rdd_id, position, bucket)
+        self.version += 1
         return True
 
     # ------------------------------------------------------------------
@@ -307,7 +386,9 @@ class CostLineage:
     # ------------------------------------------------------------------
     def set_position(self, job_seq: int, stage_seq: int) -> None:
         """Advance the workload progress pointer."""
-        self.position = (job_seq, stage_seq)
+        if self.position != (job_seq, stage_seq):
+            self.position = (job_seq, stage_seq)
+            self.version += 1
 
     def _sorted_events(self, rdd_id: int) -> list[Position]:
         cached = self._sorted_cache.get(rdd_id)
@@ -327,13 +408,26 @@ class CostLineage:
         ``inclusive`` counts a reference in the currently executing stage
         (used on the lookup path); exclusive counting (used when deciding
         whether a freshly produced partition has *reuse*) does not.
+
+        Counts are memoized per decision epoch: this is the single hottest
+        lineage query (every admission, eviction, and auto-unpersist sweep
+        hits it) and its inputs only change when :attr:`version` advances.
         """
+        if self._refs_memo_version != self.version:
+            self._refs_memo.clear()
+            self._refs_memo_version = self.version
+        key = (rdd_id, inclusive)
+        cached = self._refs_memo.get(key)
+        if cached is not None:
+            return cached
         events = self._sorted_events(rdd_id)
         if inclusive:
             idx = bisect_left(events, self.position)
         else:
             idx = bisect_right(events, (self.position[0], self.position[1]))
-        return len(events) - idx
+        count = len(events) - idx
+        self._refs_memo[key] = count
+        return count
 
     def refs_in_window(self, rdd_id: int, first_job: int, last_job: int) -> int:
         """References falling in jobs ``[first_job, last_job]`` (ILP horizon)."""
@@ -352,30 +446,50 @@ class CostLineage:
     # Metric queries (observed -> prior -> regression -> default)
     # ------------------------------------------------------------------
     def estimate_size(self, rdd_id: int, split: int, default: float = 1.0) -> float:
+        return self.estimate_size_ex(rdd_id, split, default)[0]
+
+    def estimate_size_ex(
+        self, rdd_id: int, split: int, default: float = 1.0
+    ) -> tuple[float, bool]:
+        """Size estimate plus a *stability* bit.
+
+        The value is stable (``True``) when it comes from a direct
+        observation (live metrics or profile prior) and therefore cannot
+        drift as observations of *other* partitions stream in.  Unstable
+        values fall through to regression/mean estimators whose output
+        changes with every new sample; epoch caches must not persist
+        results derived from them across observations.
+        """
         if self.metrics.is_observed(rdd_id, split):
             size = self.metrics.size_of(rdd_id, split)
             if size > 0:
-                return size
+                return size, True
         if self.prior.is_observed(rdd_id, split):
             size = self.prior.size_of(rdd_id, split)
             if size > 0:
-                return size
+                return size, True
         size = self.metrics.size_of(rdd_id, split, default=0.0)
         if size > 0:
-            return size
+            return size, False
         size = self.prior.size_of(rdd_id, split, default=0.0)
-        return size if size > 0 else default
+        return (size, False) if size > 0 else (default, False)
 
     def estimate_compute_seconds(self, rdd_id: int, split: int, default: float = 1e-4) -> float:
+        return self.estimate_compute_seconds_ex(rdd_id, split, default)[0]
+
+    def estimate_compute_seconds_ex(
+        self, rdd_id: int, split: int, default: float = 1e-4
+    ) -> tuple[float, bool]:
+        """Compute-time estimate plus the same stability bit as sizes."""
         if self.metrics.is_observed(rdd_id, split):
-            return max(self.metrics.compute_seconds_of(rdd_id, split), 0.0)
+            return max(self.metrics.compute_seconds_of(rdd_id, split), 0.0), True
         if self.prior.is_observed(rdd_id, split):
-            return max(self.prior.compute_seconds_of(rdd_id, split), 0.0)
+            return max(self.prior.compute_seconds_of(rdd_id, split), 0.0), True
         value = self.metrics.compute_seconds_of(rdd_id, split, default=-1.0)
         if value >= 0:
-            return value
+            return value, False
         value = self.prior.compute_seconds_of(rdd_id, split, default=-1.0)
-        return value if value >= 0 else default
+        return (value, False) if value >= 0 else (default, False)
 
     def observe_partition(
         self,

@@ -20,6 +20,7 @@ partitions) plus a density-greedy fallback honoring the < 5 s budget.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass
 from typing import Hashable, Literal
 
@@ -84,12 +85,17 @@ def solve_partition_states(
         if item.cost_d < 0 or item.cost_r < 0 or item.weight < 0:
             raise SolverError(f"item {item.key!r} has negative cost/weight")
 
+    # ``mem_saving`` is recomputed per property access; the solvers consult
+    # it O(n log n) to O(nodes * n) times, so resolve each item's saving
+    # exactly once per solve (keys are unique block ids).
+    savings = {item.key: item.mem_saving for item in items}
+
     if backend == "exact":
         chosen, nodes, optimal = _knapsack_branch_and_bound(
-            items, memory_capacity, node_budget
+            items, memory_capacity, node_budget, savings
         )
     elif backend == "greedy":
-        chosen = _knapsack_greedy(items, memory_capacity)
+        chosen = _knapsack_greedy(items, memory_capacity, savings)
         nodes, optimal = 0, False
     else:
         raise SolverError(f"unknown ILP backend {backend!r}")
@@ -145,18 +151,20 @@ def _assign_disk_states(
 # ----------------------------------------------------------------------
 # Knapsack machinery (maximize saved cost under the memory constraint)
 # ----------------------------------------------------------------------
-def _density_order(items: list[IlpItem]) -> list[IlpItem]:
+def _density_order(items: list[IlpItem], savings: dict[Hashable, float]) -> list[IlpItem]:
     return sorted(
         items,
-        key=lambda it: (-(it.mem_saving / it.size_bytes), it.size_bytes, str(it.key)),
+        key=lambda it: (-(savings[it.key] / it.size_bytes), it.size_bytes, str(it.key)),
     )
 
 
-def _knapsack_greedy(items: list[IlpItem], capacity: float) -> set[Hashable]:
+def _knapsack_greedy(
+    items: list[IlpItem], capacity: float, savings: dict[Hashable, float]
+) -> set[Hashable]:
     chosen: set[Hashable] = set()
     used = 0.0
-    for item in _density_order(items):
-        if item.mem_saving <= 0:
+    for item in _density_order(items, savings):
+        if savings[item.key] <= 0:
             continue
         if used + item.size_bytes <= capacity:
             chosen.add(item.key)
@@ -164,55 +172,80 @@ def _knapsack_greedy(items: list[IlpItem], capacity: float) -> set[Hashable]:
     return chosen
 
 
-def _fractional_bound(ordered: list[IlpItem], start: int, capacity: float) -> float:
-    """LP-relaxation upper bound on additional saving from ``start`` on."""
-    bound = 0.0
-    remaining = capacity
-    for item in ordered[start:]:
-        if item.mem_saving <= 0:
-            break  # density order: the rest save nothing
-        if item.size_bytes <= remaining:
-            bound += item.mem_saving
-            remaining -= item.size_bytes
-        else:
-            bound += item.mem_saving * (remaining / item.size_bytes)
-            break
-    return bound
-
-
 def _knapsack_branch_and_bound(
     items: list[IlpItem],
     capacity: float,
     node_budget: int,
+    savings: dict[Hashable, float],
 ) -> tuple[set[Hashable], int, bool]:
-    """Exact 0/1 knapsack via DFS branch-and-bound with fractional bounds."""
-    ordered = [it for it in _density_order(items) if it.mem_saving > 0]
-    best_set = _knapsack_greedy(items, capacity)
-    best_value = sum(it.mem_saving for it in items if it.key in best_set)
-    nodes = 0
+    """Exact 0/1 knapsack via DFS branch-and-bound with fractional bounds.
+
+    The per-node fractional (LP-relaxation) bound dominates solver time, so
+    it is evaluated in O(log n) from prefix sums of the density-ordered
+    sizes/savings: bisect to the break item, take the whole-item prefix
+    difference, add the fractional tail.  The bound only gates pruning —
+    the solver stays exact — but node counts differ from the sequential
+    O(n) bound by ULP-level prefix-sum rounding.
+    """
+    ordered = [it for it in _density_order(items, savings) if savings[it.key] > 0]
+    n = len(ordered)
+    sizes = [it.size_bytes for it in ordered]
+    saves = [savings[it.key] for it in ordered]
+    keys = [it.key for it in ordered]
+    size_prefix = [0.0] * (n + 1)
+    save_prefix = [0.0] * (n + 1)
+    acc_size = acc_save = 0.0
+    for i in range(n):
+        acc_size += sizes[i]
+        acc_save += saves[i]
+        size_prefix[i + 1] = acc_size
+        save_prefix[i + 1] = acc_save
+    best_set = _knapsack_greedy(items, capacity, savings)
+    # Incumbent value summed in items order (float addition is not
+    # associative; this keeps the pruning threshold reproducible).
+    best_value = sum(savings[it.key] for it in items if it.key in best_set)
+    # The root pop is bookkeeping, not a branch decision: start at -1 so
+    # the budget buys ``node_budget`` actual branch nodes.
+    nodes = -1
     truncated = False
 
-    # Iterative DFS: (index, used_capacity, value, chosen_tuple)
-    stack: list[tuple[int, float, float, tuple[Hashable, ...]]] = [(0, 0.0, 0.0, ())]
+    # Iterative DFS: (index, used_capacity, value, chosen_chain).  The
+    # chosen set rides along as a linked list (key, parent) so pushing a
+    # node is O(1) instead of copying a tuple per level.
+    best_chain: tuple | None = None
+    improved = False
+    stack: list[tuple[int, float, float, tuple | None]] = [(0, 0.0, 0.0, None)]
     while stack:
-        idx, used, value, chosen = stack.pop()
+        idx, used, value, chain = stack.pop()
         nodes += 1
         if nodes > node_budget:
             truncated = True
             break
         if value > best_value:
             best_value = value
-            best_set = set(chosen)
-        if idx >= len(ordered):
+            best_chain = chain
+            improved = True
+        if idx >= n:
             continue
-        if value + _fractional_bound(ordered, idx, capacity - used) <= best_value + 1e-12:
+        # Fractional bound from ``idx`` with ``capacity - used`` left:
+        # whole items idx..j-1 fit, item j (if any) enters fractionally.
+        remaining = capacity - used
+        base = size_prefix[idx]
+        j = bisect_right(size_prefix, base + remaining, idx) - 1
+        bound = save_prefix[j] - save_prefix[idx]
+        if j < n:
+            bound += saves[j] * ((remaining - (size_prefix[j] - base)) / sizes[j])
+        if value + bound <= best_value + 1e-12:
             continue  # cannot beat the incumbent
-        item = ordered[idx]
+        size = sizes[idx]
         # Explore "take" after "skip" (stack pops take first -> greedy-like
         # dive that finds strong incumbents early).
-        stack.append((idx + 1, used, value, chosen))
-        if used + item.size_bytes <= capacity:
-            stack.append(
-                (idx + 1, used + item.size_bytes, value + item.mem_saving, chosen + (item.key,))
-            )
+        stack.append((idx + 1, used, value, chain))
+        if used + size <= capacity:
+            stack.append((idx + 1, used + size, value + saves[idx], (keys[idx], chain)))
+    if improved:
+        best_set = set()
+        while best_chain is not None:
+            best_set.add(best_chain[0])
+            best_chain = best_chain[1]
     return best_set, nodes, not truncated

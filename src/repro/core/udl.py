@@ -30,6 +30,7 @@ from ..metrics.collector import TaskMetrics
 from ..tracing.tracer import executor_pid
 from .cost_lineage import CostLineage, capture_job
 from .cost_model import CostModel, PartitionState
+from .decision_cache import DecisionCostCache, VictimIndex
 from .ilp import IlpItem, solve_partition_states
 from .profiler import LineageProfile
 
@@ -59,6 +60,9 @@ class BlazeCacheManager(CacheManager):
         self.cost_model: CostModel | None = None
         #: dataset ids produced so far (first-touch-aware closure pruning)
         self._materialized_ids: set[int] = set()
+        #: incremental decision state; ``None`` runs the naive hot path
+        self._cache: DecisionCostCache | None = None
+        self._indexes: dict[int, VictimIndex] = {}
         self.name = self._variant_name()
 
     def _variant_name(self) -> str:
@@ -78,6 +82,85 @@ class BlazeCacheManager(CacheManager):
         self.cost_model = CostModel(self.lineage, cluster.config.disk)
         if self.profile is not None:
             self.profile.seed(self.lineage)
+        if self.config.incremental_decisions:
+            cfg = self.config
+            # Cached cost values are only read when admission compares
+            # values or evictions weigh spill against recompute.
+            consulted = cfg.admission_enabled or (
+                cfg.disk_enabled and cfg.recompute_option_enabled
+            )
+            self._cache = DecisionCostCache(
+                self.lineage, self.cost_model, self._future_state_of,
+                cluster.metrics, consulted=consulted,
+            )
+            if cfg.cost_aware_enabled and cfg.admission_enabled:
+                sensitivity = "version"  # density key reads future refs
+            elif cfg.cost_aware_enabled:
+                sensitivity = "touch"  # cost_d keys off observations only
+            else:
+                sensitivity = "marks"  # LRU keys move on hits alone
+            key_fn = self._index_key_fn()
+            for executor in cluster.executors:
+                index = VictimIndex(key_fn, cluster.metrics, sensitivity)
+                self._indexes[executor.executor_id] = index
+                self._cache.indexes[executor.executor_id] = index
+                executor.bm.residency_listener = self
+
+    def detach(self) -> None:
+        if self.cluster is not None:
+            for executor in self.cluster.executors:
+                if executor.bm.residency_listener is self:
+                    executor.bm.residency_listener = None
+        self._cache = None
+        self._indexes = {}
+        super().detach()
+
+    # ------------------------------------------------------------------
+    # Residency listener (BlockManager callbacks) + index key functions
+    # ------------------------------------------------------------------
+    def _index_key_fn(self):
+        """The victim ordering for this variant, as ``block -> (key, stable)``.
+
+        Mirrors the three ``order_key`` branches of :meth:`_select_victims`
+        exactly; the stability bit says whether the key may drift as other
+        partitions are observed (regression-derived estimates).
+        """
+        if self.config.cost_aware_enabled:
+            if self.config.admission_enabled:
+                def key_fn(b: Block) -> tuple[float, bool]:
+                    value, stable = self._cache.block_value_ex(b)
+                    return value / b.size_bytes, stable
+            else:
+                def key_fn(b: Block) -> tuple[float, bool]:
+                    stable = (
+                        self.lineage.estimate_size_ex(b.rdd_id, b.split)[1]
+                    )
+                    return self.cost_model.cost_d(b.rdd_id, b.split), stable
+        else:
+            def key_fn(b: Block) -> tuple[float, bool]:
+                return b.last_access, True
+        return key_fn
+
+    def memory_added(self, executor_id: int, block: Block) -> None:
+        self._indexes[executor_id].add(block)
+        self._cache.touch(block.rdd_id, block.split, residency=True)
+
+    def memory_removed(self, executor_id: int, block: Block) -> None:
+        self._indexes[executor_id].remove(block.block_id)
+        self._cache.touch(block.rdd_id, block.split, residency=True)
+
+    def disk_changed(self, executor_id: int, block: Block) -> None:
+        # Disk residency feeds ``recovery_cost`` (state "disk" vs "gone"),
+        # so descendant cost entries must be invalidated too.
+        self._cache.touch(block.rdd_id, block.split, residency=True)
+
+    def on_memory_hit(self, executor: "Executor", block: Block, tm: TaskMetrics) -> None:
+        # Only the LRU ordering (+AutoCache) keys on access recency; the
+        # driver touches the block before this hook fires.
+        if self._cache is not None and not self.config.cost_aware_enabled:
+            index = self._indexes.get(executor.executor_id)
+            if index is not None:
+                index.mark_block(block.block_id)
 
     # ------------------------------------------------------------------
     # Residency
@@ -181,10 +264,16 @@ class BlazeCacheManager(CacheManager):
         compute_seconds: float,
         size_weight: float,
     ) -> None:
+        size_bytes = rdd.size_model.bytes_for(size_weight)
+        if self._cache is not None:
+            # Must run before the observation lands: it compares the new
+            # values against the currently recorded ones to decide whether
+            # any cached cost could change.
+            self._cache.note_observation(rdd.rdd_id, split, size_bytes, compute_seconds)
         self.lineage.observe_partition(
             rdd.rdd_id,
             split,
-            size_bytes=rdd.size_model.bytes_for(size_weight),
+            size_bytes=size_bytes,
             compute_seconds=compute_seconds,
         )
 
@@ -246,6 +335,9 @@ class BlazeCacheManager(CacheManager):
         tm: TaskMetrics,
         from_disk: bool,
     ) -> None:
+        if self._cache is not None:
+            self._admit_incremental(executor, block, refs, tm, from_disk)
+            return
         bm = executor.bm
         now = self.cluster.clock.now
         if block.size_bytes > bm.memory.capacity_bytes:
@@ -292,6 +384,87 @@ class BlazeCacheManager(CacheManager):
             self._evict(executor, victim, tm, memo)
         self._place_in_memory(bm, block, from_disk, now)
 
+    def _admit_incremental(
+        self,
+        executor: "Executor",
+        block: Block,
+        refs: int,
+        tm: TaskMetrics,
+        from_disk: bool,
+    ) -> None:
+        """The :meth:`_admit` decision via the epoch caches and victim index.
+
+        Bit-identical to the naive path: the naive admission shares one memo
+        across selection, the admission comparison, and the per-victim
+        eviction-state choice — all computed against the *pre-eviction*
+        snapshot — so every value here is resolved before the first eviction
+        mutates residency.
+        """
+        bm = executor.bm
+        cache = self._cache
+        now = self.cluster.clock.now
+        if block.size_bytes > bm.memory.capacity_bytes:
+            if not from_disk:
+                self._maybe_write_to_disk(executor, block, tm)
+            return
+
+        needed = block.size_bytes - bm.memory.free_bytes
+        if needed <= 0:
+            self._place_in_memory(bm, block, from_disk, now)
+            return
+
+        index = self._indexes[executor.executor_id]
+        index.ensure_current(self.lineage.version, cache.touch_count)
+        victims, scanned = index.select(needed, block.rdd_id)
+        metrics = self.cluster.metrics
+        metrics.victim_candidates_scanned += scanned
+        metrics.victim_selections += 1
+        if victims is None:
+            if not from_disk:
+                self._maybe_write_to_disk(executor, block, tm)
+            return
+
+        if self.config.admission_enabled:
+            incoming_value = cache.potential_cost(block.rdd_id, block.split) * refs
+            displaced_value = sum(cache.block_value(v) for v in victims)
+            if displaced_value >= incoming_value:
+                if self.tracer.enabled:
+                    self.tracer.instant(
+                        "cache.reject", "cache",
+                        pid=executor_pid(executor.executor_id),
+                        rdd=block.rdd_id, split=block.split,
+                        bytes=block.size_bytes, reason="admission",
+                        incoming_value=incoming_value,
+                        displaced_value=displaced_value,
+                    )
+                if not from_disk:
+                    self._maybe_write_to_disk(executor, block, tm)
+                return
+
+        # Resolve every victim's destination on the pre-eviction snapshot,
+        # then execute (each eviction invalidates the caches behind us).
+        plans = [self._eviction_plan(victim) for victim in victims]
+        for victim, spill in zip(victims, plans):
+            if spill:
+                bm.spill_to_disk(victim.block_id, tm)
+            else:
+                bm.discard(victim.block_id, evicted=True)
+        self._place_in_memory(bm, block, from_disk, now)
+
+    def _eviction_plan(self, victim: Block) -> bool:
+        """``True`` to spill, ``False`` to discard — :meth:`_evict`'s ladder."""
+        if not self.config.disk_enabled:
+            return False
+        if not self.config.recompute_option_enabled:
+            return True
+        if (
+            self.config.cost_aware_enabled
+            and self.lineage.knowledge_complete
+            and self.lineage.future_refs(victim.rdd_id, inclusive=False) == 0
+        ):
+            return False
+        return self._cache.preferred_state(victim.rdd_id, victim.split) == "disk"
+
     def _place_in_memory(self, bm, block: Block, from_disk: bool, now: float) -> None:
         if from_disk:
             promoted = bm.promote_to_memory(block.block_id)
@@ -337,6 +510,8 @@ class BlazeCacheManager(CacheManager):
                 return b.last_access
 
         eligible.sort(key=lambda b: (order_key(b), b.policy_data.get("seq", 0), b.block_id))
+        self.cluster.metrics.victim_candidates_scanned += len(eligible)
+        self.cluster.metrics.victim_selections += 1
         victims: list[Block] = []
         freed = 0.0
         for candidate in eligible:
@@ -381,9 +556,14 @@ class BlazeCacheManager(CacheManager):
         if not (self.config.cost_aware_enabled and self.config.recompute_option_enabled):
             executor.bm.insert_disk(block, tm)
             return
-        state = self.cost_model.preferred_eviction_state(
-            block.rdd_id, block.split, self._future_state_of, {}
-        )
+        if self._cache is not None:
+            # All call sites run pre-eviction, so the cached values equal
+            # what the naive fresh-memo computation would produce here.
+            state = self._cache.preferred_state(block.rdd_id, block.split)
+        else:
+            state = self.cost_model.preferred_eviction_state(
+                block.rdd_id, block.split, self._future_state_of, {}
+            )
         if state == "disk":
             executor.bm.insert_disk(block, tm)
 
@@ -434,6 +614,7 @@ class BlazeCacheManager(CacheManager):
                     items, capacity, disk_capacity=disk_cap, backend=cfg.ilp_backend
                 )
                 self.cluster.metrics.ilp_solves += 1
+                self.cluster.metrics.ilp_nodes += solution.nodes_explored
                 if self.tracer.enabled:
                     self.tracer.instant(
                         "ilp.solve", "ilp",

@@ -19,7 +19,7 @@ from ..core.profiler import run_dependency_extraction
 from ..dataflow.context import BlazeContext
 from ..systems.presets import make_system
 from ..tracing import InMemoryTracer, NULL_TRACER, RunReport, Tracer
-from ..workloads.base import WorkloadResult
+from ..workloads.base import Workload, WorkloadResult
 from ..workloads.registry import make_workload
 
 
@@ -76,7 +76,7 @@ def cluster_for_scale(scale: str) -> ClusterConfig:
 
 def run_experiment(
     system: str,
-    workload: str,
+    workload: "str | Workload",
     scale: str = "paper",
     seed: int = 0,
     cluster_config: ClusterConfig | None = None,
@@ -85,12 +85,16 @@ def run_experiment(
 ) -> RunResult:
     """Execute one evaluation cell and return its measurements.
 
-    ``tracer=None`` defers to ``cluster_config.tracing_enabled`` (an
+    ``workload`` is a registry name or an already-parameterized
+    :class:`~repro.workloads.base.Workload` instance (used by harnesses
+    that vary parameters beyond the scale presets, e.g. the pressure
+    configurations of ``scripts/bench.py``).  ``tracer=None`` defers to
+    ``cluster_config.tracing_enabled`` (an
     :class:`~repro.tracing.InMemoryTracer` is created when set); pass an
     explicit tracer to capture the trace yourself.
     """
     spec = make_system(system)
-    wl = make_workload(workload, scale)
+    wl = workload if isinstance(workload, Workload) else make_workload(workload, scale)
     config = cluster_config or cluster_for_scale(scale)
     bcfg = blaze_config or BlazeConfig()
     if tracer is None:
@@ -114,7 +118,7 @@ def run_experiment(
 
     return RunResult(
         system=system,
-        workload=workload,
+        workload=workload if isinstance(workload, str) else wl.name,
         scale=scale,
         seed=seed,
         act_seconds=report.act_seconds + profiling_seconds,

@@ -132,6 +132,16 @@ class MetricsCollector:
         self.profiling_seconds: float = 0.0
         self.ilp_solves: int = 0
         self.ilp_migrations: int = 0
+        # Decision-layer hot-path counters (PR 3): how much work the cache
+        # manager did to reach its decisions.  ``victim_candidates_scanned``
+        # counts blocks whose ordering key was consulted during victim
+        # selection; the memo counters track the epoch cost cache.
+        self.cost_memo_hits: int = 0
+        self.cost_memo_misses: int = 0
+        self.victim_candidates_scanned: int = 0
+        self.victim_selections: int = 0
+        self.victim_index_rekeys: int = 0
+        self.ilp_nodes: int = 0
 
     # ------------------------------------------------------------------
     def record_task(self, job_id: int, executor_id: int, tm: TaskMetrics) -> None:
@@ -180,6 +190,17 @@ class MetricsCollector:
     def evicted_bytes_by_executor(self) -> dict[int, float]:
         """Fig. 3's series: evicted bytes per executor."""
         return {eid: s.evicted_bytes for eid, s in sorted(self.executor_cache.items())}
+
+    def decision_counters(self) -> dict[str, int]:
+        """Decision-layer work counters (victim scans, cost memo, ILP)."""
+        return {
+            "cost_memo_hits": self.cost_memo_hits,
+            "cost_memo_misses": self.cost_memo_misses,
+            "victim_candidates_scanned": self.victim_candidates_scanned,
+            "victim_selections": self.victim_selections,
+            "victim_index_rekeys": self.victim_index_rekeys,
+            "ilp_nodes": self.ilp_nodes,
+        }
 
     def breakdown(self) -> dict[str, float]:
         """Accumulated task time split like Fig. 4 / Fig. 10."""

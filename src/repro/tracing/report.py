@@ -97,6 +97,9 @@ class RunReport:
     ilp_solves: int
     ilp_migrations: int
     profiling_seconds: float
+    #: decision-layer work counters (cost-memo hits/misses, victim-scan
+    #: candidates, ILP nodes) — see ``MetricsCollector.decision_counters``
+    decision_counters: dict[str, int] = field(default_factory=dict)
     events: tuple[TraceEvent, ...] = field(default_factory=tuple)
 
     # ------------------------------------------------------------------
@@ -119,6 +122,7 @@ class RunReport:
             ilp_solves=m.ilp_solves,
             ilp_migrations=m.ilp_migrations,
             profiling_seconds=m.profiling_seconds,
+            decision_counters=m.decision_counters(),
             events=ctx.tracer.events,
         )
 

@@ -1,0 +1,49 @@
+"""The decision-layer bench runs clean in smoke mode (tier-1 wiring).
+
+Beyond "the script works", this asserts the decision counters prove the
+incremental structures are actually engaged: the epoch cost cache serves
+hits, the victim index walks strictly fewer candidates than the naive
+full sort consulted, and the parts that must not change (selection count,
+eviction count, ILP exploration) are equal between the two modes.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+def test_bench_smoke_counters(tmp_path):
+    out = tmp_path / "bench.json"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    proc = subprocess.run(
+        [sys.executable, str(REPO / "scripts" / "bench.py"), "--smoke", "--out", str(out)],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=300,
+    )
+    assert proc.returncode == 0, f"stdout:\n{proc.stdout}\nstderr:\n{proc.stderr}"
+
+    doc = json.loads(out.read_text(encoding="utf-8"))
+    assert doc["scale"] == "tiny"
+    assert doc["cells"], "smoke must produce at least one cell"
+    for cell in doc["cells"]:
+        naive, incr = cell["naive"], cell["incremental"]
+        assert naive["evictions"] == incr["evictions"] > 0, "pressure must evict"
+        nc, ic = naive["counters"], incr["counters"]
+        # The incremental machinery is on ...
+        assert ic["cost_memo_hits"] > 0
+        assert ic["victim_index_rekeys"] > 0
+        # ... and off on the naive side.
+        assert nc["cost_memo_hits"] == nc["cost_memo_misses"] == 0
+        assert nc["victim_index_rekeys"] == 0
+        # Identical decision sequence => identical selection/ILP work ...
+        assert nc["victim_selections"] == ic["victim_selections"] > 0
+        assert nc["ilp_nodes"] == ic["ilp_nodes"]
+        # ... reached while consulting strictly fewer ordering keys.
+        assert ic["victim_candidates_scanned"] < nc["victim_candidates_scanned"]

@@ -1,0 +1,58 @@
+"""Regression: incremental decisions are bit-identical to the naive path.
+
+The JSONL trace is the oracle — admission rejections embed the compared
+float values (``incoming_value`` / ``displaced_value``), eviction order
+shows up as cache events, and spill-vs-discard choices as distinct event
+names — so byte-equality of same-seed traces with ``incremental_decisions``
+off vs. on proves the epoch cache and victim index changed *nothing* about
+decisions.  The workload is a pressure-heavy PageRank (partitions inflated
+well past the memory store) so the eviction/admission machinery actually
+runs hot.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import BlazeConfig, DiskConfig, ClusterConfig, GiB, MiB
+from repro.experiments.runner import run_experiment
+from repro.tracing import InMemoryTracer, to_jsonl
+from repro.workloads.base import replace_params
+from repro.workloads.registry import make_workload
+
+SEED = 3
+
+
+def _pressure_cluster() -> ClusterConfig:
+    """Tiny cluster squeezed so the working set overflows memory."""
+    return ClusterConfig(
+        num_executors=2,
+        slots_per_executor=2,
+        memory_store_bytes=24 * MiB,
+        disk=DiskConfig(capacity_bytes=5 * GiB),
+    )
+
+
+def _trace(system: str, incremental: bool) -> str:
+    workload = replace_params(make_workload("pr", "tiny"), num_partitions=24)
+    tracer = InMemoryTracer()
+    result = run_experiment(
+        system,
+        workload,
+        scale="tiny",
+        seed=SEED,
+        cluster_config=_pressure_cluster(),
+        blaze_config=BlazeConfig(incremental_decisions=incremental),
+        tracer=tracer,
+    )
+    assert result.eviction_count > 0, "config must generate memory pressure"
+    return to_jsonl(tracer.events)
+
+
+@pytest.mark.parametrize("system", ["blaze", "autocache", "costaware"])
+def test_incremental_trace_is_byte_identical(system):
+    assert _trace(system, incremental=False) == _trace(system, incremental=True)
+
+
+def test_same_seed_incremental_runs_are_deterministic():
+    assert _trace("blaze", incremental=True) == _trace("blaze", incremental=True)
