@@ -1,39 +1,69 @@
-"""Decision-layer benchmark: naive vs. incremental hot paths (PR 3).
+"""Engine benchmarks: decision-layer (PR 3) and data-plane (PR 4) hot paths.
 
-Runs pressure-heavy evaluation cells (Fig. 9-style configurations whose
-working set overflows the memory store, so eviction/admission decisions
-dominate) for each system variant twice — ``incremental_decisions`` off
-then on — and records wall-clock, peak RSS and the decision-layer work
-counters.  Decisions are bit-identical between the two modes (enforced by
-``tests/integration/test_trace_identity.py``), so the delta is pure
-decision-layer overhead.
+Two suites, one script:
 
-Run:  PYTHONPATH=src python scripts/bench.py [--out BENCH_pr3.json]
-      PYTHONPATH=src python scripts/bench.py --smoke      # seconds, tiny scale
+- **decision** — pressure-heavy cells (working set overflows the memory
+  store, eviction/admission decisions dominate) run with
+  ``incremental_decisions`` off then on;
+- **dataplane** — low-pressure cells (decisions cheap, the engine's
+  per-partition materialization work dominates) run with
+  ``fused_execution`` off then on.  The ``chain`` workload is the
+  flagship: deep unannotated narrow chains the fused layer collapses into
+  single-pass pipelines; ``pr``/``kmeans`` measure the bulk shuffle plane
+  and copy elimination on shuffle-bound and per-element-bound workloads.
+
+Both flags are observationally invisible (enforced byte-for-byte by
+``tests/integration/test_trace_identity.py`` and
+``tests/property/test_fusion_props.py``), so every delta is pure engine
+overhead.  Each cell cross-checks eviction counts and ILP node counts
+between its two modes and reports ``observables_identical``.
+
+Run:  PYTHONPATH=src python scripts/bench.py [--out BENCH_pr4.json]
+      PYTHONPATH=src python scripts/bench.py --smoke       # tiny, in-process
+      PYTHONPATH=src python scripts/bench.py --profile ... # + cProfile top-N
 
 Full mode executes every cell in a fresh subprocess so ``ru_maxrss`` is a
 per-cell high-water mark; ``--smoke`` runs a shrunken matrix in-process
-(no RSS, used by the tier-1 suite to assert the counters move the right
-way).  Output schema (``BENCH_pr3.json``)::
+(no RSS; the tier-1 suite uses it to assert the counters move the right
+way).  ``--profile`` adds one extra profiled run per measurement and
+stores the top functions by cumulative time under ``profile_top``.
+Output schema (``BENCH_pr4.json``)::
 
     {
-      "scale": "paper" | "tiny",
-      "pressure_factor": <partition multiplier>,
-      "cells": [
-        {"system": ..., "workload": ..., "num_partitions": ..., "seed": ...,
-         "naive":       {"wall_seconds": ..., "peak_rss_kib": ...,
-                         "evictions": ..., "counters": {...}},
-         "incremental": {... same shape ...},
-         "speedup": <naive wall / incremental wall>}
-      ],
-      "min_speedup": ..., "max_speedup": ...
+      "seed": 3,
+      "decision": {
+        "scale": ..., "pressure_factor": ...,
+        "cells": [
+          {"system": ..., "workload": ..., "num_partitions": ..., "seed": ...,
+           "naive":       {"wall_seconds": ..., "peak_rss_kib": ...,
+                           "evictions": ..., "counters": {...}},
+           "incremental": {... same shape ...},
+           "speedup": <naive wall / incremental wall>}
+        ],
+        "min_speedup": ..., "max_speedup": ..., "blaze_min_speedup": ...
+      },
+      "dataplane": {
+        "scale": ...,
+        "cells": [
+          {"system": ..., "workload": ..., "num_partitions": ..., "seed": ...,
+           "unfused": {"wall_seconds": ..., "peak_rss_kib": ...,
+                       "evictions": ..., "counters": {...}},
+           "fused":   {... same shape ...},
+           "speedup": <unfused wall / fused wall>,
+           "observables_identical": true}
+        ],
+        "min_speedup": ..., "max_speedup": ...
+      }
     }
 """
 
 from __future__ import annotations
 
 import argparse
+import cProfile
+import io
 import json
+import pstats
 import resource
 import subprocess
 import sys
@@ -51,8 +81,13 @@ SEED = 3
 #: paper-scale partition multiplier (20 -> 160 partitions): ~8x the
 #: memory store, deep into Fig. 9's pressure regime
 PRESSURE_FACTOR = 8
-SYSTEMS = ["blaze", "costaware", "autocache"]
-WORKLOADS = ["pr", "cc"]
+#: decision suite (PR 3): where the cache manager's own work dominates
+DECISION_SYSTEMS = ["blaze", "costaware", "autocache"]
+DECISION_WORKLOADS = ["pr", "cc"]
+#: data-plane suite (PR 4): low pressure, decisions deliberately cheap
+DATAPLANE_SYSTEMS = ["blaze", "costaware", "spark_mem_disk"]
+DATAPLANE_WORKLOADS = ["chain", "pr", "kmeans"]
+PROFILE_TOP_N = 12
 
 
 def smoke_cluster() -> ClusterConfig:
@@ -64,47 +99,80 @@ def smoke_cluster() -> ClusterConfig:
     )
 
 
-def run_cell(system: str, workload: str, scale: str, incremental: bool) -> dict:
-    """One measurement: a full experiment with the flag pinned."""
-    if scale == "tiny":
-        wl = replace_params(make_workload(workload, "tiny"), num_partitions=24)
-        cluster = smoke_cluster()
+def _profile_top(run, top_n: int = PROFILE_TOP_N) -> list[str]:
+    """One profiled execution of ``run``; top functions by cumulative time."""
+    profiler = cProfile.Profile()
+    profiler.enable()
+    run()
+    profiler.disable()
+    buf = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buf)
+    stats.sort_stats("cumulative")
+    stats.print_stats(top_n)
+    lines = [
+        line.strip()
+        for line in buf.getvalue().splitlines()
+        if line.strip() and (line.lstrip()[:1].isdigit() or "/" in line)
+    ]
+    return lines[:top_n]
+
+
+def run_cell(
+    system: str,
+    workload: str,
+    scale: str,
+    suite: str,
+    flag: bool,
+    profile: bool = False,
+) -> dict:
+    """One measurement: a full experiment with the suite's flag pinned."""
+    if suite == "decision":
+        # Pressure configuration: partitions inflated past the store.
+        if scale == "tiny":
+            wl = replace_params(make_workload(workload, "tiny"), num_partitions=24)
+            cluster = smoke_cluster()
+        else:
+            base = make_workload(workload, scale)
+            wl = replace_params(base, num_partitions=base.num_partitions * PRESSURE_FACTOR)
+            cluster = None
+        bcfg = BlazeConfig(incremental_decisions=flag)
     else:
-        base = make_workload(workload, scale)
-        wl = replace_params(base, num_partitions=base.num_partitions * PRESSURE_FACTOR)
+        # Low-pressure configuration: the registry's own shapes, where
+        # decision work is cheap and the data plane dominates.
+        wl = make_workload(workload, scale)
         cluster = None
+        bcfg = BlazeConfig(fused_execution=flag)
+
+    def once():
+        return run_experiment(
+            system, wl, scale=scale, seed=SEED, cluster_config=cluster, blaze_config=bcfg
+        )
+
     # The sim is deterministic, so re-running only de-noises the clock:
     # repeat short cells (up to 3x / ~8 s) and keep the fastest wall.
     walls = []
     while True:
         t0 = time.perf_counter()
-        result = run_experiment(
-            system,
-            wl,
-            scale=scale,
-            seed=SEED,
-            cluster_config=cluster,
-            blaze_config=BlazeConfig(incremental_decisions=incremental),
-        )
+        result = once()
         walls.append(time.perf_counter() - t0)
         if len(walls) >= 3 or sum(walls) > 8.0:
             break
-    return {
+    measurement = {
         "wall_seconds": round(min(walls), 3),
         "peak_rss_kib": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
         "evictions": result.eviction_count,
         "num_partitions": wl.num_partitions,
         "counters": result.report.decision_counters,
     }
+    if profile:
+        measurement["profile_top"] = _profile_top(once)
+    return measurement
 
 
-def run_cell_subprocess(system: str, workload: str, scale: str, incremental: bool) -> dict:
+def run_cell_subprocess(**spec) -> dict:
     """Fork a fresh interpreter so peak RSS is this cell's own high-water."""
-    spec = json.dumps(
-        {"system": system, "workload": workload, "scale": scale, "incremental": incremental}
-    )
     proc = subprocess.run(
-        [sys.executable, __file__, "--cell", spec],
+        [sys.executable, __file__, "--cell", json.dumps(spec)],
         capture_output=True,
         text=True,
         check=True,
@@ -112,61 +180,83 @@ def run_cell_subprocess(system: str, workload: str, scale: str, incremental: boo
     return json.loads(proc.stdout)
 
 
-def run_matrix(scale: str, systems: list[str], workloads: list[str], in_process: bool) -> dict:
+def run_matrix(
+    suite: str,
+    scale: str,
+    systems: list[str],
+    workloads: list[str],
+    in_process: bool,
+    profile: bool = False,
+) -> dict:
+    off_label, on_label = (
+        ("naive", "incremental") if suite == "decision" else ("unfused", "fused")
+    )
     cells = []
     for workload in workloads:
         for system in systems:
             measurements = {}
-            for incremental in (False, True):
-                label = "incremental" if incremental else "naive"
-                print(f"[bench] {workload} x {system} ({label}, scale={scale}) ...", flush=True)
-                if in_process:
-                    measurements[label] = run_cell(system, workload, scale, incremental)
-                else:
-                    measurements[label] = run_cell_subprocess(system, workload, scale, incremental)
+            for flag in (False, True):
+                label = on_label if flag else off_label
+                print(
+                    f"[bench] {suite}: {workload} x {system} ({label}, scale={scale}) ...",
+                    flush=True,
+                )
+                spec = dict(
+                    system=system, workload=workload, scale=scale,
+                    suite=suite, flag=flag, profile=profile,
+                )
+                measurements[label] = (
+                    run_cell(**spec) if in_process else run_cell_subprocess(**spec)
+                )
+            off, on = measurements[off_label], measurements[on_label]
             cell = {
                 "system": system,
                 "workload": workload,
-                "num_partitions": measurements["naive"].pop("num_partitions"),
+                "num_partitions": off.pop("num_partitions"),
                 "seed": SEED,
-                "naive": measurements["naive"],
-                "incremental": measurements["incremental"],
+                off_label: off,
+                on_label: on,
                 "speedup": round(
-                    measurements["naive"]["wall_seconds"]
-                    / max(measurements["incremental"]["wall_seconds"], 1e-9),
-                    2,
+                    off["wall_seconds"] / max(on["wall_seconds"], 1e-9), 2
                 ),
             }
-            measurements["incremental"].pop("num_partitions", None)
+            on.pop("num_partitions", None)
+            if suite == "dataplane":
+                cell["observables_identical"] = (
+                    off["evictions"] == on["evictions"]
+                    and off["counters"]["ilp_nodes"] == on["counters"]["ilp_nodes"]
+                )
             cells.append(cell)
             print(
-                f"[bench]   {measurements['naive']['wall_seconds']:.1f}s -> "
-                f"{measurements['incremental']['wall_seconds']:.1f}s "
+                f"[bench]   {off['wall_seconds']:.1f}s -> {on['wall_seconds']:.1f}s "
                 f"({cell['speedup']}x)",
                 flush=True,
             )
     speedups = [c["speedup"] for c in cells]
-    # The ablations barely exercise the decision layer (cheap ordering
-    # keys, no admission/ILP), so the headline number is the full-Blaze
-    # subset where decisions dominate the naive wall-clock.
-    blaze = [c["speedup"] for c in cells if c["system"] == "blaze"] or speedups
-    return {
+    doc = {
         "scale": scale,
-        "pressure_factor": PRESSURE_FACTOR if scale != "tiny" else None,
         "seed": SEED,
         "cells": cells,
         "min_speedup": min(speedups),
         "max_speedup": max(speedups),
-        "blaze_min_speedup": min(blaze),
     }
+    if suite == "decision":
+        doc["pressure_factor"] = PRESSURE_FACTOR if scale != "tiny" else None
+        # The ablations barely exercise the decision layer (cheap ordering
+        # keys, no admission/ILP), so the headline number is the full-Blaze
+        # subset where decisions dominate the naive wall-clock.
+        blaze = [c["speedup"] for c in cells if c["system"] == "blaze"] or speedups
+        doc["blaze_min_speedup"] = min(blaze)
+    return doc
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--out", default="BENCH_pr3.json", help="output path")
+    parser.add_argument("--out", default="BENCH_pr4.json", help="output path")
     parser.add_argument("--smoke", action="store_true", help="tiny scale, in-process, fast")
-    parser.add_argument("--systems", nargs="+", default=SYSTEMS)
-    parser.add_argument("--workloads", nargs="+", default=WORKLOADS)
+    parser.add_argument("--profile", action="store_true",
+                        help="attach cProfile top-N to every measurement")
+    parser.add_argument("--suite", choices=["decision", "dataplane", "all"], default="all")
     parser.add_argument("--cell", help="(internal) run one cell from a JSON spec")
     args = parser.parse_args(argv)
 
@@ -175,13 +265,38 @@ def main(argv: list[str] | None = None) -> int:
         print(json.dumps(run_cell(**spec)))
         return 0
 
+    doc: dict = {"seed": SEED}
     if args.smoke:
-        doc = run_matrix("tiny", ["blaze"], ["pr"], in_process=True)
+        if args.suite in ("decision", "all"):
+            doc["decision"] = run_matrix(
+                "decision", "tiny", ["blaze"], ["pr"], in_process=True,
+                profile=args.profile,
+            )
+        if args.suite in ("dataplane", "all"):
+            doc["dataplane"] = run_matrix(
+                "dataplane", "tiny", ["blaze", "spark_mem_disk"], ["chain"],
+                in_process=True, profile=args.profile,
+            )
     else:
-        doc = run_matrix("paper", args.systems, args.workloads, in_process=False)
+        if args.suite in ("decision", "all"):
+            doc["decision"] = run_matrix(
+                "decision", "paper", DECISION_SYSTEMS, DECISION_WORKLOADS,
+                in_process=False, profile=args.profile,
+            )
+        if args.suite in ("dataplane", "all"):
+            doc["dataplane"] = run_matrix(
+                "dataplane", "paper", DATAPLANE_SYSTEMS, DATAPLANE_WORKLOADS,
+                in_process=False, profile=args.profile,
+            )
 
     Path(args.out).write_text(json.dumps(doc, indent=2) + "\n", encoding="utf-8")
-    print(f"[bench] wrote {args.out}: speedups {doc['min_speedup']}x - {doc['max_speedup']}x")
+    for suite in ("decision", "dataplane"):
+        if suite in doc:
+            print(
+                f"[bench] {suite}: speedups {doc[suite]['min_speedup']}x - "
+                f"{doc[suite]['max_speedup']}x"
+            )
+    print(f"[bench] wrote {args.out}")
     return 0
 
 

@@ -69,6 +69,11 @@ class SparkCacheManager(CacheManager):
     def is_cache_candidate(self, rdd: "RDD") -> bool:
         return rdd.is_annotated_cached
 
+    def will_never_store(self, rdd: "RDD") -> bool:
+        # Annotation-driven caching: an unannotated dataset never reaches
+        # handle_cache at all, so the engine may pipeline through it.
+        return not rdd.is_annotated_cached
+
     # ------------------------------------------------------------------
     def on_job_submit(self, job: "Job") -> None:
         ref_sets = [

@@ -65,6 +65,19 @@ class CacheManager(ABC):
     def is_cache_candidate(self, rdd: "RDD") -> bool:
         """Should materialized partitions of ``rdd`` go through the cache?"""
 
+    def will_never_store(self, rdd: "RDD") -> bool:
+        """May the engine elide materializing ``rdd``'s partitions?
+
+        Return True only when, for the remainder of the current stage,
+        offering a partition of ``rdd`` via :meth:`handle_cache` is
+        guaranteed to be a side-effect-free no-op (nothing stored, no
+        state or trace touched) — e.g. the dataset is not a candidate at
+        all, or admission provably rejects it.  The fused data plane uses
+        this to pipeline narrow chains without perturbing decisions; the
+        conservative default disables elision.
+        """
+        return False
+
     # ------------------------------------------------------------------
     # Lifecycle hooks
     # ------------------------------------------------------------------

@@ -20,6 +20,7 @@ from typing import TYPE_CHECKING, Any, Callable
 
 from ..dataflow.dag import Job, Stage, build_job
 from ..dataflow.dependencies import ShuffleDependency
+from ..dataflow.fusion import FusionPlanner
 from ..errors import DataflowError
 from ..metrics.collector import TaskMetrics
 from ..tracing.tracer import executor_pid
@@ -36,7 +37,12 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 class Driver:
     """Plans and executes jobs on the simulated cluster."""
 
-    def __init__(self, cluster: "Cluster", cache_manager: "CacheManager") -> None:
+    def __init__(
+        self,
+        cluster: "Cluster",
+        cache_manager: "CacheManager",
+        fused_execution: bool = True,
+    ) -> None:
         self.cluster = cluster
         self.cache_manager = cache_manager
         self.metrics = cluster.metrics
@@ -48,6 +54,13 @@ class Driver:
         #: one of these is a *recovery* and its compute time counts as
         #: recomputation cost.
         self._was_cached: set[BlockId] = set()
+        #: per-task scratch (reset in ``_run_stage``): partition data memo
+        #: and the memoized ``size_model.bytes_for`` results for it.
+        self._task_memo: dict[BlockId, list] = {}
+        self._task_size_memo: dict[BlockId, float] = {}
+        self._recovery_depth = 0
+        self.fused_execution = bool(fused_execution)
+        self._fusion = FusionPlanner(self) if self.fused_execution else None
         #: hooks run after every completed job (profiler timeout budget)
         self.post_job_hooks: list[Callable[[Job], None]] = []
         cache_manager.attach(cluster)
@@ -80,6 +93,8 @@ class Driver:
                 kind="result" if stage.is_result else "shuffle_map",
             )
             self.cache_manager.on_stage_start(stage)
+            if self._fusion is not None:
+                self._fusion.begin_stage()
             self._run_stage(stage, job, results)
             self.cache_manager.on_stage_complete(stage)
             self.tracer.end(stage_span)
@@ -144,7 +159,8 @@ class Driver:
         def execute(task: TaskSlot) -> float:
             start = self.cluster.clock.now
             tm = TaskMetrics()
-            self._task_memo: dict[BlockId, list] = {}
+            self._task_memo = {}
+            self._task_size_memo = {}
             self._recovery_depth = 0
             data = self.materialize(stage.rdd, task.split, task.executor, tm)
             if stage.is_result:
@@ -211,7 +227,15 @@ class Driver:
                 self._recovery_depth -= 1
 
         if candidate and self.cluster.find_block(block_id) is None:
-            size = rdd.size_model.bytes_for(rdd.size_weight(data))
+            if self.fused_execution:
+                size = self._task_size_memo.get(block_id)
+                if size is None:
+                    self.metrics.bytes_for_memo_misses += 1
+                    size = rdd.size_model.bytes_for(rdd.size_weight(data))
+                else:
+                    self.metrics.bytes_for_memo_hits += 1
+            else:
+                size = rdd.size_model.bytes_for(rdd.size_weight(data))
             self.cache_manager.handle_cache(executor, rdd, split, data, size, tm)
             if self.cluster.find_block(block_id) is not None:
                 self._was_cached.add(block_id)
@@ -274,6 +298,11 @@ class Driver:
         tm: TaskMetrics,
     ) -> list:
         """Run the operator body, resolving inputs recursively."""
+        if self._fusion is not None:
+            chain = self._fusion.plan_for(rdd)
+            if chain is not None and self._fusion.runtime_ok(chain, split):
+                out, n_in = self._fusion.execute(chain, split, executor, tm)
+                return self._charge_computed(rdd, split, n_in, out, tm)
         narrow_data = [
             self.materialize(parent, ps, executor, tm)
             for parent, ps in rdd.narrow_inputs(split)
@@ -288,13 +317,32 @@ class Driver:
         out = rdd.compute(split, narrow_data, shuffle_data)
         if not isinstance(out, list):
             raise DataflowError(f"{rdd!r}.compute must return a list")
+        return self._charge_computed(rdd, split, n_in, out, tm)
+
+    def _charge_computed(
+        self,
+        rdd: "RDD",
+        split: int,
+        n_in: int,
+        out: list,
+        tm: TaskMetrics,
+    ) -> list:
+        """Charge compute time and feed the profiling hook for ``out``.
+
+        Also memoizes the partition's modeled bytes for the task so
+        ``materialize`` does not re-walk the data through a size weigher
+        when offering it to the cache.
+        """
+        weight = rdd.size_weight(out)
         seconds = rdd.op_cost.seconds(n_in, len(out))
         tm.compute_seconds += seconds
         if self._recovery_depth > 0:
             tm.recompute_seconds += seconds
         self.cache_manager.on_partition_computed(
-            rdd, split, n_in, len(out), seconds, rdd.size_weight(out)
+            rdd, split, n_in, len(out), seconds, weight
         )
+        if self.fused_execution:
+            self._task_size_memo[(rdd.rdd_id, split)] = rdd.size_model.bytes_for(weight)
         return out
 
     def _recompute_shuffle(

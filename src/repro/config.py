@@ -143,6 +143,13 @@ class BlazeConfig:
     # a kill switch and as the baseline for `scripts/bench.py`.
     incremental_decisions: bool = True
 
+    # Fused data plane (narrow-chain pipelining, bulk shuffle bucketing,
+    # size-model memoization).  Execution is observationally identical
+    # either way — same cache events, same virtual-time charges, same
+    # decisions — so the flag is a kill switch and the baseline for the
+    # data-plane cells of `scripts/bench.py`.
+    fused_execution: bool = True
+
     def __post_init__(self) -> None:
         if self.ilp_horizon_jobs < 1:
             raise ConfigError("ilp_horizon_jobs must be >= 1")

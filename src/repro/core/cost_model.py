@@ -44,16 +44,39 @@ class CostModel:
     # ------------------------------------------------------------------
     # Disk-side costs
     # ------------------------------------------------------------------
-    def cost_d(self, rdd_id: int, split: int) -> float:
+    def _size_and_ser(
+        self, rdd_id: int, split: int, memo: dict | None
+    ) -> tuple[float, float]:
+        """``(estimate_size, ser_factor)``, memoized per decision epoch.
+
+        ``estimate_size`` walks the observed -> prior -> regression fallback
+        chain on every call; within one epoch memo (the admission-local dict
+        or :meth:`DecisionCostCache.scratch`, which dies on any touch) the
+        result cannot change, so repeated ``cost_d`` / ``disk_write_cost``
+        evaluations of the same partition pay the lookup once.
+        """
+        if memo is None:
+            return (
+                self.lineage.estimate_size(rdd_id, split),
+                self.lineage.ser_factor_of(rdd_id),
+            )
+        key = ("sz", rdd_id, split)
+        cached = memo.get(key)
+        if cached is None:
+            cached = memo[key] = (
+                self.lineage.estimate_size(rdd_id, split),
+                self.lineage.ser_factor_of(rdd_id),
+            )
+        return cached
+
+    def cost_d(self, rdd_id: int, split: int, memo: dict | None = None) -> float:
         """Eq. 3: recovery-from-disk cost (read + deserialize)."""
-        size = self.lineage.estimate_size(rdd_id, split)
-        ser_factor = self.lineage.ser_factor_of(rdd_id)
+        size, ser_factor = self._size_and_ser(rdd_id, split, memo)
         return size / self.disk.read_bytes_per_sec + size * self.disk.deser_seconds_per_byte * ser_factor
 
-    def disk_write_cost(self, rdd_id: int, split: int) -> float:
+    def disk_write_cost(self, rdd_id: int, split: int, memo: dict | None = None) -> float:
         """Price of spilling the partition to disk now (serialize + write)."""
-        size = self.lineage.estimate_size(rdd_id, split)
-        ser_factor = self.lineage.ser_factor_of(rdd_id)
+        size, ser_factor = self._size_and_ser(rdd_id, split, memo)
         return size / self.disk.write_bytes_per_sec + size * self.disk.ser_seconds_per_byte * ser_factor
 
     # ------------------------------------------------------------------
@@ -106,7 +129,7 @@ class CostModel:
         if state == "mem":
             value = 0.0
         elif state == "disk":
-            value = self.cost_d(rdd_id, split)
+            value = self.cost_d(rdd_id, split, memo)
         else:
             value = self.cost_r(rdd_id, split, state_fn, memo, _depth + 1)
         memo[key] = value
@@ -124,7 +147,7 @@ class CostModel:
     ) -> float:
         """``min(cost_d, cost_r)``: the cheapest non-memory recovery."""
         return min(
-            self.cost_d(rdd_id, split),
+            self.cost_d(rdd_id, split, memo),
             self.cost_r(rdd_id, split, state_fn, memo),
         )
 
@@ -140,6 +163,8 @@ class CostModel:
         Spilling pays the write now *and* the read later; discarding pays
         the recomputation later.  Spill only when that total is cheaper.
         """
-        spill_total = self.disk_write_cost(rdd_id, split) + self.cost_d(rdd_id, split)
+        spill_total = self.disk_write_cost(rdd_id, split, memo) + self.cost_d(
+            rdd_id, split, memo
+        )
         recompute = self.cost_r(rdd_id, split, state_fn, memo)
         return "disk" if spill_total < recompute else "gone"

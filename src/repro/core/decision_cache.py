@@ -324,9 +324,10 @@ class DecisionCostCache:
         The expression mirrors the naive one operand-for-operand so the
         comparison sees identical floats.
         """
-        spill_total = self.cost_model.disk_write_cost(rdd_id, split) + self.cost_model.cost_d(
-            rdd_id, split
-        )
+        scratch = self.scratch()
+        spill_total = self.cost_model.disk_write_cost(
+            rdd_id, split, scratch
+        ) + self.cost_model.cost_d(rdd_id, split, scratch)
         recompute = self.cost_r(rdd_id, split)
         return "disk" if spill_total < recompute else "gone"
 

@@ -15,7 +15,7 @@ from typing import Callable
 from .regression import LinearRegressor
 
 
-@dataclass
+@dataclass(slots=True)
 class PartitionMetrics:
     """Observed metrics of one partition."""
 
@@ -23,7 +23,7 @@ class PartitionMetrics:
     compute_seconds: float | None = None
 
 
-@dataclass
+@dataclass(slots=True)
 class _RoleSeries:
     """Per-(role, split) regression series across iterations."""
 
@@ -53,31 +53,37 @@ class PartitionMetricsStore:
         compute_seconds: float | None = None,
     ) -> None:
         """Record observed metrics (later observations overwrite)."""
-        pm = self._observed.setdefault((rdd_id, split), PartitionMetrics())
+        # This runs once per materialized partition (twice during profile
+        # seeding); the body is flattened — no helper call, no speculative
+        # default construction — because it is the single hottest recording
+        # path in the engine.
+        key = (rdd_id, split)
+        observed = self._observed
+        pm = observed.get(key)
+        if pm is None:
+            pm = observed[key] = PartitionMetrics()
         if size_bytes is not None:
             pm.size_bytes = float(size_bytes)
         if compute_seconds is not None:
             pm.compute_seconds = float(compute_seconds)
-        self._fold_into_aggregates(rdd_id, split, size_bytes, compute_seconds)
-
-    def _fold_into_aggregates(
-        self,
-        rdd_id: int,
-        split: int,
-        size_bytes: float | None,
-        compute_seconds: float | None,
-    ) -> None:
-        s, c, n = self._rdd_totals.get(rdd_id, (0.0, 0.0, 0))
-        self._rdd_totals[rdd_id] = (
-            s + (size_bytes or 0.0),
-            c + (compute_seconds or 0.0),
-            n + 1,
-        )
+        totals = self._rdd_totals.get(rdd_id)
+        if totals is None:
+            self._rdd_totals[rdd_id] = (size_bytes or 0.0, compute_seconds or 0.0, 1)
+        else:
+            s, c, n = totals
+            self._rdd_totals[rdd_id] = (
+                s + (size_bytes or 0.0),
+                c + (compute_seconds or 0.0),
+                n + 1,
+            )
         role = self.role_fn(rdd_id)
         if role is None:
             return
         role_idx, iteration = role
-        series = self._series.setdefault((role_idx, split), _RoleSeries())
+        series_key = (role_idx, split)
+        series = self._series.get(series_key)
+        if series is None:
+            series = self._series[series_key] = _RoleSeries()
         if size_bytes is not None:
             series.size.add(iteration, size_bytes)
         if compute_seconds is not None:

@@ -104,6 +104,14 @@ class _RecordingCacheManager(CacheManager):
     def is_cache_candidate(self, rdd) -> bool:
         return rdd.is_annotated_cached
 
+    def will_never_store(self, rdd) -> bool:
+        # ``handle_cache`` below only ever admits annotated datasets, so
+        # the sample run may fuse unannotated narrow chains.  The profile
+        # is invariant to the elision: ``on_partition_computed`` receives
+        # the exact unfused cardinalities/charges (keyed dicts, order-
+        # insensitive) and the captures are purely structural.
+        return not rdd.is_annotated_cached
+
     def on_job_submit(self, job) -> None:
         shuffle = self.cluster.shuffle
 
@@ -191,7 +199,7 @@ def run_dependency_extraction(
         timeout_seconds=config.profiling_timeout_seconds,
         trace_to=tracer,
     )
-    ctx = BlazeContext(profiling_cluster_config(), manager, seed=seed)
+    ctx = BlazeContext(profiling_cluster_config(), manager, seed=seed, blaze_config=config)
     try:
         scaled_run_fn(ctx)
     except _ProfilingTimeout:

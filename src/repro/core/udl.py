@@ -135,7 +135,10 @@ class BlazeCacheManager(CacheManager):
                     stable = (
                         self.lineage.estimate_size_ex(b.rdd_id, b.split)[1]
                     )
-                    return self.cost_model.cost_d(b.rdd_id, b.split), stable
+                    cost = self.cost_model.cost_d(
+                        b.rdd_id, b.split, self._cache.scratch()
+                    )
+                    return cost, stable
         else:
             def key_fn(b: Block) -> tuple[float, bool]:
                 return b.last_access, True
@@ -202,6 +205,17 @@ class BlazeCacheManager(CacheManager):
         # not yet detected), fall back to the user's annotations rather
         # than assuming "no known reference" means "no reuse".
         return not self.lineage.knowledge_complete and rdd.is_annotated_cached
+
+    def will_never_store(self, rdd: "RDD") -> bool:
+        # Mirrors handle_cache's admission preamble: a non-candidate never
+        # reaches it, and a candidate with no exclusive future references
+        # takes the "no reuse ahead" early return — unless the annotation
+        # fallback under incomplete knowledge could still place it.
+        if not self.is_cache_candidate(rdd):
+            return True
+        if self.lineage.future_refs(rdd.rdd_id, inclusive=False) > 0:
+            return False
+        return self.lineage.knowledge_complete or not rdd.is_annotated_cached
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -503,7 +517,7 @@ class BlazeCacheManager(CacheManager):
             else:
                 # +CostAware: smallest potential disk access cost (§7.3).
                 def order_key(b: Block) -> float:
-                    return self.cost_model.cost_d(b.rdd_id, b.split)
+                    return self.cost_model.cost_d(b.rdd_id, b.split, memo)
         else:
             # +AutoCache: history-based LRU, costs ignored.
             def order_key(b: Block) -> float:
@@ -596,7 +610,9 @@ class BlazeCacheManager(CacheManager):
                         IlpItem(
                             key=block.block_id,
                             size_bytes=block.size_bytes,
-                            cost_d=self.cost_model.cost_d(block.rdd_id, block.split),
+                            cost_d=self.cost_model.cost_d(
+                                block.rdd_id, block.split, memo
+                            ),
                             cost_r=self.cost_model.cost_r(
                                 block.rdd_id, block.split, state_fn, memo
                             ),

@@ -15,7 +15,7 @@ import numpy as np
 from ..cluster.cachemanager import CacheManager
 from ..cluster.cluster import Cluster
 from ..cluster.driver import Driver
-from ..config import ClusterConfig
+from ..config import BlazeConfig, ClusterConfig
 from ..errors import DataflowError
 from ..metrics.collector import MetricsCollector
 from ..sim.rng import make_rng
@@ -34,6 +34,7 @@ class BlazeContext:
         cache_manager: CacheManager | None = None,
         seed: int = 0,
         tracer: Tracer | None = None,
+        blaze_config: "BlazeConfig | None" = None,
     ) -> None:
         if cache_manager is None:
             from ..caching.manager import SparkCacheManager
@@ -41,11 +42,16 @@ class BlazeContext:
             cache_manager = SparkCacheManager()
         self.config = cluster_config or ClusterConfig()
         self.seed = int(seed)
+        #: engine-level kill switch for the fused data plane (narrow-chain
+        #: pipelining + bulk shuffle bucketing); defaults to the
+        #: ``BlazeConfig`` default so plain contexts get the fast plane.
+        self.fused_execution = blaze_config.fused_execution if blaze_config else True
         if tracer is None:
             tracer = InMemoryTracer() if self.config.tracing_enabled else NULL_TRACER
         self.tracer = tracer
         self.cluster = Cluster(self.config, tracer=tracer)
-        self.driver = Driver(self.cluster, cache_manager)
+        self.cluster.shuffle.fast_path = self.fused_execution
+        self.driver = Driver(self.cluster, cache_manager, fused_execution=self.fused_execution)
         self.cache_manager = cache_manager
         self._rdds: list[RDD] = []
         self._stopped = False

@@ -64,6 +64,33 @@ class RangeDependency(NarrowDependency):
         return []
 
 
+class CoalesceDependency(NarrowDependency):
+    """Each child partition reads a contiguous block of parent partitions.
+
+    Child split ``c`` of ``num_child`` reads parent splits
+    ``[num_parent * c // num_child, num_parent * (c + 1) // num_child)`` —
+    the same contiguous, size-balanced packing Spark's shuffle-free
+    ``coalesce`` uses.
+    """
+
+    def __init__(self, parent: "RDD", num_child: int) -> None:
+        super().__init__(parent)
+        if num_child <= 0:
+            raise DataflowError("coalesce needs at least one partition")
+        if num_child > parent.num_partitions:
+            raise DataflowError(
+                "coalesce cannot increase the partition count "
+                f"({parent.num_partitions} -> {num_child}); use a shuffle"
+            )
+        self.num_child = num_child
+
+    def parent_splits(self, child_split: int) -> list[int]:
+        n_parent = self.parent.num_partitions
+        start = n_parent * child_split // self.num_child
+        end = n_parent * (child_split + 1) // self.num_child
+        return list(range(start, end))
+
+
 class ShuffleDependency(Dependency):
     """A wide dependency carrying a shuffle id and a partitioner.
 

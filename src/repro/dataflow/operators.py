@@ -18,7 +18,7 @@ from dataclasses import dataclass
 from ..errors import ConfigError
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class OpCost:
     """Virtual compute seconds for producing one partition.
 
@@ -53,7 +53,7 @@ class OpCost:
         )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SizeModel:
     """Modeled on-heap size of a partition.
 

@@ -18,6 +18,7 @@ from typing import TYPE_CHECKING, Any, Callable, Iterable
 
 from ..errors import DataflowError
 from .dependencies import (
+    CoalesceDependency,
     Dependency,
     NarrowDependency,
     OneToOneDependency,
@@ -160,8 +161,17 @@ class RDD:
         size_model: SizeModel | None = None,
         preserves_partitioning: bool = False,
         name: str | None = None,
+        elem_op: "tuple[str, Callable] | None" = None,
+        streamable: bool = False,
     ) -> "RDD":
-        """Apply ``fn(split_index, elements)`` to each partition."""
+        """Apply ``fn(split_index, elements)`` to each partition.
+
+        ``elem_op`` describes the body as an element-wise operation
+        (``("map"|"filter"|"flat_map", fn)``) so the fused data plane can
+        pipeline it; ``streamable=True`` declares that ``fn`` consumes its
+        input in a single forward pass (and so accepts any iterable).
+        Both are optional metadata — execution semantics are unchanged.
+        """
         return MapPartitionsRDD(
             self.ctx,
             self,
@@ -170,35 +180,65 @@ class RDD:
             size_model=size_model,
             preserves_partitioning=preserves_partitioning,
             name=name,
+            elem_op=elem_op,
+            streamable=streamable,
         )
 
     def map(self, fn: Callable[[Any], Any], **kwargs) -> "RDD":
         """Element-wise transform."""
-        return self.map_partitions(lambda _s, part: [fn(x) for x in part], **kwargs)
+        return self.map_partitions(
+            lambda _s, part: [fn(x) for x in part], elem_op=("map", fn), **kwargs
+        )
 
     def filter(self, pred: Callable[[Any], bool], **kwargs) -> "RDD":
         """Keep elements satisfying ``pred``."""
         kwargs.setdefault("preserves_partitioning", True)
-        return self.map_partitions(lambda _s, part: [x for x in part if pred(x)], **kwargs)
+        return self.map_partitions(
+            lambda _s, part: [x for x in part if pred(x)],
+            elem_op=("filter", pred),
+            **kwargs,
+        )
 
     def flat_map(self, fn: Callable[[Any], Iterable], **kwargs) -> "RDD":
         """Element-wise transform producing zero or more outputs each."""
         return self.map_partitions(
-            lambda _s, part: [y for x in part for y in fn(x)], **kwargs
+            lambda _s, part: [y for x in part for y in fn(x)],
+            elem_op=("flat_map", fn),
+            **kwargs,
         )
 
     def map_values(self, fn: Callable[[Any], Any], **kwargs) -> "RDD":
         """Transform the value of each (key, value) pair, keeping keys."""
         kwargs.setdefault("preserves_partitioning", True)
-        return self.map_partitions(lambda _s, part: [(k, fn(v)) for k, v in part], **kwargs)
+
+        def mv(kv, fn=fn):
+            k, v = kv
+            return (k, fn(v))
+
+        return self.map_partitions(
+            lambda _s, part: [(k, fn(v)) for k, v in part],
+            elem_op=("map", mv),
+            **kwargs,
+        )
 
     def key_by(self, fn: Callable[[Any], Any], **kwargs) -> "RDD":
         """Turn elements into (fn(x), x) pairs."""
-        return self.map_partitions(lambda _s, part: [(fn(x), x) for x in part], **kwargs)
+        return self.map_partitions(
+            lambda _s, part: [(fn(x), x) for x in part],
+            elem_op=("map", lambda x, fn=fn: (fn(x), x)),
+            **kwargs,
+        )
 
     def union(self, other: "RDD") -> "RDD":
         """Concatenate two datasets (narrow; partitions are juxtaposed)."""
         return UnionRDD(self.ctx, [self, other])
+
+    def coalesce(self, num_partitions: int, **kwargs) -> "RDD":
+        """Shrink to ``num_partitions`` by packing contiguous partitions
+        together (narrow, no shuffle — Spark's ``coalesce``)."""
+        if num_partitions == self.num_partitions:
+            return self
+        return CoalesceRDD(self.ctx, self, num_partitions, **kwargs)
 
     def zip_partitions(
         self,
@@ -243,7 +283,9 @@ class RDD:
                 return list(acc.items())
 
             kwargs.setdefault("op_cost", SHUFFLE_LIKE)
-            return self.map_partitions(local_reduce, preserves_partitioning=True, **kwargs)
+            return self.map_partitions(
+                local_reduce, preserves_partitioning=True, streamable=True, **kwargs
+            )
         return ShuffledRDD(self.ctx, self, target, combiner=fn, group=False, **kwargs)
 
     def group_by_key(self, num_partitions: int | None = None, **kwargs) -> "RDD":
@@ -270,16 +312,25 @@ class RDD:
 
         return grouped.map_partitions(
             emit, op_cost=SHUFFLE_LIKE, preserves_partitioning=True,
-            name=f"join({self.name},{other.name})",
+            streamable=True, name=f"join({self.name},{other.name})",
         )
 
     def distinct(self, num_partitions: int | None = None, **kwargs) -> "RDD":
         """Remove duplicate elements (shuffle by the element itself)."""
-        keyed = self.map_partitions(lambda _s, part: [(x, None) for x in part])
+        keyed = self.map_partitions(
+            lambda _s, part: [(x, None) for x in part],
+            elem_op=("map", lambda x: (x, None)),
+        )
         reduced = keyed.reduce_by_key(lambda a, _b: a, num_partitions, **kwargs)
+
+        def first(kv):
+            k, _ = kv
+            return k
+
         return reduced.map_partitions(
             lambda _s, part: [k for k, _ in part],
             preserves_partitioning=False,
+            elem_op=("map", first),
             name=f"distinct({self.name})",
         )
 
@@ -385,7 +436,11 @@ def _slice(data: list, n: int) -> list[list]:
 
 
 class MapPartitionsRDD(RDD):
-    """Narrow one-to-one transform of a single parent."""
+    """Narrow one-to-one transform of a single parent.
+
+    ``elem_op`` / ``streamable`` carry the fusion metadata described on
+    :meth:`RDD.map_partitions`; both default to "opaque partition body".
+    """
 
     def __init__(
         self,
@@ -396,6 +451,8 @@ class MapPartitionsRDD(RDD):
         size_model: SizeModel | None = None,
         preserves_partitioning: bool = False,
         name: str | None = None,
+        elem_op: "tuple[str, Callable] | None" = None,
+        streamable: bool = False,
     ) -> None:
         super().__init__(
             ctx,
@@ -407,10 +464,15 @@ class MapPartitionsRDD(RDD):
             partitioner=parent.partitioner if preserves_partitioning else None,
         )
         self._fn = fn
+        self.elem_op = elem_op
+        self.streamable = streamable
 
     def compute(self, split: int, narrow_data: list[list], shuffle_data: list[list]) -> list:
         (parent_part,) = narrow_data
-        return list(self._fn(split, parent_part))
+        out = self._fn(split, parent_part)
+        # partitions are immutable engine-wide, so a body that already
+        # built a fresh list needs no defensive copy
+        return out if type(out) is list else list(out)
 
 
 class UnionRDD(RDD):
@@ -428,7 +490,34 @@ class UnionRDD(RDD):
 
     def compute(self, split: int, narrow_data: list[list], shuffle_data: list[list]) -> list:
         (parent_part,) = narrow_data
-        return list(parent_part)
+        return parent_part  # pass-through; partitions are immutable
+
+
+class CoalesceRDD(RDD):
+    """Narrow repartitioning: packs contiguous parent partitions together."""
+
+    def __init__(
+        self,
+        ctx: "BlazeContext",
+        parent: RDD,
+        num_partitions: int,
+        **kwargs,
+    ) -> None:
+        kwargs.setdefault("size_model", parent.size_model)
+        super().__init__(
+            ctx,
+            [CoalesceDependency(parent, num_partitions)],
+            num_partitions,
+            **kwargs,
+        )
+
+    def compute(self, split: int, narrow_data: list[list], shuffle_data: list[list]) -> list:
+        if len(narrow_data) == 1:
+            return narrow_data[0]  # pass-through; partitions are immutable
+        out: list = []
+        for part in narrow_data:
+            out.extend(part)
+        return out
 
 
 class ZipPartitionsRDD(RDD):
@@ -459,7 +548,8 @@ class ZipPartitionsRDD(RDD):
         self._fn = fn
 
     def compute(self, split: int, narrow_data: list[list], shuffle_data: list[list]) -> list:
-        return list(self._fn(split, *narrow_data))
+        out = self._fn(split, *narrow_data)
+        return out if type(out) is list else list(out)
 
 
 class ShuffledRDD(RDD):
@@ -497,7 +587,7 @@ class ShuffledRDD(RDD):
         (records,) = shuffle_data
         dep = self.shuffle_deps[0]
         if dep.combiner is not None or self._group:
-            return list(records)  # shuffle layer already merged/grouped
+            return records  # shuffle layer already merged/grouped (fresh list)
         # partition_by: the shuffle layer groups values; flatten them back
         # into raw (k, v) records.
         return [(k, v) for k, vs in records for v in vs]
@@ -544,14 +634,34 @@ class CoGroupedRDD(RDD):
         self._sides = sides
 
     def compute(self, split: int, narrow_data: list[list], shuffle_data: list[list]) -> list:
+        # Single-lookup dict grouping with bound locals; a vectorized
+        # (argsort-based) variant was benchmarked and lost at every batch
+        # size — the per-key value lists dominate, not the key probing.
+        sides = self._side_records(narrow_data, shuffle_data)
         merged: dict = {}
+        get = merged.get
+        for side_idx, (records, grouped) in enumerate(sides):
+            if grouped:
+                for k, vs in records:  # grouped (k, [values])
+                    entry = get(k)
+                    if entry is None:
+                        merged[k] = entry = ([], [])
+                    entry[side_idx].extend(vs)
+            else:
+                for k, v in records:  # raw (k, v) records
+                    entry = get(k)
+                    if entry is None:
+                        merged[k] = entry = ([], [])
+                    entry[side_idx].append(v)
+        return list(merged.items())
+
+    def _side_records(
+        self, narrow_data: list[list], shuffle_data: list[list]
+    ) -> list[tuple[list, bool]]:
+        """Each side's records paired with whether values arrive grouped."""
         narrow_iter = iter(narrow_data)
         shuffle_iter = iter(shuffle_data)
-        for side_idx, kind in enumerate(self._sides):
-            if kind == "narrow":
-                for k, v in next(narrow_iter):  # raw (k, v) records
-                    merged.setdefault(k, ([], []))[side_idx].append(v)
-            else:
-                for k, vs in next(shuffle_iter):  # grouped (k, [values])
-                    merged.setdefault(k, ([], []))[side_idx].extend(vs)
-        return list(merged.items())
+        return [
+            (next(shuffle_iter), True) if kind == "shuffle" else (next(narrow_iter), False)
+            for kind in self._sides
+        ]

@@ -110,7 +110,7 @@ def run_experiment(
         profiling_seconds = profile.virtual_seconds
 
     manager = spec.build(profile=profile, blaze_config=bcfg)
-    ctx = BlazeContext(config, manager, seed=seed, tracer=tracer)
+    ctx = BlazeContext(config, manager, seed=seed, tracer=tracer, blaze_config=bcfg)
     wl_result = wl.run(ctx)
     ctx.metrics.profiling_seconds = profiling_seconds
     report = ctx.report()

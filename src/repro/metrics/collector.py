@@ -142,6 +142,14 @@ class MetricsCollector:
         self.victim_selections: int = 0
         self.victim_index_rekeys: int = 0
         self.ilp_nodes: int = 0
+        # Data-plane counters (PR 4): narrow-chain fusion and the per-task
+        # ``bytes_for`` memo.  ``chains_fused`` counts distinct fused plans
+        # per stage epoch; ``partitions_pipelined`` counts single-pass
+        # partition executions that elided their intermediates.
+        self.chains_fused: int = 0
+        self.partitions_pipelined: int = 0
+        self.bytes_for_memo_hits: int = 0
+        self.bytes_for_memo_misses: int = 0
 
     # ------------------------------------------------------------------
     def record_task(self, job_id: int, executor_id: int, tm: TaskMetrics) -> None:
@@ -192,7 +200,7 @@ class MetricsCollector:
         return {eid: s.evicted_bytes for eid, s in sorted(self.executor_cache.items())}
 
     def decision_counters(self) -> dict[str, int]:
-        """Decision-layer work counters (victim scans, cost memo, ILP)."""
+        """Decision- and data-plane work counters (scans, memos, fusion)."""
         return {
             "cost_memo_hits": self.cost_memo_hits,
             "cost_memo_misses": self.cost_memo_misses,
@@ -200,6 +208,10 @@ class MetricsCollector:
             "victim_selections": self.victim_selections,
             "victim_index_rekeys": self.victim_index_rekeys,
             "ilp_nodes": self.ilp_nodes,
+            "chains_fused": self.chains_fused,
+            "partitions_pipelined": self.partitions_pipelined,
+            "bytes_for_memo_hits": self.bytes_for_memo_hits,
+            "bytes_for_memo_misses": self.bytes_for_memo_misses,
         }
 
     def breakdown(self) -> dict[str, float]:

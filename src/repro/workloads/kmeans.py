@@ -119,6 +119,7 @@ class KMeansWorkload(Workload):
                 op_cost=OpCost(per_element_in=self.map_cost / 6),
                 size_model=SizeModel(bytes_per_element=self.assign_bytes, ser_factor=self.ser_factor),
                 name=f"assign{i}",
+                streamable=True,  # summarize makes one forward pass
             )
             results = ctx.run_job(assignment, lambda _s, part: part[0])
             if prev_dists is not None:

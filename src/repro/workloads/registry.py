@@ -5,6 +5,7 @@ from __future__ import annotations
 from ..config import MiB
 from ..errors import WorkloadError
 from .base import Workload
+from .chain import ChainWorkload
 from .connected_components import ConnectedComponentsWorkload
 from .gbt import GBTWorkload
 from .kmeans import KMeansWorkload
@@ -13,7 +14,7 @@ from .pagerank import PageRankWorkload
 from .svdpp import SVDPPWorkload
 
 #: canonical short names used across the experiment harness
-WORKLOADS = ("pr", "cc", "lr", "kmeans", "gbt", "svdpp")
+WORKLOADS = ("pr", "cc", "lr", "kmeans", "gbt", "svdpp", "chain")
 
 _SCALES = ("tiny", "small", "paper")
 
@@ -144,6 +145,20 @@ def _svdpp(scale: str) -> SVDPPWorkload:
     )
 
 
+def _chain(scale: str) -> ChainWorkload:
+    if scale == "paper":
+        return ChainWorkload(
+            num_records=2048, num_partitions=128, chain_depth=24, iterations=12
+        )
+    if scale == "small":
+        return ChainWorkload(
+            num_records=1024, num_partitions=64, chain_depth=16, iterations=8
+        )
+    return ChainWorkload(
+        num_records=256, num_partitions=16, chain_depth=8, iterations=3
+    )
+
+
 _FACTORIES = {
     "pr": _pagerank,
     "cc": _connected_components,
@@ -151,4 +166,5 @@ _FACTORIES = {
     "kmeans": _kmeans,
     "gbt": _gbt,
     "svdpp": _svdpp,
+    "chain": _chain,
 }

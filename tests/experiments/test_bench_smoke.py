@@ -1,10 +1,15 @@
-"""The decision-layer bench runs clean in smoke mode (tier-1 wiring).
+"""The engine bench runs clean in smoke mode (tier-1 wiring).
 
-Beyond "the script works", this asserts the decision counters prove the
-incremental structures are actually engaged: the epoch cost cache serves
-hits, the victim index walks strictly fewer candidates than the naive
-full sort consulted, and the parts that must not change (selection count,
-eviction count, ILP exploration) are equal between the two modes.
+Beyond "the script works", this asserts the counters prove both engine
+layers are actually engaged:
+
+- decision suite: the epoch cost cache serves hits, the victim index
+  walks strictly fewer candidates than the naive full sort consulted, and
+  the parts that must not change (selection count, eviction count, ILP
+  exploration) are equal between the two modes;
+- dataplane suite: the fused run pipelines partitions, fuses chains, and
+  serves ``bytes_for`` memo hits, while the kill-switch run reports all
+  fusion counters at zero — with identical evictions and ILP node counts.
 """
 
 import json
@@ -16,23 +21,31 @@ from pathlib import Path
 REPO = Path(__file__).resolve().parents[2]
 
 
-def test_bench_smoke_counters(tmp_path):
+def _run_smoke(tmp_path, *extra):
     out = tmp_path / "bench.json"
     env = dict(os.environ)
     env["PYTHONPATH"] = str(REPO / "src")
     proc = subprocess.run(
-        [sys.executable, str(REPO / "scripts" / "bench.py"), "--smoke", "--out", str(out)],
+        [
+            sys.executable, str(REPO / "scripts" / "bench.py"),
+            "--smoke", "--out", str(out), *extra,
+        ],
         capture_output=True,
         text=True,
         env=env,
         timeout=300,
     )
     assert proc.returncode == 0, f"stdout:\n{proc.stdout}\nstderr:\n{proc.stderr}"
+    return json.loads(out.read_text(encoding="utf-8"))
 
-    doc = json.loads(out.read_text(encoding="utf-8"))
-    assert doc["scale"] == "tiny"
-    assert doc["cells"], "smoke must produce at least one cell"
-    for cell in doc["cells"]:
+
+def test_bench_smoke_counters(tmp_path):
+    doc = _run_smoke(tmp_path)
+
+    decision = doc["decision"]
+    assert decision["scale"] == "tiny"
+    assert decision["cells"], "smoke must produce at least one decision cell"
+    for cell in decision["cells"]:
         naive, incr = cell["naive"], cell["incremental"]
         assert naive["evictions"] == incr["evictions"] > 0, "pressure must evict"
         nc, ic = naive["counters"], incr["counters"]
@@ -47,3 +60,30 @@ def test_bench_smoke_counters(tmp_path):
         assert nc["ilp_nodes"] == ic["ilp_nodes"]
         # ... reached while consulting strictly fewer ordering keys.
         assert ic["victim_candidates_scanned"] < nc["victim_candidates_scanned"]
+
+    dataplane = doc["dataplane"]
+    assert dataplane["scale"] == "tiny"
+    assert dataplane["cells"], "smoke must produce at least one dataplane cell"
+    for cell in dataplane["cells"]:
+        off, on = cell["unfused"], cell["fused"]
+        oc, fc = off["counters"], on["counters"]
+        # The fused data plane is engaged ...
+        assert fc["chains_fused"] > 0
+        assert fc["partitions_pipelined"] > 0
+        assert fc["bytes_for_memo_hits"] > 0
+        # ... and fully dead under the kill switch.
+        assert oc["chains_fused"] == oc["partitions_pipelined"] == 0
+        assert oc["bytes_for_memo_hits"] == oc["bytes_for_memo_misses"] == 0
+        # Observables the decision layers see are identical.
+        assert off["evictions"] == on["evictions"]
+        assert oc["ilp_nodes"] == fc["ilp_nodes"]
+        assert cell["observables_identical"] is True
+
+
+def test_bench_smoke_profile_mode(tmp_path):
+    doc = _run_smoke(tmp_path, "--profile", "--suite", "dataplane")
+    for cell in doc["dataplane"]["cells"]:
+        for mode in ("unfused", "fused"):
+            top = cell[mode]["profile_top"]
+            assert top, "--profile must attach a cProfile top-N"
+            assert any("run_experiment" in line or "repro" in line for line in top)

@@ -33,16 +33,19 @@ def _pressure_cluster() -> ClusterConfig:
     )
 
 
-def _trace(system: str, incremental: bool) -> str:
-    workload = replace_params(make_workload("pr", "tiny"), num_partitions=24)
+def _trace(system: str, incremental: bool = True, fused: bool = True,
+           workload: str = "pr") -> str:
+    wl = replace_params(make_workload(workload, "tiny"), num_partitions=24)
     tracer = InMemoryTracer()
     result = run_experiment(
         system,
-        workload,
+        wl,
         scale="tiny",
         seed=SEED,
         cluster_config=_pressure_cluster(),
-        blaze_config=BlazeConfig(incremental_decisions=incremental),
+        blaze_config=BlazeConfig(
+            incremental_decisions=incremental, fused_execution=fused
+        ),
         tracer=tracer,
     )
     assert result.eviction_count > 0, "config must generate memory pressure"
@@ -56,3 +59,21 @@ def test_incremental_trace_is_byte_identical(system):
 
 def test_same_seed_incremental_runs_are_deterministic():
     assert _trace("blaze", incremental=True) == _trace("blaze", incremental=True)
+
+
+# The same oracle proves the fused data plane (PR 4) changes nothing the
+# decision layers see: every preset family must produce the byte-exact
+# trace with the fusion kill switch on vs. off under memory pressure.
+@pytest.mark.parametrize(
+    "system",
+    [
+        "blaze",
+        "costaware",
+        "spark_mem_disk",
+        "spark_lrc",
+        "spark_lecar",
+        "spark_gdwheel",
+    ],
+)
+def test_fused_trace_is_byte_identical(system):
+    assert _trace(system, fused=False) == _trace(system, fused=True)
