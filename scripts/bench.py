@@ -1,6 +1,7 @@
-"""Engine benchmarks: decision-layer (PR 3) and data-plane (PR 4) hot paths.
+"""Engine benchmarks: decision-layer (PR 3), data-plane (PR 4) and
+fault-recovery (PR 5) hot paths.
 
-Two suites, one script:
+Three suites, one script:
 
 - **decision** — pressure-heavy cells (working set overflows the memory
   store, eviction/admission decisions dominate) run with
@@ -10,7 +11,13 @@ Two suites, one script:
   ``fused_execution`` off then on.  The ``chain`` workload is the
   flagship: deep unannotated narrow chains the fused layer collapses into
   single-pass pipelines; ``pr``/``kmeans`` measure the bulk shuffle plane
-  and copy elimination on shuffle-bound and per-element-bound workloads.
+  and copy elimination on shuffle-bound and per-element-bound workloads;
+- **faults** — each cell runs clean, then again under a seeded
+  :class:`FaultSchedule` spanning 80% of the clean run's virtual
+  makespan.  The faulted measurement reports the fault counters plus a
+  ``converged`` flag (faulted final value == clean final value), so the
+  recovery machinery's wall-clock overhead and correctness ride the same
+  JSON as the other engine numbers.
 
 Both flags are observationally invisible (enforced byte-for-byte by
 ``tests/integration/test_trace_identity.py`` and
@@ -53,6 +60,18 @@ Output schema (``BENCH_pr4.json``)::
            "observables_identical": true}
         ],
         "min_speedup": ..., "max_speedup": ...
+      },
+      "faults": {
+        "scale": ...,
+        "cells": [
+          {"system": ..., "workload": ..., "num_partitions": ..., "seed": ...,
+           "clean":   {"wall_seconds": ..., "evictions": ...,
+                       "fault_counters": {...}, "act_seconds": ...},
+           "faulted": {... same shape ..., "converged": true},
+           "converged": true,
+           "speedup": <clean wall / faulted wall>}
+        ],
+        "min_speedup": ..., "max_speedup": ...
       }
     }
 """
@@ -74,6 +93,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.config import BlazeConfig, ClusterConfig, DiskConfig, GiB, MiB
 from repro.experiments.runner import run_experiment
+from repro.faults import FaultSchedule
 from repro.workloads.base import replace_params
 from repro.workloads.registry import make_workload
 
@@ -87,6 +107,10 @@ DECISION_WORKLOADS = ["pr", "cc"]
 #: data-plane suite (PR 4): low pressure, decisions deliberately cheap
 DATAPLANE_SYSTEMS = ["blaze", "costaware", "spark_mem_disk"]
 DATAPLANE_WORKLOADS = ["chain", "pr", "kmeans"]
+#: fault suite (PR 5): clean vs seeded-schedule runs, recovery engaged
+FAULT_SYSTEMS = ["blaze", "costaware", "spark_mem_disk"]
+FAULT_WORKLOADS = ["pr", "cc"]
+FAULT_COUNT = 4
 PROFILE_TOP_N = 12
 
 
@@ -136,6 +160,13 @@ def run_cell(
             wl = replace_params(base, num_partitions=base.num_partitions * PRESSURE_FACTOR)
             cluster = None
         bcfg = BlazeConfig(incremental_decisions=flag)
+    elif suite == "faults":
+        # Registry shapes; the flag arms a seeded schedule over 80% of
+        # the clean run's virtual makespan (the last 20% is left quiet so
+        # trailing recoveries finish inside the measured run).
+        wl = make_workload(workload, scale)
+        cluster = smoke_cluster() if scale == "tiny" else None
+        bcfg = BlazeConfig(fault_injection=flag)
     else:
         # Low-pressure configuration: the registry's own shapes, where
         # decision work is cheap and the data plane dominates.
@@ -143,9 +174,25 @@ def run_cell(
         cluster = None
         bcfg = BlazeConfig(fused_execution=flag)
 
+    schedule = None
+    reference = None
+    if suite == "faults" and flag:
+        # Clean reference run: sets the schedule horizon and the
+        # convergence oracle.  Deterministic, so one run suffices.
+        reference = run_experiment(
+            system, wl, scale=scale, seed=SEED, cluster_config=cluster
+        )
+        schedule = FaultSchedule.seeded(
+            SEED,
+            horizon_seconds=max(reference.act_seconds * 0.8, 1e-3),
+            num_executors=2,  # injector re-clamps to the real cluster
+            num_faults=FAULT_COUNT,
+        )
+
     def once():
         return run_experiment(
-            system, wl, scale=scale, seed=SEED, cluster_config=cluster, blaze_config=bcfg
+            system, wl, scale=scale, seed=SEED, cluster_config=cluster,
+            blaze_config=bcfg, fault_schedule=schedule,
         )
 
     # The sim is deterministic, so re-running only de-noises the clock:
@@ -164,6 +211,14 @@ def run_cell(
         "num_partitions": wl.num_partitions,
         "counters": result.report.decision_counters,
     }
+    if suite == "faults":
+        measurement["fault_counters"] = result.report.fault_counters
+        measurement["act_seconds"] = round(result.act_seconds, 6)
+        if reference is not None:
+            measurement["converged"] = (
+                result.workload_result.final_value
+                == reference.workload_result.final_value
+            )
     if profile:
         measurement["profile_top"] = _profile_top(once)
     return measurement
@@ -188,9 +243,11 @@ def run_matrix(
     in_process: bool,
     profile: bool = False,
 ) -> dict:
-    off_label, on_label = (
-        ("naive", "incremental") if suite == "decision" else ("unfused", "fused")
-    )
+    off_label, on_label = {
+        "decision": ("naive", "incremental"),
+        "dataplane": ("unfused", "fused"),
+        "faults": ("clean", "faulted"),
+    }[suite]
     cells = []
     for workload in workloads:
         for system in systems:
@@ -226,6 +283,8 @@ def run_matrix(
                     off["evictions"] == on["evictions"]
                     and off["counters"]["ilp_nodes"] == on["counters"]["ilp_nodes"]
                 )
+            if suite == "faults":
+                cell["converged"] = on.get("converged", False)
             cells.append(cell)
             print(
                 f"[bench]   {off['wall_seconds']:.1f}s -> {on['wall_seconds']:.1f}s "
@@ -256,7 +315,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--smoke", action="store_true", help="tiny scale, in-process, fast")
     parser.add_argument("--profile", action="store_true",
                         help="attach cProfile top-N to every measurement")
-    parser.add_argument("--suite", choices=["decision", "dataplane", "all"], default="all")
+    parser.add_argument(
+        "--suite", choices=["decision", "dataplane", "faults", "all"], default="all"
+    )
     parser.add_argument("--cell", help="(internal) run one cell from a JSON spec")
     args = parser.parse_args(argv)
 
@@ -277,6 +338,11 @@ def main(argv: list[str] | None = None) -> int:
                 "dataplane", "tiny", ["blaze", "spark_mem_disk"], ["chain"],
                 in_process=True, profile=args.profile,
             )
+        if args.suite in ("faults", "all"):
+            doc["faults"] = run_matrix(
+                "faults", "tiny", ["blaze", "spark_mem_disk"], ["pr"],
+                in_process=True, profile=args.profile,
+            )
     else:
         if args.suite in ("decision", "all"):
             doc["decision"] = run_matrix(
@@ -288,9 +354,14 @@ def main(argv: list[str] | None = None) -> int:
                 "dataplane", "paper", DATAPLANE_SYSTEMS, DATAPLANE_WORKLOADS,
                 in_process=False, profile=args.profile,
             )
+        if args.suite in ("faults", "all"):
+            doc["faults"] = run_matrix(
+                "faults", "paper", FAULT_SYSTEMS, FAULT_WORKLOADS,
+                in_process=False, profile=args.profile,
+            )
 
     Path(args.out).write_text(json.dumps(doc, indent=2) + "\n", encoding="utf-8")
-    for suite in ("decision", "dataplane"):
+    for suite in ("decision", "dataplane", "faults"):
         if suite in doc:
             print(
                 f"[bench] {suite}: speedups {doc[suite]['min_speedup']}x - "

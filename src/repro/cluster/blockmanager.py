@@ -199,6 +199,36 @@ class BlockManager:
                 f"disk[{self.executor_id}] cannot fit a {size_bytes:.0f}B block at all"
             )
 
+    def purge_lost(self, block_id: BlockId) -> Block:
+        """Remove a block that *vanished* (executor crash, storage fault).
+
+        This is the invalidation path for removals that are not eviction
+        decisions: no unpersist accounting (loss is not a policy outcome),
+        but the residency listener still fires so victim indexes and cost
+        memos cannot go stale — removing a block behind the listener's
+        back leaves a stale victim that a later eviction trips over.
+        """
+        loc = self.location_of(block_id)
+        if loc is BlockLocation.MEMORY:
+            block = self.memory.remove(block_id)
+            if self.residency_listener is not None:
+                self.residency_listener.memory_removed(self.executor_id, block)
+        elif loc is BlockLocation.DISK:
+            block = self.disk.remove(block_id)
+            self._metrics.record_disk_remove(block.size_bytes)
+            if self.residency_listener is not None:
+                self.residency_listener.disk_changed(self.executor_id, block)
+        else:
+            raise StorageError(f"loss of unknown block {block_id}")
+        self._metrics.record_block_lost(self.executor_id, block.size_bytes)
+        if self._tracer.enabled:
+            self._trace("block.lost", block)
+        return block
+
+    def purge_all_lost(self) -> list[Block]:
+        """Crash wipe: purge every block on this executor (both tiers)."""
+        return [self.purge_lost(block.block_id) for block in self.cached_blocks()]
+
     # ------------------------------------------------------------------
     def cached_blocks(self) -> list[Block]:
         """All blocks on this executor (memory first, then disk)."""

@@ -136,3 +136,25 @@ class CacheManager(ABC):
 
     def on_block_removed(self, executor: "Executor", block: "Block") -> None:  # noqa: B027
         """A block left the executor entirely (driver unpersist etc.)."""
+
+    def on_block_lost(self, executor: "Executor", block: "Block") -> None:
+        """A block *vanished* without an eviction decision (crash, fault).
+
+        Fired by the fault layer after ``BlockManager.purge_lost``.  The
+        default treats loss like a removal so per-block policy state is
+        freed; managers with residency listeners already saw the removal
+        and may only need memo hygiene.
+        """
+        self.on_block_removed(executor, block)
+
+    def predicted_recovery_cost(
+        self, rdd_id: int, split: int, state: str
+    ) -> float | None:
+        """Model-predicted cost to recover ``(rdd, split)`` from ``state``.
+
+        ``state`` is ``"disk"`` (read-back) or ``"gone"`` (lineage
+        recomputation).  The fault layer's calibration hook compares this
+        against the measured virtual-time recovery; managers without a
+        cost model return ``None`` and produce no samples.
+        """
+        return None

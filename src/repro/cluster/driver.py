@@ -22,6 +22,7 @@ from ..dataflow.dag import Job, Stage, build_job
 from ..dataflow.dependencies import ShuffleDependency
 from ..dataflow.fusion import FusionPlanner
 from ..errors import DataflowError
+from ..faults.injector import InjectedTaskFailure
 from ..metrics.collector import TaskMetrics
 from ..tracing.tracer import executor_pid
 from .blocks import Block, BlockId, BlockLocation
@@ -29,6 +30,7 @@ from .scheduler import SlotScheduler, TaskSlot
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..dataflow.rdd import RDD
+    from ..faults.injector import FaultInjector
     from .cachemanager import CacheManager
     from .cluster import Cluster
     from .executor import Executor
@@ -42,12 +44,17 @@ class Driver:
         cluster: "Cluster",
         cache_manager: "CacheManager",
         fused_execution: bool = True,
+        fault_injector: "FaultInjector | None" = None,
     ) -> None:
         self.cluster = cluster
         self.cache_manager = cache_manager
         self.metrics = cluster.metrics
         self.tracer = cluster.tracer
-        self.scheduler = SlotScheduler(cluster.clock, cluster.tracer)
+        #: the run's fault injector (None on fault-free runs): drives the
+        #: task-reattempt loop, shuffle fetch failures, and the
+        #: recovery-cost calibration sampling
+        self.faults = fault_injector
+        self.scheduler = SlotScheduler(cluster.clock, cluster.tracer, fault_injector)
         self.job_log: list[Job] = []
         self._job_ids = itertools.count()
         #: block ids ever admitted to any store — a later materialization of
@@ -156,25 +163,58 @@ class Driver:
             for s in range(stage.num_tasks)
         ]
 
+        faults = self.faults
+
         def execute(task: TaskSlot) -> float:
+            # Reattempt loop: an injected failure re-runs the attempt at
+            # the same virtual start (the clock never moves inside a task;
+            # SlotScheduler's heap relies on that), with the doomed
+            # attempt's wasted time and the retry backoff returned as
+            # extra slot occupancy.  Failed-attempt side effects persist
+            # (Spark semantics) except what the fault wipe removed; only
+            # the final attempt's ledger reaches the metric aggregates.
             start = self.cluster.clock.now
-            tm = TaskMetrics()
-            self._task_memo = {}
-            self._task_size_memo = {}
-            self._recovery_depth = 0
-            data = self.materialize(stage.rdd, task.split, task.executor, tm)
-            if stage.is_result:
-                results[task.split] = job.action_fn(task.split, data)
-            else:
-                self.cluster.shuffle.write(
-                    stage.shuffle_dep, task.split, data, tm, job.job_id
+            attempt = 0
+            overhead = 0.0
+            while True:
+                tm = TaskMetrics()
+                self._task_memo = {}
+                self._task_size_memo = {}
+                self._recovery_depth = 0
+                try:
+                    data = self.materialize(stage.rdd, task.split, task.executor, tm)
+                    if stage.is_result:
+                        results[task.split] = job.action_fn(task.split, data)
+                    else:
+                        self.cluster.shuffle.write(
+                            stage.shuffle_dep, task.split, data, tm, job.job_id
+                        )
+                    if faults is not None:
+                        faults.check_inflight_crash(
+                            task.executor, start, tm.duration_seconds
+                        )
+                    break
+                except InjectedTaskFailure as failure:
+                    attempt += 1
+                    overhead += faults.on_task_failure(
+                        task.executor, stage.seq_in_job, task.split, attempt, failure
+                    )
+            if faults is not None:
+                eid, slot = self.scheduler.current_slot
+                overhead += faults.straggler_extra(
+                    eid, slot, start, tm.duration_seconds
                 )
             self.metrics.record_task(job.job_id, task.executor.executor_id, tm)
             if self.tracer.enabled:
                 eid, slot = self.scheduler.current_slot
+                fault_args = (
+                    {"attempts": attempt, "fault_overhead_s": overhead}
+                    if attempt or overhead
+                    else {}
+                )
                 self.tracer.complete(
                     "task", "task",
-                    ts=start, dur=tm.duration_seconds,
+                    ts=start, dur=tm.duration_seconds + overhead,
                     pid=executor_pid(eid), tid=slot + 1,
                     job_id=job.job_id, stage=stage.seq_in_job, split=task.split,
                     compute_s=tm.compute_seconds,
@@ -184,8 +224,9 @@ class Driver:
                     remote_read_s=tm.remote_read_seconds,
                     offloaded_s=tm.offloaded_seconds,
                     total_s=tm.total_seconds,
+                    **fault_args,
                 )
-            return tm.duration_seconds
+            return tm.duration_seconds + overhead
 
         self.scheduler.run_stage(tasks, execute)
 
@@ -218,13 +259,27 @@ class Driver:
                 "cache.miss", "cache", pid=executor_pid(executor.executor_id),
                 rdd=rdd.rdd_id, split=split, recovery=is_recovery,
             )
+        # Calibration hook: when the fault layer is active, sample the
+        # cost model's Eq. 4 prediction for a top-level recompute recovery
+        # before running it, then compare against the measured charges.
+        predicted = None
+        if self.faults is not None and is_recovery and self._recovery_depth == 0:
+            predicted = self.cache_manager.predicted_recovery_cost(
+                rdd.rdd_id, split, "gone"
+            )
         if is_recovery:
             self._recovery_depth += 1
+        before = tm.total_seconds if predicted is not None else 0.0
         try:
             data = self._compute(rdd, split, executor, tm)
         finally:
             if is_recovery:
                 self._recovery_depth -= 1
+        if predicted is not None:
+            self._record_recovery_sample(
+                rdd.rdd_id, split, executor, "gone", predicted,
+                tm.total_seconds - before,
+            )
 
         if candidate and self.cluster.find_block(block_id) is None:
             if self.fused_execution:
@@ -258,7 +313,22 @@ class Driver:
             self.cache_manager.on_memory_hit(executor, block, tm)
             return block.data
         if loc is BlockLocation.DISK:
+            # Calibration: a local disk read-back is the Eq. 3 recovery;
+            # sample it around exactly the charged read (promotion and
+            # admission work afterwards is not recovery cost).
+            predicted = None
+            before = 0.0
+            if self.faults is not None:
+                predicted = self.cache_manager.predicted_recovery_cost(
+                    block_id[0], block_id[1], "disk"
+                )
+                before = tm.total_seconds
             block = executor.bm.read_from_disk(block_id, tm)
+            if predicted is not None:
+                self._record_recovery_sample(
+                    block_id[0], block_id[1], executor, "disk", predicted,
+                    tm.total_seconds - before,
+                )
             block.touch(now)
             self._trace_hit("cache.hit_disk", executor, block)
             self.cache_manager.on_disk_hit(executor, block, tm)
@@ -281,6 +351,24 @@ class Driver:
             self.cache_manager.on_memory_hit(owner, block, tm)
         self.cluster.charge_remote_read(block, tm)
         return block.data
+
+    def _record_recovery_sample(
+        self,
+        rdd_id: int,
+        split: int,
+        executor: "Executor",
+        state: str,
+        predicted: float,
+        measured: float,
+    ) -> None:
+        self.metrics.record_recovery_sample(rdd_id, split, state, predicted, measured)
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "recovery.measured", "fault",
+                pid=executor_pid(executor.executor_id),
+                rdd=rdd_id, split=split, state=state,
+                predicted_s=predicted, measured_s=measured,
+            )
 
     def _trace_hit(self, name: str, executor: "Executor", block: Block, **extra) -> None:
         if self.tracer.enabled:
@@ -309,6 +397,11 @@ class Driver:
         ]
         shuffle_data = []
         for dep in rdd.shuffle_deps:
+            if self.faults is not None:
+                # An armed fetch failure drops a map output *before* the
+                # completeness check: the reattempt then walks the normal
+                # stage-resubmission path (Spark's FetchFailed flow).
+                self.faults.on_fetch(dep)
             if not self.cluster.shuffle.is_complete(dep):
                 self._recompute_shuffle(dep, executor, tm)
             shuffle_data.append(self.cluster.shuffle.fetch(dep, split, tm))
@@ -362,6 +455,16 @@ class Driver:
         """
         job_id = self.job_log[-1].job_id if self.job_log else 0
         missing = self.cluster.shuffle.missing_map_splits(dep)
+        # Counted on fault-free runs too: retention cleanup regeneration is
+        # the same stage re-execution path as crash/fetch-failure recovery.
+        self.metrics.stage_resubmits += 1
+        if self.tracer.enabled:
+            # Keyed by the map-side dataset: raw shuffle ids are process-
+            # global and would break byte-identical traces across runs.
+            self.tracer.instant(
+                "stage.resubmit", "scheduler",
+                map_rdd=dep.parent.rdd_id, missing=len(missing), job_id=job_id,
+            )
         before = tm.total_seconds
         for map_split in missing:
             data = self.materialize(dep.parent, map_split, executor, tm)

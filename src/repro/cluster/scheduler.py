@@ -37,9 +37,18 @@ class TaskSlot:
 class SlotScheduler:
     """Runs a list of tasks over executor slots on the virtual clock."""
 
-    def __init__(self, clock: "VirtualClock", tracer: Tracer = NULL_TRACER) -> None:
+    def __init__(
+        self,
+        clock: "VirtualClock",
+        tracer: Tracer = NULL_TRACER,
+        fault_injector=None,
+    ) -> None:
         self._clock = clock
         self._tracer = tracer
+        #: the run's fault injector (``repro.faults``), polled at every
+        #: task start so scheduled faults fire at deterministic points of
+        #: the slot timeline; ``None`` on fault-free runs
+        self._faults = fault_injector
         #: (executor_id, slot_index) of the task currently being executed;
         #: valid only inside the ``execute`` callback (single-threaded sim)
         self.current_slot: tuple[int, int] = (0, 0)
@@ -85,6 +94,11 @@ class SlotScheduler:
             task = queue.popleft()
             remaining -= 1
             self._clock.advance_to(free_at)
+            if self._faults is not None:
+                # Task start is the schedule's processing point: every
+                # fault due by now fires before the task's side effects,
+                # so injections interleave with execution deterministically.
+                self._faults.poll(free_at)
             self.current_slot = (eid, slot)
             duration = execute(task)
             if duration < 0:

@@ -221,5 +221,41 @@ class ShuffleManager:
         self._outputs.pop(shuffle_id, None)
         self._producer_job.pop(shuffle_id, None)
 
+    def drop_map_output(self, shuffle_id: int, map_split: int) -> bool:
+        """Drop one map partition's buckets (a reported fetch failure).
+
+        The shuffle becomes incomplete, so the next consumer goes through
+        the driver's map-stage resubmission path.  Returns whether the
+        output existed.
+        """
+        per_map = self._outputs.get(shuffle_id)
+        if per_map is None or map_split not in per_map:
+            return False
+        del per_map[map_split]
+        return True
+
+    def drop_outputs_for_executor(
+        self, executor_id: int, executor_for
+    ) -> list[tuple[int, int]]:
+        """Drop every map output homed on a crashed executor.
+
+        Map outputs live on the producing executor's local storage, and
+        tasks are locality-pinned (``executor_for`` is the scheduler's
+        split → executor mapping), so a crash loses exactly the map splits
+        homed there.  Returns the dropped ``(shuffle_id, map_split)``
+        pairs in deterministic order.
+        """
+        lost: list[tuple[int, int]] = []
+        for shuffle_id in sorted(self._outputs):
+            per_map = self._outputs[shuffle_id]
+            doomed = sorted(
+                split for split in per_map
+                if executor_for(split).executor_id == executor_id
+            )
+            for map_split in doomed:
+                del per_map[map_split]
+                lost.append((shuffle_id, map_split))
+        return lost
+
     def registered_shuffles(self) -> list[int]:
         return sorted(self._outputs.keys())

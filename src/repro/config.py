@@ -150,6 +150,15 @@ class BlazeConfig:
     # data-plane cells of `scripts/bench.py`.
     fused_execution: bool = True
 
+    # Deterministic fault injection (the ``repro.faults`` subsystem).  The
+    # kill switch defaults to off: a FaultSchedule handed to a context is
+    # inert unless ``fault_injection`` is raised.  The retry knobs bound
+    # the driver's task-reattempt loop (Spark's spark.task.maxFailures
+    # analogue) with a linear virtual-time backoff per attempt.
+    fault_injection: bool = False
+    fault_max_task_retries: int = 4
+    fault_retry_backoff_seconds: float = 0.25
+
     def __post_init__(self) -> None:
         if self.ilp_horizon_jobs < 1:
             raise ConfigError("ilp_horizon_jobs must be >= 1")
@@ -159,6 +168,10 @@ class BlazeConfig:
             raise ConfigError("profiling_sample_fraction must be in (0, 1]")
         if self.ilp_refinement_rounds < 1:
             raise ConfigError("ilp_refinement_rounds must be >= 1")
+        if self.fault_max_task_retries < 1:
+            raise ConfigError("fault_max_task_retries must be >= 1")
+        if self.fault_retry_backoff_seconds < 0:
+            raise ConfigError("fault_retry_backoff_seconds must be >= 0")
 
 
 def small_cluster() -> ClusterConfig:

@@ -318,6 +318,16 @@ class DecisionCostCache:
         value, stable = self.potential_cost_ex(block.rdd_id, block.split)
         return value * refs, stable
 
+    def forget(self, rdd_id: int, split: int) -> None:
+        """Drop the partition's memoized costs entirely (fault loss).
+
+        ``touch`` already invalidates lazily; ``forget`` is hygiene for
+        blocks that *vanished* — their entries can never be revalidated
+        and would otherwise pin stale floats (and memory) forever.
+        """
+        self._pc.pop((rdd_id, split), None)
+        self._cr.pop((rdd_id, split), None)
+
     def preferred_state(self, rdd_id: int, split: int) -> PartitionState:
         """Cached twin of ``CostModel.preferred_eviction_state``.
 

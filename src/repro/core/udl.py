@@ -157,6 +157,29 @@ class BlazeCacheManager(CacheManager):
         # so descendant cost entries must be invalidated too.
         self._cache.touch(block.rdd_id, block.split, residency=True)
 
+    def on_block_lost(self, executor: "Executor", block: Block) -> None:
+        # ``purge_lost`` already drove the residency listener (index entry
+        # removed, costs touched); what remains is memo hygiene for a
+        # partition that can never revalidate its cached entries.
+        super().on_block_lost(executor, block)
+        if self._cache is not None:
+            self._cache.forget(block.rdd_id, block.split)
+
+    def predicted_recovery_cost(
+        self, rdd_id: int, split: int, state: str
+    ) -> float | None:
+        """Eq. 3 / Eq. 4 predictions for the fault layer's calibration.
+
+        Evaluated against the *current* residency snapshot (``_state_of``),
+        because the measured recovery runs right now — unlike admission
+        decisions, which price a hypothetical future miss.
+        """
+        if self.cost_model is None:
+            return None
+        if state == "disk":
+            return self.cost_model.cost_d(rdd_id, split, {})
+        return self.cost_model.cost_r(rdd_id, split, self._state_of, {})
+
     def on_memory_hit(self, executor: "Executor", block: Block, tm: TaskMetrics) -> None:
         # Only the LRU ordering (+AutoCache) keys on access recency; the
         # driver touches the block before this hook fires.

@@ -17,6 +17,8 @@ from ..cluster.cluster import Cluster
 from ..cluster.driver import Driver
 from ..config import BlazeConfig, ClusterConfig
 from ..errors import DataflowError
+from ..faults.injector import FaultInjector
+from ..faults.schedule import FaultSchedule
 from ..metrics.collector import MetricsCollector
 from ..sim.rng import make_rng
 from ..tracing.report import RunReport
@@ -35,6 +37,7 @@ class BlazeContext:
         seed: int = 0,
         tracer: Tracer | None = None,
         blaze_config: "BlazeConfig | None" = None,
+        fault_schedule: "FaultSchedule | None" = None,
     ) -> None:
         if cache_manager is None:
             from ..caching.manager import SparkCacheManager
@@ -51,7 +54,22 @@ class BlazeContext:
         self.tracer = tracer
         self.cluster = Cluster(self.config, tracer=tracer)
         self.cluster.shuffle.fast_path = self.fused_execution
-        self.driver = Driver(self.cluster, cache_manager, fused_execution=self.fused_execution)
+        # Fault injection has a double opt-in: a schedule must be passed
+        # AND ``BlazeConfig.fault_injection`` (default off) flipped on.
+        # Flag on with an *empty* schedule is calibration-only mode (the
+        # injector samples recovery costs without perturbing the run).
+        self.fault_injector: FaultInjector | None = None
+        if fault_schedule is not None and blaze_config is not None and blaze_config.fault_injection:
+            self.fault_injector = FaultInjector(
+                fault_schedule, self.cluster, cache_manager,
+                max_task_retries=blaze_config.fault_max_task_retries,
+                retry_backoff_seconds=blaze_config.fault_retry_backoff_seconds,
+            )
+        self.driver = Driver(
+            self.cluster, cache_manager,
+            fused_execution=self.fused_execution,
+            fault_injector=self.fault_injector,
+        )
         self.cache_manager = cache_manager
         self._rdds: list[RDD] = []
         self._stopped = False

@@ -157,6 +157,12 @@ class FusionPlanner:
         which the driver records the id — spills, promotions, and
         prefetches only relocate already-recorded blocks — so the set is
         a superset of everything currently resident anywhere.
+
+        This guard also survives mid-chain *loss* (fault injection):
+        ``_was_cached`` membership is never revoked, so a partition wiped
+        by a crash keeps forcing the unfused path, whose recovery
+        accounting recomputes (and re-offers) it — a fused pipeline must
+        never silently elide a partition the run already paid to cache.
         """
         was_cached = self.driver._was_cached
         memo = self.driver._task_memo

@@ -53,3 +53,8 @@ class ProfilingError(ReproError):
 
 class WorkloadError(ReproError):
     """Raised for invalid workload parameters."""
+
+
+class FaultError(ReproError):
+    """Raised when injected faults exhaust the engine's bounded recovery
+    (e.g. a task fails more than ``fault_max_task_retries`` times)."""

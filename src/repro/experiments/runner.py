@@ -17,6 +17,7 @@ from typing import Any
 from ..config import BlazeConfig, ClusterConfig, GiB, MiB, DiskConfig, paper_cluster
 from ..core.profiler import run_dependency_extraction
 from ..dataflow.context import BlazeContext
+from ..faults.schedule import FaultSchedule
 from ..systems.presets import make_system
 from ..tracing import InMemoryTracer, NULL_TRACER, RunReport, Tracer
 from ..workloads.base import Workload, WorkloadResult
@@ -82,6 +83,7 @@ def run_experiment(
     cluster_config: ClusterConfig | None = None,
     blaze_config: BlazeConfig | None = None,
     tracer: Tracer | None = None,
+    fault_schedule: "FaultSchedule | None" = None,
 ) -> RunResult:
     """Execute one evaluation cell and return its measurements.
 
@@ -92,6 +94,10 @@ def run_experiment(
     ``cluster_config.tracing_enabled`` (an
     :class:`~repro.tracing.InMemoryTracer` is created when set); pass an
     explicit tracer to capture the trace yourself.
+
+    ``fault_schedule`` (with ``blaze_config.fault_injection`` on — the
+    double opt-in) runs the cell under deterministic fault injection; the
+    fault/recovery counters land in ``report.fault_counters``.
     """
     spec = make_system(system)
     wl = workload if isinstance(workload, Workload) else make_workload(workload, scale)
@@ -110,7 +116,10 @@ def run_experiment(
         profiling_seconds = profile.virtual_seconds
 
     manager = spec.build(profile=profile, blaze_config=bcfg)
-    ctx = BlazeContext(config, manager, seed=seed, tracer=tracer, blaze_config=bcfg)
+    ctx = BlazeContext(
+        config, manager, seed=seed, tracer=tracer, blaze_config=bcfg,
+        fault_schedule=fault_schedule,
+    )
     wl_result = wl.run(ctx)
     ctx.metrics.profiling_seconds = profiling_seconds
     report = ctx.report()

@@ -1,0 +1,268 @@
+"""The fault injector: executes a :class:`FaultSchedule` against a cluster.
+
+The scheduler calls :meth:`FaultInjector.poll` at every task start, which
+fires every fault due by then; crashes landing strictly inside a running
+attempt's window are consumed post-hoc by :meth:`check_inflight_crash`
+(the sim runs tasks atomically at their start time, so "during" can only
+be observed after the attempt's charges are known).  All state mutations
+go through the engine's own loss primitives (``BlockManager.purge_lost``,
+``ShuffleManager.drop_outputs_for_executor``) so residency listeners,
+victim indexes, and cost memos stay consistent — the invariant the
+crash-consistency property tests pin down.
+
+Nothing here advances the virtual clock: retry backoff and wasted attempt
+time are returned to the scheduler as extra slot-occupancy seconds, which
+keeps the slot heap's non-decreasing pop order intact.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..errors import FaultError
+from ..tracing.tracer import executor_pid
+from .schedule import FaultSchedule, FaultSpec
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..cluster.cachemanager import CacheManager
+    from ..cluster.cluster import Cluster
+    from ..cluster.executor import Executor
+    from ..dataflow.dependencies import ShuffleDependency
+
+
+class InjectedTaskFailure(Exception):
+    """Control-flow signal: the current task attempt failed by injection.
+
+    Caught by the driver's reattempt loop, never by user code.
+    ``wasted_seconds`` is the virtual time the doomed attempt occupied its
+    slot before failing (added to the slot's busy time on retry).
+    """
+
+    def __init__(self, kind: str, wasted_seconds: float = 0.0, detail: str = "") -> None:
+        super().__init__(detail or kind)
+        self.kind = kind
+        self.wasted_seconds = wasted_seconds
+
+
+class FaultInjector:
+    """Drives one schedule's faults into a live cluster, deterministically."""
+
+    def __init__(
+        self,
+        schedule: FaultSchedule,
+        cluster: "Cluster",
+        cache_manager: "CacheManager",
+        *,
+        max_task_retries: int = 4,
+        retry_backoff_seconds: float = 0.25,
+    ) -> None:
+        self.cluster = cluster
+        self.cache_manager = cache_manager
+        self.metrics = cluster.metrics
+        self.tracer = cluster.tracer
+        self.max_task_retries = int(max_task_retries)
+        self.retry_backoff_seconds = float(retry_backoff_seconds)
+        normalized = schedule.clamped_to(len(cluster.executors))
+        #: not-yet-fired specs, in fire-time order (stable)
+        self._pending: list[FaultSpec] = normalized.in_order()
+        #: one-shot fetch failures armed by poll(), consumed at the next fetch
+        self._armed_fetch: list[FaultSpec] = []
+        #: active straggler windows
+        self._stragglers: list[FaultSpec] = []
+
+    # ------------------------------------------------------------------
+    # Firing
+    # ------------------------------------------------------------------
+    def poll(self, now: float) -> None:
+        """Fire every fault due at or before ``now`` (task-start hook)."""
+        while self._pending and self._pending[0].at <= now:
+            self._fire(self._pending.pop(0))
+
+    def _fire(self, spec: FaultSpec) -> None:
+        self.metrics.faults_injected += 1
+        if spec.kind == "executor_crash":
+            self._crash(spec)
+        elif spec.kind == "block_loss":
+            self._lose_block(spec)
+        elif spec.kind == "straggler":
+            self._stragglers.append(spec)
+            if self.tracer.enabled:
+                self.tracer.instant(
+                    "fault.injected", "fault", pid=executor_pid(spec.executor_id),
+                    kind=spec.kind, at=spec.at, factor=spec.factor,
+                    window_s=spec.window_seconds, slot=spec.slot,
+                )
+        else:  # fetch_failure: armed now, bites at the next shuffle fetch
+            self._armed_fetch.append(spec)
+            if self.tracer.enabled:
+                self.tracer.instant(
+                    "fault.injected", "fault",
+                    kind=spec.kind, at=spec.at, armed=True,
+                )
+
+    def _crash(self, spec: FaultSpec) -> None:
+        """Wipe an executor: both storage tiers plus its shuffle map outputs."""
+        executor = self.cluster.executors[spec.executor_id]
+        lost = executor.bm.purge_all_lost()
+        for block in lost:
+            self.cache_manager.on_block_lost(executor, block)
+        dropped = self.cluster.shuffle.drop_outputs_for_executor(
+            executor.executor_id, self.cluster.executor_for
+        )
+        self.metrics.executor_crashes += 1
+        self.metrics.shuffle_outputs_lost += len(dropped)
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "fault.injected", "fault", pid=executor_pid(executor.executor_id),
+                kind=spec.kind, at=spec.at,
+                blocks_lost=len(lost), map_outputs_lost=len(dropped),
+            )
+
+    def _lose_block(self, spec: FaultSpec) -> None:
+        """Drop one cached block (explicit target, or a pick over residents)."""
+        target: tuple["Executor", object] | None = None
+        if spec.rdd_id is not None:
+            found = self.cluster.find_block((spec.rdd_id, spec.split))
+            if found is not None:
+                owner, _loc = found
+                target = (owner, owner.bm.get((spec.rdd_id, spec.split)))
+        else:
+            resident = [
+                (executor, block)
+                for executor in self.cluster.executors
+                for block in executor.bm.cached_blocks()
+            ]
+            if resident:
+                target = resident[spec.pick % len(resident)]
+        if target is None:
+            if self.tracer.enabled:
+                self.tracer.instant(
+                    "fault.injected", "fault", kind=spec.kind, at=spec.at, hit=False,
+                )
+            return
+        executor, block = target
+        executor.bm.purge_lost(block.block_id)
+        self.cache_manager.on_block_lost(executor, block)
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "fault.injected", "fault", pid=executor_pid(executor.executor_id),
+                kind=spec.kind, at=spec.at, hit=True,
+                rdd=block.rdd_id, split=block.split,
+            )
+
+    # ------------------------------------------------------------------
+    # Driver hooks
+    # ------------------------------------------------------------------
+    def check_inflight_crash(self, executor: "Executor", start: float, duration: float) -> None:
+        """Fail the finishing attempt if a crash lands inside its window.
+
+        A crash at exactly ``start`` was already consumed by ``poll``; the
+        in-flight window is ``(start, start + duration]`` on the attempt's
+        own executor.  Consumes the spec, applies the wipe, and raises.
+        """
+        end = start + duration
+        for i, spec in enumerate(self._pending):
+            if spec.at > end:
+                break
+            if (
+                spec.kind == "executor_crash"
+                and spec.executor_id == executor.executor_id
+                and spec.at > start
+            ):
+                del self._pending[i]
+                self.metrics.faults_injected += 1
+                self._crash(spec)
+                raise InjectedTaskFailure(
+                    "executor_crash",
+                    wasted_seconds=spec.at - start,
+                    detail=f"executor {executor.executor_id} crashed mid-task",
+                )
+
+    def on_fetch(self, dep: "ShuffleDependency") -> None:
+        """One-shot fetch failure: report a map output lost and fail the task.
+
+        The dropped output makes the shuffle incomplete, so the reattempt
+        goes through the driver's map-stage resubmission path — exactly
+        Spark's FetchFailed → stage re-execution flow.
+        """
+        if not self._armed_fetch:
+            return
+        spec = self._armed_fetch.pop(0)
+        n_maps = max(dep.parent.num_partitions, 1)
+        map_split = spec.pick % n_maps
+        dropped = self.cluster.shuffle.drop_map_output(dep.shuffle_id, map_split)
+        self.metrics.fetch_failures += 1
+        if dropped:
+            self.metrics.shuffle_outputs_lost += 1
+        if self.tracer.enabled:
+            # Keyed by the map-side dataset, not the raw shuffle id: shuffle
+            # ids come from a process-global counter and would break
+            # byte-identical traces across runs in one process.
+            self.tracer.instant(
+                "fault.injected", "fault", kind="fetch_failure", at=spec.at,
+                map_rdd=dep.parent.rdd_id, map_split=map_split, dropped=dropped,
+            )
+        raise InjectedTaskFailure(
+            "fetch_failure",
+            detail=f"fetch of shuffle {dep.shuffle_id} lost map output {map_split}",
+        )
+
+    def on_task_failure(
+        self,
+        executor: "Executor",
+        stage_seq: int,
+        split: int,
+        attempt: int,
+        failure: InjectedTaskFailure,
+    ) -> float:
+        """Account one failed attempt; returns its slot-time overhead.
+
+        The overhead (wasted attempt time + linear virtual-time backoff)
+        extends the slot's busy window without advancing the clock.
+        Raises :class:`FaultError` once the bounded retries are exhausted.
+        """
+        if attempt > self.max_task_retries:
+            raise FaultError(
+                f"task {split} of stage {stage_seq} failed "
+                f"{attempt} times (last: {failure.kind})"
+            )
+        backoff = self.retry_backoff_seconds * attempt
+        self.metrics.task_reattempts += 1
+        self.metrics.fault_wasted_seconds += failure.wasted_seconds
+        self.metrics.fault_backoff_seconds += backoff
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "task.reattempt", "fault", pid=executor_pid(executor.executor_id),
+                stage=stage_seq, split=split, attempt=attempt,
+                reason=failure.kind, wasted_s=failure.wasted_seconds,
+                backoff_s=backoff,
+            )
+        return failure.wasted_seconds + backoff
+
+    def straggler_extra(
+        self, executor_id: int, slot: int, start: float, duration: float
+    ) -> float:
+        """Extra slot seconds from straggler windows active at ``start``."""
+        extra = 0.0
+        for spec in self._stragglers:
+            if spec.executor_id != executor_id:
+                continue
+            if spec.slot is not None and spec.slot != slot:
+                continue
+            if spec.at <= start < spec.at + spec.window_seconds:
+                extra += duration * (spec.factor - 1.0)
+        if extra > 0.0:
+            self.metrics.straggler_tasks_slowed += 1
+            self.metrics.fault_straggler_seconds += extra
+        return extra
+
+    # ------------------------------------------------------------------
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+    def __repr__(self) -> str:
+        return (
+            f"<FaultInjector pending={len(self._pending)} "
+            f"armed_fetch={len(self._armed_fetch)} stragglers={len(self._stragglers)}>"
+        )

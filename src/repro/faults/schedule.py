@@ -1,0 +1,146 @@
+"""Fault schedules: declarative, virtual-time-stamped failure plans.
+
+A schedule is a tuple of :class:`FaultSpec` records.  Specs are plain
+frozen data so schedules can be declared inline in tests, serialized into
+bench manifests, or generated from a seed (:meth:`FaultSchedule.seeded`)
+through the same ``SeedSequence`` spawn-key discipline the rest of the
+simulator uses — fault randomness never perturbs workload randomness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..errors import ConfigError
+from ..sim.rng import make_rng
+
+#: the four injectable failure classes
+FAULT_KINDS = ("executor_crash", "block_loss", "straggler", "fetch_failure")
+
+#: dedicated spawn-key namespace so seeded schedules draw from a stream
+#: disjoint from every per-partition workload generator
+_SCHEDULE_STREAM = 0xFA117
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled fault.
+
+    ``at`` is virtual seconds; the injector processes a spec at the first
+    task start at or after ``at`` (crashes falling strictly inside a
+    running attempt's window fail that attempt post-hoc).  Fields beyond
+    ``at``/``kind`` are per-kind:
+
+    - ``executor_crash``: ``executor_id`` — wipes both storage tiers and
+      every shuffle map output homed on the executor;
+    - ``block_loss``: either an explicit ``(rdd_id, split)`` target or a
+      ``pick`` draw resolved against the blocks resident at fire time;
+    - ``straggler``: ``executor_id`` (optionally one ``slot``) runs tasks
+      ``factor``× slower for ``window_seconds`` after ``at``;
+    - ``fetch_failure``: arms a one-shot failure of the next shuffle
+      fetch; ``pick`` selects which map output is reported lost.
+    """
+
+    at: float
+    kind: str
+    executor_id: int | None = None
+    rdd_id: int | None = None
+    split: int | None = None
+    pick: int = 0
+    slot: int | None = None
+    factor: float = 2.0
+    window_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ConfigError(f"unknown fault kind {self.kind!r}; known: {FAULT_KINDS}")
+        if self.at < 0:
+            raise ConfigError("fault time must be >= 0")
+        if self.kind in ("executor_crash", "straggler") and self.executor_id is None:
+            raise ConfigError(f"{self.kind} needs an executor_id")
+        if self.kind == "straggler":
+            if self.factor < 1.0:
+                raise ConfigError("straggler factor must be >= 1")
+            if self.window_seconds <= 0:
+                raise ConfigError("straggler window_seconds must be > 0")
+        if self.kind == "block_loss" and (self.rdd_id is None) != (self.split is None):
+            raise ConfigError("block_loss needs both rdd_id and split, or neither")
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """An ordered plan of faults for one application run."""
+
+    specs: tuple[FaultSpec, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "specs", tuple(self.specs))
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def __bool__(self) -> bool:
+        return bool(self.specs)
+
+    def in_order(self) -> list[FaultSpec]:
+        """Specs sorted by fire time (stable, so declaration order ties)."""
+        return sorted(self.specs, key=lambda spec: spec.at)
+
+    def clamped_to(self, num_executors: int) -> "FaultSchedule":
+        """Normalize executor ids into the cluster's range."""
+        return FaultSchedule(
+            tuple(
+                replace(spec, executor_id=spec.executor_id % num_executors)
+                if spec.executor_id is not None
+                else spec
+                for spec in self.specs
+            )
+        )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def seeded(
+        cls,
+        seed: int,
+        *,
+        horizon_seconds: float,
+        num_executors: int,
+        num_faults: int = 4,
+        kinds: tuple[str, ...] = FAULT_KINDS,
+    ) -> "FaultSchedule":
+        """Draw a deterministic schedule of ``num_faults`` over the horizon.
+
+        The same ``(seed, horizon, executors, n, kinds)`` always yields the
+        same schedule; fire times are uniform over ``[0, horizon)`` and
+        per-kind parameters are drawn from the same stream in a fixed
+        order, so adding a kind never reshuffles earlier draws.
+        """
+        if horizon_seconds <= 0:
+            raise ConfigError("horizon_seconds must be > 0")
+        if num_executors <= 0:
+            raise ConfigError("num_executors must be > 0")
+        if num_faults < 0:
+            raise ConfigError("num_faults must be >= 0")
+        rng = make_rng(seed, _SCHEDULE_STREAM)
+        times = sorted(float(t) for t in rng.uniform(0.0, horizon_seconds, size=num_faults))
+        specs: list[FaultSpec] = []
+        for at in times:
+            kind = kinds[int(rng.integers(len(kinds)))]
+            executor_id = int(rng.integers(num_executors))
+            pick = int(rng.integers(1 << 30))
+            if kind == "executor_crash":
+                specs.append(FaultSpec(at, kind, executor_id=executor_id))
+            elif kind == "block_loss":
+                specs.append(FaultSpec(at, kind, pick=pick))
+            elif kind == "straggler":
+                factor = 1.5 + 2.5 * float(rng.random())
+                window = max(horizon_seconds * 0.2 * float(rng.random()), 1e-3)
+                specs.append(
+                    FaultSpec(
+                        at, kind, executor_id=executor_id,
+                        factor=factor, window_seconds=window,
+                    )
+                )
+            else:  # fetch_failure
+                specs.append(FaultSpec(at, kind, pick=pick))
+        return cls(tuple(specs))

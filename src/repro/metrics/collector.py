@@ -92,6 +92,28 @@ class TaskMetrics:
         self.offloaded_seconds += other.offloaded_seconds
 
 
+@dataclass(frozen=True)
+class RecoverySample:
+    """One calibration point: predicted vs measured recovery cost.
+
+    ``state`` says which estimator was exercised — ``"disk"`` compares
+    Eq. 3's read-back cost against the charged disk read, ``"gone"``
+    compares Eq. 4's recursive recompute against the virtual time the
+    lineage recomputation actually took.
+    """
+
+    rdd_id: int
+    split: int
+    state: str  # "disk" | "gone"
+    predicted_seconds: float
+    measured_seconds: float
+
+    @property
+    def relative_error(self) -> float:
+        denom = max(abs(self.measured_seconds), 1e-12)
+        return abs(self.predicted_seconds - self.measured_seconds) / denom
+
+
 @dataclass
 class ExecutorCacheStats:
     """Cache-event counters for one executor."""
@@ -150,6 +172,25 @@ class MetricsCollector:
         self.partitions_pipelined: int = 0
         self.bytes_for_memo_hits: int = 0
         self.bytes_for_memo_misses: int = 0
+        # Fault-injection and recovery counters (the ``repro.faults``
+        # layer).  ``stage_resubmits`` also counts fault-free shuffle
+        # regeneration (retention cleanup) — stage re-execution is the
+        # same recovery path either way.  The ``fault_*_seconds`` ledgers
+        # are slot-occupancy overhead outside the TaskMetrics buckets
+        # (wasted doomed-attempt time, retry backoff, straggler stretch).
+        self.faults_injected: int = 0
+        self.executor_crashes: int = 0
+        self.blocks_lost: int = 0
+        self.bytes_lost: float = 0.0
+        self.shuffle_outputs_lost: int = 0
+        self.fetch_failures: int = 0
+        self.task_reattempts: int = 0
+        self.stage_resubmits: int = 0
+        self.straggler_tasks_slowed: int = 0
+        self.fault_wasted_seconds: float = 0.0
+        self.fault_backoff_seconds: float = 0.0
+        self.fault_straggler_seconds: float = 0.0
+        self.recovery_samples: list[RecoverySample] = []
 
     # ------------------------------------------------------------------
     def record_task(self, job_id: int, executor_id: int, tm: TaskMetrics) -> None:
@@ -186,6 +227,19 @@ class MetricsCollector:
     def record_disk_remove(self, size: float) -> None:
         self.disk_bytes_current = max(0.0, self.disk_bytes_current - size)
 
+    def record_block_lost(self, executor_id: int, size: float) -> None:
+        """A block vanished by fault (not an eviction, not an unpersist)."""
+        self.blocks_lost += 1
+        self.bytes_lost += size
+
+    def record_recovery_sample(
+        self, rdd_id: int, split: int, state: str,
+        predicted_seconds: float, measured_seconds: float,
+    ) -> None:
+        self.recovery_samples.append(
+            RecoverySample(rdd_id, split, state, predicted_seconds, measured_seconds)
+        )
+
     # ------------------------------------------------------------------
     @property
     def total_evictions(self) -> int:
@@ -212,6 +266,23 @@ class MetricsCollector:
             "partitions_pipelined": self.partitions_pipelined,
             "bytes_for_memo_hits": self.bytes_for_memo_hits,
             "bytes_for_memo_misses": self.bytes_for_memo_misses,
+        }
+
+    def fault_counters(self) -> dict[str, float]:
+        """Fault-injection and recovery counters (``repro.faults``)."""
+        return {
+            "faults_injected": self.faults_injected,
+            "executor_crashes": self.executor_crashes,
+            "blocks_lost": self.blocks_lost,
+            "bytes_lost": self.bytes_lost,
+            "shuffle_outputs_lost": self.shuffle_outputs_lost,
+            "fetch_failures": self.fetch_failures,
+            "task_reattempts": self.task_reattempts,
+            "stage_resubmits": self.stage_resubmits,
+            "straggler_tasks_slowed": self.straggler_tasks_slowed,
+            "fault_wasted_seconds": self.fault_wasted_seconds,
+            "fault_backoff_seconds": self.fault_backoff_seconds,
+            "fault_straggler_seconds": self.fault_straggler_seconds,
         }
 
     def breakdown(self) -> dict[str, float]:

@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
+from ..metrics.collector import RecoverySample
 from .tracer import TraceEvent
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -100,6 +101,13 @@ class RunReport:
     #: decision-layer work counters (cost-memo hits/misses, victim-scan
     #: candidates, ILP nodes) — see ``MetricsCollector.decision_counters``
     decision_counters: dict[str, int] = field(default_factory=dict)
+    #: fault-injection / recovery counters (``repro.faults``) — see
+    #: ``MetricsCollector.fault_counters``; all zero on fault-free runs
+    #: except ``stage_resubmits`` (shuffle regeneration is recovery too)
+    fault_counters: dict[str, float] = field(default_factory=dict)
+    #: predicted-vs-measured recovery costs sampled while the fault layer
+    #: was active (the calibration hook)
+    recovery_samples: tuple[RecoverySample, ...] = field(default_factory=tuple)
     events: tuple[TraceEvent, ...] = field(default_factory=tuple)
 
     # ------------------------------------------------------------------
@@ -123,6 +131,8 @@ class RunReport:
             ilp_migrations=m.ilp_migrations,
             profiling_seconds=m.profiling_seconds,
             decision_counters=m.decision_counters(),
+            fault_counters=m.fault_counters(),
+            recovery_samples=tuple(m.recovery_samples),
             events=ctx.tracer.events,
         )
 
@@ -148,6 +158,22 @@ class RunReport:
     @property
     def evicted_bytes_total(self) -> float:
         return sum(self.evicted_bytes_by_executor.values())
+
+    def recovery_calibration(self) -> dict[str, float]:
+        """Aggregate error of the cost model's recovery predictions.
+
+        Summarizes the ``recovery_samples`` collected while fault
+        injection was active: count, mean and max relative error of
+        predicted vs measured virtual-time recovery.
+        """
+        if not self.recovery_samples:
+            return {"samples": 0, "mean_rel_error": 0.0, "max_rel_error": 0.0}
+        errors = [sample.relative_error for sample in self.recovery_samples]
+        return {
+            "samples": len(errors),
+            "mean_rel_error": sum(errors) / len(errors),
+            "max_rel_error": max(errors),
+        }
 
     # ------------------------------------------------------------------
     # Trace replay

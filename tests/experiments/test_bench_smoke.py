@@ -9,7 +9,9 @@ layers are actually engaged:
   exploration) are equal between the two modes;
 - dataplane suite: the fused run pipelines partitions, fuses chains, and
   serves ``bytes_for`` memo hits, while the kill-switch run reports all
-  fusion counters at zero — with identical evictions and ILP node counts.
+  fusion counters at zero — with identical evictions and ILP node counts;
+- faults suite: the seeded schedule lands faults, the faulted run
+  converges to the clean result, and the clean side injects nothing.
 """
 
 import json
@@ -78,6 +80,29 @@ def test_bench_smoke_counters(tmp_path):
         assert off["evictions"] == on["evictions"]
         assert oc["ilp_nodes"] == fc["ilp_nodes"]
         assert cell["observables_identical"] is True
+
+
+def test_bench_smoke_faults(tmp_path):
+    doc = _run_smoke(tmp_path, "--suite", "faults")
+    faults = doc["faults"]
+    assert faults["scale"] == "tiny"
+    assert faults["cells"], "smoke must produce at least one fault cell"
+    for cell in faults["cells"]:
+        clean, faulted = cell["clean"], cell["faulted"]
+        # The kill switch is really off on the clean side.  (Only the
+        # injection counter: ``stage_resubmits`` legitimately counts
+        # fault-free shuffle regeneration after retention drops.)
+        assert clean["fault_counters"]["faults_injected"] == 0
+        fc = faulted["fault_counters"]
+        assert fc["faults_injected"] > 0
+        assert (
+            fc["executor_crashes"] + fc["fetch_failures"]
+            + fc["blocks_lost"] + fc["straggler_tasks_slowed"]
+        ) > 0, "the seeded schedule must land at least one fault"
+        # Recovery costs virtual time; it never changes the answer.
+        assert cell["converged"] is True
+        assert faulted["converged"] is True
+        assert faulted["act_seconds"] >= clean["act_seconds"]
 
 
 def test_bench_smoke_profile_mode(tmp_path):

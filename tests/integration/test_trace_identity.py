@@ -16,6 +16,7 @@ import pytest
 
 from repro.config import BlazeConfig, DiskConfig, ClusterConfig, GiB, MiB
 from repro.experiments.runner import run_experiment
+from repro.faults import FaultSchedule, FaultSpec
 from repro.tracing import InMemoryTracer, to_jsonl
 from repro.workloads.base import replace_params
 from repro.workloads.registry import make_workload
@@ -34,7 +35,7 @@ def _pressure_cluster() -> ClusterConfig:
 
 
 def _trace(system: str, incremental: bool = True, fused: bool = True,
-           workload: str = "pr") -> str:
+           workload: str = "pr", schedule: FaultSchedule | None = None) -> str:
     wl = replace_params(make_workload(workload, "tiny"), num_partitions=24)
     tracer = InMemoryTracer()
     result = run_experiment(
@@ -44,11 +45,15 @@ def _trace(system: str, incremental: bool = True, fused: bool = True,
         seed=SEED,
         cluster_config=_pressure_cluster(),
         blaze_config=BlazeConfig(
-            incremental_decisions=incremental, fused_execution=fused
+            incremental_decisions=incremental, fused_execution=fused,
+            fault_injection=schedule is not None,
         ),
         tracer=tracer,
+        fault_schedule=schedule,
     )
     assert result.eviction_count > 0, "config must generate memory pressure"
+    if schedule is not None:
+        assert result.report.fault_counters["faults_injected"] > 0
     return to_jsonl(tracer.events)
 
 
@@ -77,3 +82,27 @@ def test_same_seed_incremental_runs_are_deterministic():
 )
 def test_fused_trace_is_byte_identical(system):
     assert _trace(system, fused=False) == _trace(system, fused=True)
+
+
+# Determinism extends to faulted runs (PR 5): the same seed plus the same
+# fault schedule must replay the pressure workload byte-identically —
+# injections, reattempts, stage resubmissions, recovery samples and all —
+# across presets and across the fused/unfused engines.
+def _fault_schedule() -> FaultSchedule:
+    return FaultSchedule(
+        (
+            FaultSpec(0.0, "fetch_failure", pick=2),
+            FaultSpec(0.2, "executor_crash", executor_id=1),
+            FaultSpec(0.5, "block_loss", pick=5),
+            FaultSpec(0.3, "straggler", executor_id=0, factor=2.5,
+                      window_seconds=0.4),
+        )
+    )
+
+
+@pytest.mark.parametrize("system", ["blaze", "costaware", "spark_mem_disk", "spark_lrc"])
+@pytest.mark.parametrize("fused", [False, True])
+def test_faulted_trace_is_deterministic_across_repeats(system, fused):
+    first = _trace(system, fused=fused, schedule=_fault_schedule())
+    second = _trace(system, fused=fused, schedule=_fault_schedule())
+    assert first == second
