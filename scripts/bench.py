@@ -1,7 +1,7 @@
-"""Engine benchmarks: decision-layer (PR 3), data-plane (PR 4) and
-fault-recovery (PR 5) hot paths.
+"""Engine benchmarks: decision-layer (PR 3), data-plane (PR 4),
+fault-recovery (PR 5) and multi-tenant job-service (PR 6) hot paths.
 
-Three suites, one script:
+Four suites, one script:
 
 - **decision** — pressure-heavy cells (working set overflows the memory
   store, eviction/admission decisions dominate) run with
@@ -17,7 +17,16 @@ Three suites, one script:
   makespan.  The faulted measurement reports the fault counters plus a
   ``converged`` flag (faulted final value == clean final value), so the
   recovery machinery's wall-clock overhead and correctness ride the same
-  JSON as the other engine numbers.
+  JSON as the other engine numbers;
+- **service** — a seeded multi-tenant application stream (Poisson
+  arrivals, three tenants, fair-share inter-job policy) driven through
+  :class:`repro.service.JobService` against each preset.  Every cell
+  runs the stream twice and asserts the merged JSONL traces are
+  byte-identical (``deterministic``); because the tenants run
+  structurally identical applications, cross-application lineage dedup
+  shares their cached blocks, measured as ``gids_deduped`` /
+  ``shared_hit_bytes`` alongside the cache hit ratio and p50/p99 per-job
+  latency.
 
 Both flags are observationally invisible (enforced byte-for-byte by
 ``tests/integration/test_trace_identity.py`` and
@@ -72,8 +81,23 @@ Output schema (``BENCH_pr4.json``)::
            "speedup": <clean wall / faulted wall>}
         ],
         "min_speedup": ..., "max_speedup": ...
+      },
+      "service": {
+        "workload": ..., "num_apps": ..., "num_tenants": ...,
+        "cells": [
+          {"system": ..., "seed": ...,
+           "apps": ..., "jobs": ..., "wall_seconds": ...,
+           "deterministic": true, "results_identical": true,
+           "hit_ratio": ..., "gids_deduped": ...,
+           "shared_hits": ..., "shared_hit_bytes": ...,
+           "latency_p50": ..., "latency_p99": ...,
+           "makespan_seconds": ...}
+        ],
+        "total_jobs": ..., "all_deterministic": true
       }
     }
+
+The service suite (PR 6) writes ``BENCH_pr6.json`` by default.
 """
 
 from __future__ import annotations
@@ -91,9 +115,13 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro.config import BlazeConfig, ClusterConfig, DiskConfig, GiB, MiB
+from repro.config import BlazeConfig, ClusterConfig, DiskConfig, GiB, MiB, ServiceConfig
+from repro.core.profiler import run_dependency_extraction
 from repro.experiments.runner import run_experiment
 from repro.faults import FaultSchedule
+from repro.service import JobService
+from repro.systems.presets import make_system
+from repro.tracing import InMemoryTracer, to_jsonl
 from repro.workloads.base import replace_params
 from repro.workloads.registry import make_workload
 
@@ -111,6 +139,13 @@ DATAPLANE_WORKLOADS = ["chain", "pr", "kmeans"]
 FAULT_SYSTEMS = ["blaze", "costaware", "spark_mem_disk"]
 FAULT_WORKLOADS = ["pr", "cc"]
 FAULT_COUNT = 4
+#: service suite (PR 6): the multi-tenant application stream per preset
+SERVICE_SYSTEMS = ["blaze", "spark_mem_disk", "spark_mem_only", "spark_lrc"]
+SERVICE_WORKLOAD = "pr"
+#: 40 apps x (1 + 5 iterations) jobs each = 240 driver jobs per cell
+SERVICE_APPS = 40
+SERVICE_ITERS = 5
+SERVICE_TENANTS = 3
 PROFILE_TOP_N = 12
 
 
@@ -224,6 +259,117 @@ def run_cell(
     return measurement
 
 
+def _percentile(values: list[float], q: float) -> float:
+    ordered = sorted(values)
+    return ordered[int(round(q * (len(ordered) - 1)))] if ordered else 0.0
+
+
+def run_service_cell(
+    system: str, workload: str, num_apps: int, iterations: int | None = None
+) -> dict:
+    """One preset driving the seeded multi-tenant application stream.
+
+    ``num_apps`` structurally identical applications are submitted across
+    :data:`SERVICE_TENANTS` tenants on Poisson arrivals and interleaved
+    at job granularity under the fair-share policy.  The stream runs
+    twice; the merged JSONL traces must match byte for byte
+    (``deterministic``) and every application must converge to the same
+    final value (``results_identical`` — tenants read each other's
+    deduped cached blocks, so this is the cross-tenant correctness
+    oracle).
+    """
+    wl = make_workload(workload, "tiny")
+    if iterations is not None:
+        wl = replace_params(wl, iterations=iterations)
+    spec = make_system(system)
+    bcfg = BlazeConfig()
+    profile = None
+    if spec.needs_profile:
+        # One profile serves every application: dedup maps all tenants'
+        # structurally identical lineages onto the same global ids.
+        profile = run_dependency_extraction(
+            wl.profiling_run_fn(bcfg.profiling_sample_fraction), bcfg, seed=SEED
+        )
+
+    def app_fn(client):
+        return wl.run(client).final_value
+
+    def once() -> tuple[dict, str]:
+        tracer = InMemoryTracer()
+        manager = spec.build(profile=profile, blaze_config=bcfg)
+        service = JobService(
+            smoke_cluster(), manager, seed=SEED, tracer=tracer,
+            service_config=ServiceConfig(
+                inter_job_policy="fair", arrival_seed=SEED,
+                arrival_rate_per_sec=1.0,
+            ),
+        )
+        for i in range(num_apps):
+            service.submit(
+                app_fn, tenant=f"tenant{i % SERVICE_TENANTS}",
+                name=f"{workload}{i}",
+            )
+        handles = service.run()
+        counters = service.metrics.service_counters()
+        latencies = [r.latency for r in service.job_records]
+        results = [h.result() for h in handles]
+        doc = {
+            "apps": int(counters["service_apps"]),
+            "jobs": int(counters["service_jobs"]),
+            "gids_deduped": int(counters["gids_deduped"]),
+            "shared_hits": int(counters["shared_hits"]),
+            "shared_hit_bytes": counters["shared_hit_bytes"],
+            "hit_ratio": round(handles[0].report().hit_ratio(), 4),
+            "results_identical": len(set(results)) == 1,
+            "latency_p50": round(_percentile(latencies, 0.50), 6),
+            "latency_p99": round(_percentile(latencies, 0.99), 6),
+            "makespan_seconds": round(service.now, 6),
+        }
+        service.shutdown()
+        return doc, to_jsonl(tracer.events)
+
+    t0 = time.perf_counter()
+    doc, trace_a = once()
+    wall = time.perf_counter() - t0
+    _doc_b, trace_b = once()
+    doc["deterministic"] = trace_a == trace_b
+    doc["wall_seconds"] = round(wall, 3)
+    doc["system"] = system
+    doc["seed"] = SEED
+    return doc
+
+
+def run_service_matrix(
+    systems: list[str], workload: str, num_apps: int, iterations: int | None = None
+) -> dict:
+    cells = []
+    for system in systems:
+        print(
+            f"[bench] service: {workload} stream x {system} "
+            f"({num_apps} apps / {SERVICE_TENANTS} tenants) ...",
+            flush=True,
+        )
+        cell = run_service_cell(system, workload, num_apps, iterations=iterations)
+        cells.append(cell)
+        print(
+            f"[bench]   {cell['jobs']} jobs in {cell['wall_seconds']:.1f}s wall, "
+            f"hit_ratio={cell['hit_ratio']}, deduped={cell['gids_deduped']}, "
+            f"shared={cell['shared_hit_bytes'] / MiB:.0f} MiB, "
+            f"p99={cell['latency_p99']:.1f}s"
+            + ("" if cell["deterministic"] else "  [NON-DETERMINISTIC]"),
+            flush=True,
+        )
+    return {
+        "workload": workload,
+        "num_apps": num_apps,
+        "num_tenants": SERVICE_TENANTS,
+        "seed": SEED,
+        "cells": cells,
+        "total_jobs": sum(c["jobs"] for c in cells),
+        "all_deterministic": all(c["deterministic"] for c in cells),
+    }
+
+
 def run_cell_subprocess(**spec) -> dict:
     """Fork a fresh interpreter so peak RSS is this cell's own high-water."""
     proc = subprocess.run(
@@ -311,12 +457,16 @@ def run_matrix(
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--out", default="BENCH_pr4.json", help="output path")
+    parser.add_argument("--out", default=None,
+                        help="output path (default: BENCH_pr6.json for the "
+                             "service suite, BENCH_pr4.json otherwise)")
     parser.add_argument("--smoke", action="store_true", help="tiny scale, in-process, fast")
     parser.add_argument("--profile", action="store_true",
                         help="attach cProfile top-N to every measurement")
     parser.add_argument(
-        "--suite", choices=["decision", "dataplane", "faults", "all"], default="all"
+        "--suite",
+        choices=["decision", "dataplane", "faults", "service", "all"],
+        default="all",
     )
     parser.add_argument("--cell", help="(internal) run one cell from a JSON spec")
     args = parser.parse_args(argv)
@@ -343,6 +493,10 @@ def main(argv: list[str] | None = None) -> int:
                 "faults", "tiny", ["blaze", "spark_mem_disk"], ["pr"],
                 in_process=True, profile=args.profile,
             )
+        if args.suite in ("service", "all"):
+            doc["service"] = run_service_matrix(
+                ["blaze", "spark_mem_disk"], SERVICE_WORKLOAD, num_apps=4,
+            )
     else:
         if args.suite in ("decision", "all"):
             doc["decision"] = run_matrix(
@@ -359,15 +513,27 @@ def main(argv: list[str] | None = None) -> int:
                 "faults", "paper", FAULT_SYSTEMS, FAULT_WORKLOADS,
                 in_process=False, profile=args.profile,
             )
+        if args.suite in ("service", "all"):
+            doc["service"] = run_service_matrix(
+                SERVICE_SYSTEMS, SERVICE_WORKLOAD,
+                num_apps=SERVICE_APPS, iterations=SERVICE_ITERS,
+            )
 
-    Path(args.out).write_text(json.dumps(doc, indent=2) + "\n", encoding="utf-8")
+    out = args.out or ("BENCH_pr6.json" if args.suite == "service" else "BENCH_pr4.json")
+    Path(out).write_text(json.dumps(doc, indent=2) + "\n", encoding="utf-8")
     for suite in ("decision", "dataplane", "faults"):
         if suite in doc:
             print(
                 f"[bench] {suite}: speedups {doc[suite]['min_speedup']}x - "
                 f"{doc[suite]['max_speedup']}x"
             )
-    print(f"[bench] wrote {args.out}")
+    if "service" in doc:
+        svc = doc["service"]
+        print(
+            f"[bench] service: {svc['total_jobs']} jobs across "
+            f"{len(svc['cells'])} presets, deterministic={svc['all_deterministic']}"
+        )
+    print(f"[bench] wrote {out}")
     return 0
 
 

@@ -108,12 +108,15 @@ class SparkCacheManager(CacheManager):
         bm = executor.bm
         policy = self.policy_for(executor)
         now = self.cluster.clock.now
+        tenancy = self.cluster.tenancy
+        tenant = tenancy.current_tenant if tenancy is not None else None
         block = Block(
             block_id=(rdd.rdd_id, split),
             data=data,
             size_bytes=size_bytes,
             ser_factor=rdd.size_model.ser_factor,
             rdd_name=rdd.name,
+            tenant=tenant,
         )
         if isinstance(policy, TinyLFUPolicy):
             policy.record_candidate(rdd.rdd_id)
@@ -125,7 +128,17 @@ class SparkCacheManager(CacheManager):
             return
 
         needed = size_bytes - bm.memory.free_bytes
-        victims = policy.select_victims(bm.memory, needed, rdd.rdd_id, now)
+        if tenancy is not None and tenancy.quotas_active:
+            # Quota mode replaces the pluggable policy's selection with
+            # fairness-aware tiering (see docs/service.md): a requester
+            # that would exceed its quota may only displace its own
+            # blocks, and within-quota tenants' blocks are always the
+            # last resort.  Never reached on legacy single-tenant runs.
+            victims = self._quota_select_victims(
+                bm, needed, rdd.rdd_id, tenant, size_bytes
+            )
+        else:
+            victims = policy.select_victims(bm.memory, needed, rdd.rdd_id, now)
         if victims is None or not policy.admit(size_bytes, rdd.rdd_id, victims):
             # Cannot (or should not) displace residents: fall back to disk
             # when the mode has one, otherwise give up caching.
@@ -156,6 +169,59 @@ class SparkCacheManager(CacheManager):
         bm.insert_memory(block)
         block.touch(now)
         policy.on_insert(block, now)
+
+    # ------------------------------------------------------------------
+    def _quota_select_victims(
+        self,
+        bm,
+        needed: float,
+        incoming_rdd_id: int,
+        tenant: str | None,
+        size_bytes: float,
+    ) -> list[Block] | None:
+        """Fairness-tiered victim selection under active tenant quotas.
+
+        Two constraints must hold after the insert: executor capacity
+        (``needed`` bytes freed here) and the requester's aggregate quota
+        (own blocks evicted anywhere count against usage).  Victim tiers:
+        over-quota tenants' blocks first, then the requester's own (and
+        ownerless) blocks, then — only if the requester stays within its
+        quota — other within-quota tenants' blocks.  Returns None when the
+        constraints cannot be met, which routes the insert to disk.
+        """
+        tenancy = self.cluster.tenancy
+        quota = tenancy.quota_of(tenant)
+        usage = tenancy.memory_used_by(self.cluster, tenant)
+        over_after = quota is not None and usage + size_bytes > quota
+        need_quota_free = max(0.0, usage + size_bytes - quota) if quota is not None else 0.0
+
+        tiers: list[tuple[int, float, tuple, Block]] = []
+        for block in bm.memory.blocks():
+            if block.rdd_id == incoming_rdd_id:
+                continue
+            if block.tenant == tenant or block.tenant is None:
+                tier = 1
+            elif tenancy.is_over_quota(self.cluster, block.tenant):
+                tier = 0
+            elif over_after:
+                continue  # protected: within-quota block of another tenant
+            else:
+                tier = 2
+            tiers.append((tier, block.last_access, block.block_id, block))
+        tiers.sort(key=lambda entry: entry[:3])
+
+        victims: list[Block] = []
+        freed = own_freed = 0.0
+        for _tier, _la, _bid, block in tiers:
+            if freed >= needed and own_freed >= need_quota_free:
+                break
+            victims.append(block)
+            freed += block.size_bytes
+            if block.tenant == tenant:
+                own_freed += block.size_bytes
+        if freed < needed or own_freed < need_quota_free:
+            return None
+        return victims
 
     # ------------------------------------------------------------------
     def on_memory_hit(self, executor: "Executor", block: Block, tm: TaskMetrics) -> None:

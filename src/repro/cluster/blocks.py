@@ -39,6 +39,9 @@ class Block:
     access_count: int = 0
     #: metadata bag used by policies (e.g. GDWheel credits)
     policy_data: dict = field(default_factory=dict)
+    #: tenant whose job materialized the block (quota accounting); None
+    #: when no tenancy registry is attached to the cluster.
+    tenant: str | None = None
 
     @property
     def rdd_id(self) -> int:

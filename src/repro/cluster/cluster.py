@@ -35,6 +35,8 @@ class Cluster:
             for i in range(config.num_executors)
         ]
         self.shuffle = ShuffleManager(config)
+        #: tenant registry (set by the job service); None for bare clusters.
+        self.tenancy = None
 
     # ------------------------------------------------------------------
     def executor_for(self, split: int) -> Executor:

@@ -377,6 +377,24 @@ class Driver:
                 rdd=block.rdd_id, split=block.split, bytes=block.size_bytes,
                 **extra,
             )
+        # Cross-tenant hit: lineage dedup let this job read a block another
+        # tenant materialized.  Only fires under an active tenancy registry
+        # with distinct tenants, so single-tenant traces are unchanged.
+        tenancy = self.cluster.tenancy
+        if (
+            tenancy is not None
+            and block.tenant is not None
+            and block.tenant != tenancy.current_tenant
+        ):
+            self.metrics.shared_hits += 1
+            self.metrics.shared_hit_bytes += block.size_bytes
+            if self.tracer.enabled:
+                self.tracer.instant(
+                    "cache.shared_hit", "cache",
+                    pid=executor_pid(executor.executor_id),
+                    rdd=block.rdd_id, split=block.split, bytes=block.size_bytes,
+                    owner=block.tenant, reader=tenancy.current_tenant,
+                )
 
     def _compute(
         self,

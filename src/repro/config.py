@@ -10,6 +10,7 @@ Python process actually holding gigabytes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Mapping
 
 from .errors import ConfigError
 
@@ -103,8 +104,91 @@ class ClusterConfig:
 
 
 @dataclass(frozen=True)
+class ServiceConfig:
+    """Tunables of the multi-tenant job service (``repro.service``).
+
+    The service admits a seeded stream of applications over the virtual
+    clock and interleaves their jobs on one shared executor fleet.  All
+    knobs here only matter for :class:`~repro.service.JobService`; the
+    legacy single-tenant ``BlazeContext`` path ignores them.
+    """
+
+    # Arrival process for submitted application streams: "poisson" draws
+    # exponential inter-arrival gaps at ``arrival_rate_per_sec``;
+    # "diurnal" thins a Poisson stream against a sinusoidal rate profile
+    # with the given period and trough-to-peak ratio.
+    arrival_process: str = "poisson"
+    arrival_seed: int = 0
+    arrival_rate_per_sec: float = 1.0
+    diurnal_period_seconds: float = 60.0
+    diurnal_trough_ratio: float = 0.2
+
+    # Inter-job scheduling policy: "fifo" grants pending job requests in
+    # submission order; "fair" grants the tenant with the least consumed
+    # virtual service time (deterministic tie-breaks on tenant name and
+    # submission order).
+    inter_job_policy: str = "fifo"
+
+    # Per-tenant memory-store quotas in bytes (aggregate across the
+    # executor fleet).  Tenants absent from the mapping are unlimited.
+    # An empty mapping disables quota enforcement entirely, which keeps
+    # the single-tenant compatibility path byte-identical to the legacy
+    # engine.
+    tenant_quotas: Mapping[str, float] = field(default_factory=dict)
+
+    # Structural cross-application lineage dedup: identical lineage
+    # prefixes submitted by different tenants map to the same global RDD
+    # ids, so their cached blocks are shared (hits on another tenant's
+    # block trace as ``cache.shared_hit``).  Kill switch for the service
+    # path; the BlazeContext shim always runs with identity ids.
+    dedup_enabled: bool = True
+
+    # Emit ``service.*`` trace instants (submission, grant, completion).
+    # Off by default so single-tenant traces stay byte-identical.
+    trace_service_events: bool = False
+
+    def __post_init__(self) -> None:
+        if self.arrival_process not in ("poisson", "diurnal"):
+            raise ConfigError(
+                f"unknown arrival_process: {self.arrival_process!r} "
+                "(expected 'poisson' or 'diurnal')"
+            )
+        if self.arrival_rate_per_sec <= 0:
+            raise ConfigError("arrival_rate_per_sec must be positive")
+        if self.diurnal_period_seconds <= 0:
+            raise ConfigError("diurnal_period_seconds must be positive")
+        if not 0 < self.diurnal_trough_ratio <= 1:
+            raise ConfigError("diurnal_trough_ratio must be in (0, 1]")
+        if self.inter_job_policy not in ("fifo", "fair"):
+            raise ConfigError(
+                f"unknown inter_job_policy: {self.inter_job_policy!r} "
+                "(expected 'fifo' or 'fair')"
+            )
+        for tenant, quota in self.tenant_quotas.items():
+            if not isinstance(tenant, str) or not tenant:
+                raise ConfigError("tenant_quotas keys must be non-empty strings")
+            if quota <= 0:
+                raise ConfigError(
+                    f"tenant quota for {tenant!r} must be positive, got {quota!r}"
+                )
+
+
+@dataclass(frozen=True)
 class BlazeConfig:
-    """Tunables of the Blaze unified decision layer (paper section 5)."""
+    """Tunables of the Blaze unified decision layer (paper section 5).
+
+    Engine kill switches at a glance (each is documented in detail at its
+    field below):
+
+    - ``incremental_decisions`` — epoch cost cache + victim index
+      (decisions bit-identical either way);
+    - ``fused_execution`` — fused data plane (observationally identical
+      either way);
+    - ``fault_injection`` — deterministic fault injection (off by
+      default; a FaultSchedule is inert without it);
+    - ``service.dedup_enabled`` — cross-application lineage dedup on the
+      :class:`~repro.service.JobService` path (see :class:`ServiceConfig`).
+    """
 
     # Dependency-extraction phase (section 5.1 / 7.5).
     profiling_enabled: bool = True
@@ -158,6 +242,10 @@ class BlazeConfig:
     fault_injection: bool = False
     fault_max_task_retries: int = 4
     fault_retry_backoff_seconds: float = 0.25
+
+    # Multi-tenant job-service knobs (arrival stream, inter-job policy,
+    # tenant quotas, cross-application dedup).  See :class:`ServiceConfig`.
+    service: ServiceConfig = field(default_factory=ServiceConfig)
 
     def __post_init__(self) -> None:
         if self.ilp_horizon_jobs < 1:

@@ -336,12 +336,14 @@ class BlazeCacheManager(CacheManager):
             # reuse is speculative.
             speculative = True
             remaining_refs = 1
+        tenancy = self.cluster.tenancy
         block = Block(
             block_id=(rdd.rdd_id, split),
             data=data,
             size_bytes=size_bytes,
             ser_factor=rdd.size_model.ser_factor,
             rdd_name=rdd.name,
+            tenant=tenancy.current_tenant if tenancy is not None else None,
         )
         if speculative:
             if executor.bm.memory.fits(size_bytes):
@@ -372,7 +374,12 @@ class BlazeCacheManager(CacheManager):
         tm: TaskMetrics,
         from_disk: bool,
     ) -> None:
-        if self._cache is not None:
+        tenancy = self.cluster.tenancy
+        quota_mode = tenancy is not None and tenancy.quotas_active
+        # Quota enforcement needs the tenancy-aware victim tiering of the
+        # naive path; the victim index has no quota dimension.  Never
+        # reached on legacy single-tenant runs (no quotas configured).
+        if self._cache is not None and not quota_mode:
             self._admit_incremental(executor, block, refs, tm, from_disk)
             return
         bm = executor.bm
@@ -384,11 +391,16 @@ class BlazeCacheManager(CacheManager):
 
         needed = block.size_bytes - bm.memory.free_bytes
         memo: dict = {}
-        if needed <= 0:
+        if needed <= 0 and not (
+            quota_mode
+            and tenancy.would_exceed(self.cluster, tenancy.current_tenant, block.size_bytes)
+        ):
             self._place_in_memory(bm, block, from_disk, now)
             return
 
-        victims = self._select_victims(bm, needed, block.rdd_id, memo)
+        victims = self._select_victims(
+            bm, max(needed, 0.0), block.rdd_id, memo, incoming_block=block
+        )
         if victims is None:
             if not from_disk:
                 self._maybe_write_to_disk(executor, block, tm)
@@ -529,8 +541,17 @@ class BlazeCacheManager(CacheManager):
         needed_bytes: float,
         incoming_rdd_id: int,
         memo: dict,
+        incoming_block: Block | None = None,
     ) -> list[Block] | None:
-        """Cheapest-first victim selection (Spark's same-RDD guard kept)."""
+        """Cheapest-first victim selection (Spark's same-RDD guard kept).
+
+        Under active tenant quotas (``incoming_block`` given, quota mode)
+        the cost order is tiered for fairness: over-quota tenants' blocks
+        first, then the inserting tenant's own (and ownerless) blocks,
+        then — only if the inserter stays within its quota — other
+        within-quota tenants' blocks; and enough of the inserter's own
+        bytes must be displaced to keep it within quota after the insert.
+        """
         eligible = [b for b in bm.memory.blocks() if b.rdd_id != incoming_rdd_id]
         if self.config.cost_aware_enabled:
             if self.config.admission_enabled:
@@ -546,17 +567,59 @@ class BlazeCacheManager(CacheManager):
             def order_key(b: Block) -> float:
                 return b.last_access
 
-        eligible.sort(key=lambda b: (order_key(b), b.policy_data.get("seq", 0), b.block_id))
+        tenancy = self.cluster.tenancy
+        quota_mode = (
+            incoming_block is not None
+            and tenancy is not None
+            and tenancy.quotas_active
+        )
+        quota_need = 0.0
+        tenant = None
+        if quota_mode:
+            tenant = tenancy.current_tenant
+            quota = tenancy.quota_of(tenant)
+            usage = tenancy.memory_used_by(self.cluster, tenant)
+            over_after = quota is not None and usage + incoming_block.size_bytes > quota
+            if quota is not None:
+                quota_need = max(0.0, usage + incoming_block.size_bytes - quota)
+
+            def tier_of(b: Block) -> int | None:
+                if b.tenant == tenant or b.tenant is None:
+                    return 1
+                if tenancy.is_over_quota(self.cluster, b.tenant):
+                    return 0
+                return None if over_after else 2
+
+            tiered = []
+            for b in eligible:
+                tier = tier_of(b)
+                if tier is not None:
+                    tiered.append((tier, b))
+            tiered.sort(
+                key=lambda tb: (
+                    tb[0], order_key(tb[1]),
+                    tb[1].policy_data.get("seq", 0), tb[1].block_id,
+                )
+            )
+            eligible = [b for _tier, b in tiered]
+        else:
+            eligible.sort(
+                key=lambda b: (order_key(b), b.policy_data.get("seq", 0), b.block_id)
+            )
         self.cluster.metrics.victim_candidates_scanned += len(eligible)
         self.cluster.metrics.victim_selections += 1
         victims: list[Block] = []
-        freed = 0.0
+        freed = own_freed = 0.0
         for candidate in eligible:
-            if freed >= needed_bytes:
+            if freed >= needed_bytes and own_freed >= quota_need:
                 break
             victims.append(candidate)
             freed += candidate.size_bytes
-        return victims if freed >= needed_bytes else None
+            if quota_mode and candidate.tenant == tenant:
+                own_freed += candidate.size_bytes
+        if freed < needed_bytes or own_freed < quota_need:
+            return None
+        return victims
 
     def _evict(self, executor: "Executor", victim: Block, tm: TaskMetrics, memo: dict) -> None:
         """Move a memory victim to its cheapest state (§4.2)."""

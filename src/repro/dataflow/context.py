@@ -1,34 +1,30 @@
 """The driver-side entry point (Spark's ``SparkContext`` analogue).
 
-A :class:`BlazeContext` owns one simulated cluster, one cache manager (the
-system under test), and the RDD registry.  Workloads build RDDs through it
-and trigger jobs with actions; experiments read the metrics collector and
-virtual clock afterwards.
+Since the job-service redesign, :class:`BlazeContext` is a compatibility
+shim: a one-tenant :class:`~repro.service.JobClient` over a private
+:class:`~repro.service.JobService` that owns the cluster, the cache
+manager (the system under test), and the driver.  The constructor, the
+dataset-building surface, and — crucially — the produced traces are
+unchanged: a ``BlazeContext`` run is byte-identical to what the
+pre-service engine emitted.
+
+Multi-application programs should use :class:`~repro.service.JobService`
+directly (see ``docs/service.md``).
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterable
-
-import numpy as np
-
 from ..cluster.cachemanager import CacheManager
-from ..cluster.cluster import Cluster
-from ..cluster.driver import Driver
-from ..config import BlazeConfig, ClusterConfig
-from ..errors import DataflowError
-from ..faults.injector import FaultInjector
+from ..config import BlazeConfig, ClusterConfig, ServiceConfig
 from ..faults.schedule import FaultSchedule
-from ..metrics.collector import MetricsCollector
-from ..sim.rng import make_rng
-from ..tracing.report import RunReport
-from ..tracing.tracer import NULL_TRACER, InMemoryTracer, Tracer
-from .operators import OpCost, SizeModel
-from .rdd import ParallelCollectionRDD, RDD, SourceRDD
+from ..service.client import JobClient
+from ..service.service import JobService
+from ..service.tenancy import DEFAULT_TENANT
+from ..tracing.tracer import Tracer
 
 
-class BlazeContext:
-    """Builds datasets and runs jobs on a simulated cluster."""
+class BlazeContext(JobClient):
+    """Builds datasets and runs jobs on a (privately owned) simulated cluster."""
 
     def __init__(
         self,
@@ -39,149 +35,38 @@ class BlazeContext:
         blaze_config: "BlazeConfig | None" = None,
         fault_schedule: "FaultSchedule | None" = None,
     ) -> None:
-        if cache_manager is None:
-            from ..caching.manager import SparkCacheManager
-
-            cache_manager = SparkCacheManager()
-        self.config = cluster_config or ClusterConfig()
-        self.seed = int(seed)
-        #: engine-level kill switch for the fused data plane (narrow-chain
-        #: pipelining + bulk shuffle bucketing); defaults to the
-        #: ``BlazeConfig`` default so plain contexts get the fast plane.
-        self.fused_execution = blaze_config.fused_execution if blaze_config else True
-        if tracer is None:
-            tracer = InMemoryTracer() if self.config.tracing_enabled else NULL_TRACER
-        self.tracer = tracer
-        self.cluster = Cluster(self.config, tracer=tracer)
-        self.cluster.shuffle.fast_path = self.fused_execution
-        # Fault injection has a double opt-in: a schedule must be passed
-        # AND ``BlazeConfig.fault_injection`` (default off) flipped on.
-        # Flag on with an *empty* schedule is calibration-only mode (the
-        # injector samples recovery costs without perturbing the run).
-        self.fault_injector: FaultInjector | None = None
-        if fault_schedule is not None and blaze_config is not None and blaze_config.fault_injection:
-            self.fault_injector = FaultInjector(
-                fault_schedule, self.cluster, cache_manager,
-                max_task_retries=blaze_config.fault_max_task_retries,
-                retry_backoff_seconds=blaze_config.fault_retry_backoff_seconds,
-            )
-        self.driver = Driver(
-            self.cluster, cache_manager,
-            fused_execution=self.fused_execution,
-            fault_injector=self.fault_injector,
+        # Identity RDD ids (dedup off): with one application there is
+        # nothing to share, and sequential ids keep the legacy numbering
+        # without fingerprinting overhead.  No service trace events, so
+        # the trace stream matches the pre-service engine byte for byte.
+        service_config = ServiceConfig(dedup_enabled=False)
+        service = JobService(
+            cluster_config=cluster_config,
+            cache_manager=cache_manager,
+            seed=seed,
+            tracer=tracer,
+            blaze_config=blaze_config,
+            fault_schedule=fault_schedule,
+            service_config=service_config,
         )
-        self.cache_manager = cache_manager
-        self._rdds: list[RDD] = []
-        self._stopped = False
-
-    # ------------------------------------------------------------------
-    # Registry / determinism plumbing
-    # ------------------------------------------------------------------
-    def register_rdd(self, rdd: RDD) -> int:
-        """Assign the next RDD id (called from ``RDD.__init__``)."""
-        self._rdds.append(rdd)
-        return len(self._rdds) - 1
-
-    def rdd_by_id(self, rdd_id: int) -> RDD:
-        return self._rdds[rdd_id]
-
-    def all_rdds(self) -> list[RDD]:
-        """Every dataset registered so far, in id order."""
-        return list(self._rdds)
-
-    @property
-    def num_rdds(self) -> int:
-        return len(self._rdds)
-
-    def rng_for(self, rdd_id: int, split: int) -> np.random.Generator:
-        """Deterministic per-partition generator (recomputation-stable)."""
-        return make_rng(self.seed, rdd_id, split)
-
-    # ------------------------------------------------------------------
-    # Dataset constructors
-    # ------------------------------------------------------------------
-    def parallelize(self, data: list, num_partitions: int | None = None, **kwargs) -> RDD:
-        """Distribute a driver-side collection."""
-        n = num_partitions or self.config.num_executors
-        return ParallelCollectionRDD(self, list(data), n, **kwargs)
-
-    def source(
-        self,
-        gen_fn: Callable[[int, np.random.Generator], Iterable],
-        num_partitions: int,
-        op_cost: OpCost | None = None,
-        size_model: SizeModel | None = None,
-        name: str | None = None,
-    ) -> RDD:
-        """A deterministic generated dataset (synthetic workload input)."""
-        return SourceRDD(
-            self, gen_fn, num_partitions,
-            op_cost=op_cost, size_model=size_model, name=name,
-        )
-
-    # ------------------------------------------------------------------
-    # Execution
-    # ------------------------------------------------------------------
-    def run_job(self, final_rdd: RDD, action_fn: Callable[[int, list], Any]) -> list:
-        """Submit an action over ``final_rdd``; returns per-partition results."""
-        if self._stopped:
-            raise DataflowError("context already stopped")
-        if final_rdd.ctx is not self:
-            raise DataflowError("RDD belongs to a different context")
-        return self.driver.run_job(final_rdd, action_fn)
-
-    def unpersist_rdd(self, rdd: RDD) -> None:
-        self.driver.unpersist_rdd(rdd)
-
-    # ------------------------------------------------------------------
-    # Introspection
-    # ------------------------------------------------------------------
-    @property
-    def now(self) -> float:
-        """Current virtual time (the application's running clock)."""
-        return self.cluster.clock.now
-
-    @property
-    def metrics(self) -> MetricsCollector:
-        return self.cluster.metrics
-
-    def report(self) -> RunReport:
-        """The stable results façade: metric aggregates plus trace replay.
-
-        Benchmarks and examples should read results from here instead of
-        reaching into ``ctx.cluster.metrics``.  Callable before or after
-        :meth:`stop`; the metric ledgers survive shutdown.
-        """
-        return RunReport.from_context(self)
-
-    @property
-    def jobs(self):
-        """Jobs submitted so far, in order."""
-        return self.driver.job_log
+        super().__init__(service, tenant=DEFAULT_TENANT, seed=seed)
 
     def stop(self) -> None:
         """Finish the application; further jobs are rejected.
 
-        Idempotent.  Releases the run's block-store and shuffle state so
-        repeated context creation in one process cannot leak blocks between
+        Idempotent.  Because this context owns its service, stopping also
+        releases the run's block-store and shuffle state so repeated
+        context creation in one process cannot leak blocks between
         experiments; metric ledgers and the trace remain readable.
         """
-        if self._stopped:
-            return
-        self._stopped = True
-        for executor in self.cluster.executors:
-            executor.bm.release()
-        self.cluster.shuffle.release()
-        self.cache_manager.detach()
+        super().stop()
+        self.service.shutdown()
 
     def __enter__(self) -> "BlazeContext":
         return self
 
-    def __exit__(self, *exc_info) -> None:
-        self.stop()
-
     def __repr__(self) -> str:
         return (
             f"<BlazeContext {self.cache_manager.name} "
-            f"rdds={len(self._rdds)} t={self.now:.2f}s>"
+            f"rdds={self.num_rdds} t={self.now:.2f}s>"
         )

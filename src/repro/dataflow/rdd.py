@@ -49,6 +49,7 @@ class RDD:
         op_cost: OpCost | None = None,
         size_model: SizeModel | None = None,
         partitioner: Partitioner | None = None,
+        sig_extra: tuple = (),
     ) -> None:
         if num_partitions <= 0:
             raise DataflowError("an RDD needs at least one partition")
@@ -64,7 +65,11 @@ class RDD:
         self.size_weigher = None
         self.partitioner = partitioner
         self.is_annotated_cached = False
-        self.rdd_id = ctx.register_rdd(self)
+        # ``sig_extra`` carries the subclass-specific identity ingredients
+        # (user functions, payloads, flags) that the job service fingerprints
+        # for cross-application lineage dedup; the legacy single-tenant path
+        # ignores it and assigns sequential ids.
+        self.rdd_id = ctx.register_rdd(self, (name, *sig_extra))
         self.name = name or f"{type(self).__name__}#{self.rdd_id}"
 
     # ------------------------------------------------------------------
@@ -410,7 +415,7 @@ class SourceRDD(RDD):
         num_partitions: int,
         **kwargs,
     ) -> None:
-        super().__init__(ctx, [], num_partitions, **kwargs)
+        super().__init__(ctx, [], num_partitions, sig_extra=("source", gen_fn), **kwargs)
         self._gen_fn = gen_fn
 
     def compute(self, split: int, narrow_data: list[list], shuffle_data: list[list]) -> list:
@@ -422,7 +427,9 @@ class ParallelCollectionRDD(RDD):
     """A driver-side collection sliced into partitions."""
 
     def __init__(self, ctx: "BlazeContext", data: list, num_partitions: int, **kwargs) -> None:
-        super().__init__(ctx, [], num_partitions, **kwargs)
+        super().__init__(
+            ctx, [], num_partitions, sig_extra=("data", tuple(data)), **kwargs
+        )
         self._slices = _slice(data, num_partitions)
 
     def compute(self, split: int, narrow_data: list[list], shuffle_data: list[list]) -> list:
@@ -462,6 +469,7 @@ class MapPartitionsRDD(RDD):
             op_cost=op_cost or MAP_LIKE,
             size_model=size_model or parent.size_model,
             partitioner=parent.partitioner if preserves_partitioning else None,
+            sig_extra=("map", fn, streamable, preserves_partitioning),
         )
         self._fn = fn
         self.elem_op = elem_op
@@ -486,7 +494,7 @@ class UnionRDD(RDD):
         for parent in parents:
             deps.append(RangeDependency(parent, 0, offset, parent.num_partitions))
             offset += parent.num_partitions
-        super().__init__(ctx, deps, offset, **kwargs)
+        super().__init__(ctx, deps, offset, sig_extra=("union",), **kwargs)
 
     def compute(self, split: int, narrow_data: list[list], shuffle_data: list[list]) -> list:
         (parent_part,) = narrow_data
@@ -508,6 +516,7 @@ class CoalesceRDD(RDD):
             ctx,
             [CoalesceDependency(parent, num_partitions)],
             num_partitions,
+            sig_extra=("coalesce",),
             **kwargs,
         )
 
@@ -544,6 +553,7 @@ class ZipPartitionsRDD(RDD):
             op_cost=op_cost or MAP_LIKE,
             size_model=size_model or parents[0].size_model,
             partitioner=parents[0].partitioner if preserves_partitioning else None,
+            sig_extra=("zip", fn),
         )
         self._fn = fn
 
@@ -580,6 +590,7 @@ class ShuffledRDD(RDD):
             op_cost=op_cost or SHUFFLE_LIKE,
             size_model=size_model or parent.size_model,
             partitioner=partitioner,
+            sig_extra=("shuffled", group),
         )
         self._group = group
 
@@ -630,6 +641,7 @@ class CoGroupedRDD(RDD):
             op_cost=op_cost or SHUFFLE_LIKE,
             size_model=size_model or left.size_model,
             partitioner=partitioner,
+            sig_extra=("cogroup",),
         )
         self._sides = sides
 

@@ -58,3 +58,8 @@ class WorkloadError(ReproError):
 class FaultError(ReproError):
     """Raised when injected faults exhaust the engine's bounded recovery
     (e.g. a task fails more than ``fault_max_task_retries`` times)."""
+
+
+class ServiceError(ReproError):
+    """Raised for invalid job-service operations (bad submissions, reading
+    a handle before the service drained it, running a stopped service)."""

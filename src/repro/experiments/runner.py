@@ -121,7 +121,7 @@ def run_experiment(
         fault_schedule=fault_schedule,
     )
     wl_result = wl.run(ctx)
-    ctx.metrics.profiling_seconds = profiling_seconds
+    ctx.note_profiling_seconds(profiling_seconds)
     report = ctx.report()
     ctx.stop()
 
@@ -136,9 +136,7 @@ def run_experiment(
         compute_shuffle_seconds=report.compute_shuffle_seconds,
         total_task_seconds=report.total_seconds,
         recompute_seconds=report.recompute_seconds,
-        recompute_by_job={
-            j: tm.recompute_seconds for j, tm in sorted(ctx.metrics.per_job.items())
-        },
+        recompute_by_job=dict(report.recompute_seconds_by_job),
         eviction_count=report.eviction_count,
         evictions_to_disk=report.evictions_to_disk,
         unpersists=report.unpersists,

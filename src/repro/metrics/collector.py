@@ -191,6 +191,15 @@ class MetricsCollector:
         self.fault_backoff_seconds: float = 0.0
         self.fault_straggler_seconds: float = 0.0
         self.recovery_samples: list[RecoverySample] = []
+        # Job-service counters (``repro.service``): admitted applications,
+        # jobs the shared driver executed on their behalf, structurally
+        # deduped RDD registrations, and cross-tenant cache hits (a job
+        # reading a block another tenant materialized).
+        self.service_apps: int = 0
+        self.service_jobs: int = 0
+        self.gids_deduped: int = 0
+        self.shared_hits: int = 0
+        self.shared_hit_bytes: float = 0.0
 
     # ------------------------------------------------------------------
     def record_task(self, job_id: int, executor_id: int, tm: TaskMetrics) -> None:
@@ -283,6 +292,16 @@ class MetricsCollector:
             "fault_wasted_seconds": self.fault_wasted_seconds,
             "fault_backoff_seconds": self.fault_backoff_seconds,
             "fault_straggler_seconds": self.fault_straggler_seconds,
+        }
+
+    def service_counters(self) -> dict[str, float]:
+        """Job-service counters (``repro.service``)."""
+        return {
+            "service_apps": self.service_apps,
+            "service_jobs": self.service_jobs,
+            "gids_deduped": self.gids_deduped,
+            "shared_hits": self.shared_hits,
+            "shared_hit_bytes": self.shared_hit_bytes,
         }
 
     def breakdown(self) -> dict[str, float]:

@@ -1,0 +1,33 @@
+"""Multi-tenant job service (submission API over the shared engine).
+
+Public surface::
+
+    service = JobService(cluster_config, cache_manager, seed=0)
+    handle = service.submit(lambda ctx: workload.run(ctx), tenant="alice")
+    service.run()
+    handle.result(), handle.report(), handle.job_records
+
+    ctx = service.session(tenant="bob")      # inline client
+    ctx.source(...).count()
+
+See ``docs/service.md`` for the tenancy/fairness/quota semantics and the
+migration guide from the legacy single-application ``BlazeContext``.
+"""
+
+from .client import JobClient, JobHandle
+from .policy import FairSharePolicy, FifoPolicy, InterJobPolicy, make_inter_job_policy
+from .service import JobRecord, JobService
+from .tenancy import DEFAULT_TENANT, TenantRegistry
+
+__all__ = [
+    "DEFAULT_TENANT",
+    "FairSharePolicy",
+    "FifoPolicy",
+    "InterJobPolicy",
+    "JobClient",
+    "JobHandle",
+    "JobRecord",
+    "JobService",
+    "TenantRegistry",
+    "make_inter_job_policy",
+]

@@ -1,0 +1,197 @@
+"""Structural lineage identity for cross-application dedup.
+
+Two applications submitted to a :class:`~repro.service.JobService` often
+run the same program (same workload, same parameters, same seed).  Their
+RDD graphs are then *structurally identical*: same operator types, same
+function bytecode, same cost/size models, same parents.  The service maps
+such structurally-identical lineage prefixes onto shared global RDD ids so
+one tenant's cached blocks satisfy another tenant's lookups (traced as
+``cache.shared_hit``).
+
+Signatures must never collide for RDDs that could produce different data,
+so tokenization is conservative: anything we cannot prove scalar — an
+object captured in a closure, a default argument holding an array, a
+parallelize() payload that is not a short tuple of scalars — poisons the
+signature and the RDD gets a fresh, never-shared id.  Correctness never
+depends on dedup firing; it only depends on dedup *not* firing falsely.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any
+
+#: Sentinel marking a value we refuse to fingerprint.  Signatures that
+#: contain it are unshareable.
+OPAQUE = ("__opaque__",)
+
+_SCALARS = (int, float, str, bool, bytes)
+
+#: Cap on how many elements of a parallelize() payload we fingerprint.
+_MAX_DATA_ELEMS = 1024
+
+#: Cap on nested fn_token recursion (closures holding functions).
+_MAX_FN_DEPTH = 4
+
+
+def value_token(value: Any) -> tuple:
+    """Fingerprint a plain value; ``OPAQUE`` if it is not provably scalar."""
+    if value is None:
+        return ("none",)
+    if isinstance(value, bool):  # before int: bool is an int subclass
+        return ("bool", value)
+    if isinstance(value, _SCALARS):
+        return (type(value).__name__, value)
+    if type(value).__module__ == "numpy" and getattr(value, "shape", None) == ():
+        return ("np", type(value).__name__, value.item())
+    if isinstance(value, (tuple, frozenset)):
+        if len(value) > _MAX_DATA_ELEMS:
+            return OPAQUE
+        elems = sorted(value, key=repr) if isinstance(value, frozenset) else value
+        items = tuple(value_token(v) for v in elems)
+        if any(t == OPAQUE for t in items):
+            return OPAQUE
+        return ("tuple", items)
+    return OPAQUE
+
+
+def _const_token(const: Any, depth: int) -> tuple:
+    code = getattr(const, "co_code", None)
+    if code is not None:  # nested code object (lambda in a lambda)
+        return ("code", bytes(code), tuple(
+            _const_token(c, depth + 1) for c in const.co_consts
+        ) if depth < _MAX_FN_DEPTH else ())
+    return value_token(const)
+
+
+def fn_token(fn: Any, depth: int = 0) -> tuple:
+    """Fingerprint a callable by bytecode + scalar constants/defaults/closure.
+
+    Builtins and C-implemented callables are identified by qualified name.
+    Any non-scalar captured state makes the token ``OPAQUE``.
+    """
+    if depth > _MAX_FN_DEPTH:
+        return OPAQUE
+    code = getattr(fn, "__code__", None)
+    if code is None:
+        # Builtin / C function: qualified name is stable across processes.
+        name = getattr(fn, "__qualname__", None)
+        module = getattr(fn, "__module__", None)
+        if name is None:
+            return OPAQUE
+        return ("builtin", module or "", name)
+    consts = tuple(_const_token(c, depth) for c in code.co_consts)
+    if any(t == OPAQUE for t in consts):
+        return OPAQUE
+    defaults = tuple(token_of(d, depth + 1) for d in (fn.__defaults__ or ()))
+    if any(t == OPAQUE for t in defaults):
+        return OPAQUE
+    cells = []
+    for cell in fn.__closure__ or ():
+        try:
+            cells.append(token_of(cell.cell_contents, depth + 1))
+        except ValueError:  # empty cell
+            cells.append(("emptycell",))
+    if any(t == OPAQUE for t in cells):
+        return OPAQUE
+    return (
+        "fn",
+        bytes(code.co_code),
+        code.co_argcount,
+        consts,
+        tuple(code.co_names),
+        defaults,
+        tuple(cells),
+    )
+
+
+def token_of(value: Any, depth: int = 0) -> tuple:
+    """Fingerprint an arbitrary signature ingredient (value or callable)."""
+    if callable(value) and not isinstance(value, type):
+        return fn_token(value, depth)
+    return value_token(value)
+
+
+def model_token(model: Any) -> tuple:
+    """Fingerprint an OpCost/SizeModel-style dataclass by its field values."""
+    if model is None:
+        return ("none",)
+    if dataclasses.is_dataclass(model):
+        fields = []
+        for f in dataclasses.fields(model):
+            fields.append((f.name, token_of(getattr(model, f.name))))
+        if any(t == OPAQUE for _, t in fields):
+            return OPAQUE
+        return (type(model).__name__, tuple(fields))
+    return OPAQUE
+
+
+def partitioner_token(partitioner: Any) -> tuple:
+    if partitioner is None:
+        return ("none",)
+    num = getattr(partitioner, "num_partitions", None)
+    if num is None:
+        return OPAQUE
+    # RangePartitioner carries a key_space; other shape parameters added by
+    # future partitioners would need to surface here too, so be strict:
+    # only the two known partitioner types fingerprint as shareable.
+    extra = getattr(partitioner, "key_space", None)
+    if type(partitioner).__name__ not in ("HashPartitioner", "RangePartitioner"):
+        return OPAQUE
+    return (type(partitioner).__name__, int(num), int(extra) if extra else 0)
+
+
+def contains_opaque(token: Any) -> bool:
+    if token == OPAQUE:
+        return True
+    if isinstance(token, tuple):
+        return any(contains_opaque(t) for t in token)
+    return False
+
+
+def _dep_token(dep: Any) -> tuple:
+    """Fingerprint a dependency by shape and *parent gid* (never shuffle id).
+
+    Parent gids embed the parents' full structural identity recursively, so
+    identical lineage prefixes — and only those — produce equal dep tokens.
+    """
+    kind = type(dep).__name__
+    parent_gid = dep.parent.rdd_id
+    if kind == "OneToOneDependency":
+        return ("1to1", parent_gid)
+    if kind == "RangeDependency":
+        return ("range", parent_gid, dep.in_start, dep.out_start, dep.length)
+    if kind == "CoalesceDependency":
+        return ("coalesce", parent_gid, dep.num_child)
+    if kind == "ShuffleDependency":
+        comb = fn_token(dep.combiner) if dep.combiner is not None else ("none",)
+        part = partitioner_token(dep.partitioner)
+        if comb == OPAQUE or part == OPAQUE:
+            return OPAQUE
+        return ("shuffle", parent_gid, part, comb)
+    return OPAQUE
+
+
+def build_signature(seed: int, rdd: Any, extras: tuple) -> tuple:
+    """Structural signature of an RDD at registration time.
+
+    ``extras`` is the raw ``(name, *sig_extra)`` tuple handed to
+    ``register_rdd`` — construction-time name plus the subclass-specific
+    ingredients (functions, payloads, flags).  The application seed is part
+    of the identity because source data generation is seeded: two RDDs only
+    share blocks if they would generate byte-identical data.
+
+    Returns a hashable tuple; contains :data:`OPAQUE` (making it
+    unshareable) whenever any ingredient cannot be proven scalar.
+    """
+    deps = tuple(_dep_token(d) for d in rdd.deps)
+    return (
+        type(rdd).__name__,
+        int(seed),
+        rdd.num_partitions,
+        model_token(rdd.op_cost),
+        model_token(rdd.size_model),
+        partitioner_token(rdd.partitioner),
+        deps,
+        tuple(token_of(e) for e in extras),
+    )

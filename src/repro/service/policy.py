@@ -1,0 +1,77 @@
+"""Pluggable inter-job scheduling policies for the job service.
+
+When several admitted applications have a job request pending, the policy
+picks which request the shared driver executes next.  Selection must be a
+deterministic function of the visible state (no wall-clock, no dict-order
+dependence) so multi-tenant traces replay byte-identically.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Sequence
+
+from ..errors import ServiceError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .service import _AppRuntime
+
+
+class InterJobPolicy(ABC):
+    """Chooses the next pending job request to grant."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def select(self, pending: "Sequence[_AppRuntime]") -> "_AppRuntime":
+        """Pick one app from a non-empty pending list."""
+
+    def on_job_complete(self, app: "_AppRuntime", service_seconds: float) -> None:
+        """Observe a completed job (virtual seconds of service consumed)."""
+
+
+class FifoPolicy(InterJobPolicy):
+    """Grant requests in (priority desc, submission order) — Spark's FIFO
+    scheduler analogue across applications."""
+
+    name = "fifo"
+
+    def select(self, pending):
+        return min(pending, key=lambda app: (-app.priority, app.seq))
+
+
+@dataclass
+class FairSharePolicy(InterJobPolicy):
+    """Grant the tenant with the least consumed virtual service time.
+
+    The per-tenant consumed time is the sum of virtual-clock durations of
+    jobs executed on the tenant's behalf (all slots are shared, so job
+    duration is a faithful service measure).  Ties break on tenant name
+    then submission order, keeping selection deterministic.
+    """
+
+    consumed: dict[str, float] = field(default_factory=dict)
+    name = "fair"
+
+    def select(self, pending):
+        return min(
+            pending,
+            key=lambda app: (
+                self.consumed.get(app.tenant, 0.0),
+                -app.priority,
+                app.tenant,
+                app.seq,
+            ),
+        )
+
+    def on_job_complete(self, app, service_seconds):
+        self.consumed[app.tenant] = self.consumed.get(app.tenant, 0.0) + service_seconds
+
+
+def make_inter_job_policy(name: str) -> InterJobPolicy:
+    if name == "fifo":
+        return FifoPolicy()
+    if name == "fair":
+        return FairSharePolicy()
+    raise ServiceError(f"unknown inter-job policy {name!r} (expected 'fifo' or 'fair')")

@@ -1,0 +1,65 @@
+"""Tenant identities and per-tenant memory-store quotas.
+
+A :class:`TenantRegistry` hangs off the cluster (``cluster.tenancy``) so
+the cache managers and the driver can consult the *currently executing*
+tenant without plumbing it through every call.  Quotas bound a tenant's
+aggregate memory-store footprint across the executor fleet; enforcement
+lives in the cache managers' victim selection (see ``docs/service.md``).
+
+With no quotas configured and a single tenant, every check here is inert —
+which is what keeps the legacy single-tenant path byte-identical.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Mapping
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..cluster.cluster import Cluster
+
+DEFAULT_TENANT = "default"
+
+
+class TenantRegistry:
+    """Tracks tenants, their quotas, and the tenant currently executing."""
+
+    def __init__(self, quotas: Mapping[str, float] | None = None) -> None:
+        self.quotas: dict[str, float] = dict(quotas or {})
+        #: tenant whose job the driver is currently executing; set by the
+        #: service around each granted job, ``DEFAULT_TENANT`` otherwise.
+        self.current_tenant: str = DEFAULT_TENANT
+
+    @property
+    def quotas_active(self) -> bool:
+        return bool(self.quotas)
+
+    def quota_of(self, tenant: str | None) -> float | None:
+        """The tenant's aggregate memory quota in bytes, or None (unlimited)."""
+        if tenant is None:
+            return None
+        return self.quotas.get(tenant)
+
+    def memory_used_by(self, cluster: "Cluster", tenant: str | None) -> float:
+        """Aggregate memory-store bytes held by ``tenant`` across executors."""
+        used = 0.0
+        for executor in cluster.executors:
+            for block in executor.bm.memory.blocks():
+                if block.tenant == tenant:
+                    used += block.size_bytes
+        return used
+
+    def would_exceed(
+        self, cluster: "Cluster", tenant: str | None, incoming_bytes: float
+    ) -> bool:
+        """Would inserting ``incoming_bytes`` push ``tenant`` over quota?"""
+        quota = self.quota_of(tenant)
+        if quota is None:
+            return False
+        return self.memory_used_by(cluster, tenant) + incoming_bytes > quota
+
+    def is_over_quota(self, cluster: "Cluster", tenant: str | None) -> bool:
+        """Is the tenant's current footprint strictly above its quota?"""
+        quota = self.quota_of(tenant)
+        if quota is None:
+            return False
+        return self.memory_used_by(cluster, tenant) > quota

@@ -1,5 +1,5 @@
 """System presets: every configuration in the paper's evaluation."""
 
-from .presets import SYSTEMS, SystemSpec, make_cache_manager, make_system, system_label
+from .presets import SYSTEMS, SystemSpec, make_system, system_label
 
-__all__ = ["SYSTEMS", "SystemSpec", "make_cache_manager", "make_system", "system_label"]
+__all__ = ["SYSTEMS", "SystemSpec", "make_system", "system_label"]

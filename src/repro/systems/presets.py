@@ -24,15 +24,14 @@ policies the paper surveys but does not chart individually.
 
 :func:`make_system` is the single construction entry point: it resolves a
 preset, applies per-call overrides, and returns a :class:`SystemSpec` whose
-:meth:`SystemSpec.build` constructs the cache manager.  The legacy
-``make_cache_manager`` helper survives as a :class:`DeprecationWarning`
-shim.
+:meth:`SystemSpec.build` constructs the cache manager.  (The legacy
+``make_cache_manager`` helper, deprecated since the spec redesign, has
+been removed — call ``make_system(name).build(...)``.)
 """
 
 from __future__ import annotations
 
 import dataclasses
-import warnings
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Mapping
 
@@ -202,21 +201,6 @@ def make_system(name: str, **overrides) -> SystemSpec:
     return dataclasses.replace(
         spec, blaze_overrides={**spec.blaze_overrides, **overrides}
     )
-
-
-def make_cache_manager(
-    key: str,
-    profile: "LineageProfile | None" = None,
-    blaze_config: BlazeConfig | None = None,
-):
-    """Deprecated: use ``make_system(key).build(profile, blaze_config)``."""
-    warnings.warn(
-        "make_cache_manager() is deprecated; use "
-        "make_system(name).build(profile=..., blaze_config=...)",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return make_system(key).build(profile=profile, blaze_config=blaze_config)
 
 
 def system_label(key: str) -> str:

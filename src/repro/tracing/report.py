@@ -108,6 +108,12 @@ class RunReport:
     #: predicted-vs-measured recovery costs sampled while the fault layer
     #: was active (the calibration hook)
     recovery_samples: tuple[RecoverySample, ...] = field(default_factory=tuple)
+    #: job-service counters (apps admitted, jobs executed, deduped RDD
+    #: registrations, cross-tenant hits) — see
+    #: ``MetricsCollector.service_counters``; inert on single-tenant runs
+    service_counters: dict[str, float] = field(default_factory=dict)
+    #: per-job recomputation seconds, keyed by job id in submission order
+    recompute_seconds_by_job: dict[int, float] = field(default_factory=dict)
     events: tuple[TraceEvent, ...] = field(default_factory=tuple)
 
     # ------------------------------------------------------------------
@@ -133,6 +139,11 @@ class RunReport:
             decision_counters=m.decision_counters(),
             fault_counters=m.fault_counters(),
             recovery_samples=tuple(m.recovery_samples),
+            service_counters=m.service_counters(),
+            recompute_seconds_by_job={
+                job_id: tm.recompute_seconds
+                for job_id, tm in sorted(m.per_job.items())
+            },
             events=ctx.tracer.events,
         )
 

@@ -11,7 +11,10 @@ layers are actually engaged:
   serves ``bytes_for`` memo hits, while the kill-switch run reports all
   fusion counters at zero — with identical evictions and ILP node counts;
 - faults suite: the seeded schedule lands faults, the faulted run
-  converges to the clean result, and the clean side injects nothing.
+  converges to the clean result, and the clean side injects nothing;
+- service suite: the multi-tenant stream replays byte-identically,
+  cross-application lineage dedup shares cached blocks across tenants,
+  and every tenant converges to the same result.
 """
 
 import json
@@ -103,6 +106,26 @@ def test_bench_smoke_faults(tmp_path):
         assert cell["converged"] is True
         assert faulted["converged"] is True
         assert faulted["act_seconds"] >= clean["act_seconds"]
+
+
+def test_bench_smoke_service(tmp_path):
+    doc = _run_smoke(tmp_path, "--suite", "service")
+    service = doc["service"]
+    assert service["cells"], "smoke must produce at least one service cell"
+    assert service["num_tenants"] >= 2
+    assert service["all_deterministic"] is True
+    for cell in service["cells"]:
+        # The stream is interleaved and replayable.
+        assert cell["deterministic"] is True
+        assert cell["jobs"] > cell["apps"] >= 4
+        # Cross-application dedup shares cached blocks across tenants ...
+        assert cell["gids_deduped"] > 0
+        assert cell["shared_hits"] > 0
+        assert cell["shared_hit_bytes"] > 0
+        assert cell["hit_ratio"] > 0
+        # ... without changing any tenant's answer.
+        assert cell["results_identical"] is True
+        assert cell["latency_p99"] >= cell["latency_p50"] > 0
 
 
 def test_bench_smoke_profile_mode(tmp_path):

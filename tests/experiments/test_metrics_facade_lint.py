@@ -1,0 +1,44 @@
+"""Lint-style guard: harness code reads results through the report façade.
+
+``examples/`` and ``src/repro/experiments/`` must not reach into
+``ctx.metrics`` / ``ctx.cluster.metrics`` internals — everything they
+need is on :class:`~repro.tracing.report.RunReport` (``ctx.report()``)
+or the :class:`~repro.service.JobClient` facade methods.  A plain grep
+keeps regressions from creeping back in.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[2]
+
+#: direct metric-internals access patterns banned from harness code
+_BANNED = re.compile(r"(ctx|client)\.(cluster\.)?metrics\b|\.cluster\.metrics\b")
+
+_SWEPT_DIRS = ("examples", "src/repro/experiments")
+
+
+def _violations() -> list[str]:
+    out = []
+    for rel in _SWEPT_DIRS:
+        for path in sorted((REPO / rel).rglob("*.py")):
+            for lineno, line in enumerate(path.read_text().splitlines(), 1):
+                if _BANNED.search(line):
+                    out.append(f"{path.relative_to(REPO)}:{lineno}: {line.strip()}")
+    return out
+
+
+def test_harness_code_uses_the_report_facade():
+    bad = _violations()
+    assert not bad, (
+        "direct metrics-internals access in harness code (use ctx.report() "
+        "or the JobClient facade):\n" + "\n".join(bad)
+    )
+
+
+def test_swept_directories_exist():
+    # If a directory is renamed the lint above silently passes; fail loudly.
+    for rel in _SWEPT_DIRS:
+        assert (REPO / rel).is_dir(), rel

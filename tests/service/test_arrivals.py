@@ -1,0 +1,67 @@
+"""Seeded arrival processes: determinism, monotonicity, rate sanity."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import ServiceConfig
+from repro.errors import ConfigError
+from repro.service.arrivals import DiurnalArrivals, PoissonArrivals, make_arrivals
+
+
+def test_poisson_is_deterministic_per_seed():
+    a = PoissonArrivals(seed=7, rate_per_sec=2.0).times(50)
+    b = PoissonArrivals(seed=7, rate_per_sec=2.0).times(50)
+    c = PoissonArrivals(seed=8, rate_per_sec=2.0).times(50)
+    assert a == b
+    assert a != c
+
+
+def test_poisson_times_are_strictly_increasing():
+    times = PoissonArrivals(seed=0, rate_per_sec=1.0).times(100)
+    assert all(t1 > t0 for t0, t1 in zip(times, times[1:]))
+    assert times[0] > 0
+
+
+def test_poisson_mean_gap_tracks_the_rate():
+    times = PoissonArrivals(seed=1, rate_per_sec=4.0).times(2000)
+    mean_gap = times[-1] / len(times)
+    assert 0.2 < mean_gap < 0.3, "mean inter-arrival should be ~1/rate"
+
+
+def test_diurnal_is_deterministic_and_increasing():
+    a = DiurnalArrivals(seed=5, rate_per_sec=2.0, period_seconds=30.0,
+                        trough_ratio=0.2).times(80)
+    b = DiurnalArrivals(seed=5, rate_per_sec=2.0, period_seconds=30.0,
+                        trough_ratio=0.2).times(80)
+    assert a == b
+    assert all(t1 > t0 for t0, t1 in zip(a, a[1:]))
+
+
+def test_diurnal_is_slower_than_its_peak_rate():
+    peak = PoissonArrivals(seed=2, rate_per_sec=2.0).times(300)
+    thinned = DiurnalArrivals(seed=2, rate_per_sec=2.0, period_seconds=20.0,
+                              trough_ratio=0.1).times(300)
+    assert thinned[-1] > peak[-1], "thinning must stretch the schedule"
+
+
+def test_make_arrivals_dispatch():
+    assert isinstance(make_arrivals(ServiceConfig()), PoissonArrivals)
+    assert isinstance(
+        make_arrivals(ServiceConfig(arrival_process="diurnal")), DiurnalArrivals
+    )
+
+
+def test_service_config_validation():
+    with pytest.raises(ConfigError):
+        ServiceConfig(arrival_process="lunar")
+    with pytest.raises(ConfigError):
+        ServiceConfig(arrival_rate_per_sec=0.0)
+    with pytest.raises(ConfigError):
+        ServiceConfig(diurnal_period_seconds=-1.0)
+    with pytest.raises(ConfigError):
+        ServiceConfig(diurnal_trough_ratio=0.0)
+    with pytest.raises(ConfigError):
+        ServiceConfig(inter_job_policy="random")
+    with pytest.raises(ConfigError):
+        ServiceConfig(tenant_quotas={"a": -1.0})

@@ -1,0 +1,85 @@
+"""Inter-job policies: FIFO ordering, priorities, fair-share alternation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import ClusterConfig, MiB, ServiceConfig
+from repro.errors import ServiceError
+from repro.service import JobService
+from repro.service.policy import FairSharePolicy, FifoPolicy, make_inter_job_policy
+
+
+def _small_cluster() -> ClusterConfig:
+    return ClusterConfig(
+        num_executors=2, slots_per_executor=2, memory_store_bytes=256 * MiB
+    )
+
+
+def _two_job_app(client):
+    data = client.parallelize(range(40), 4)
+    first = client.run_job(data, lambda _s, part: len(part))
+    doubled = data.map(lambda x: x * 2)
+    second = client.run_job(doubled, lambda _s, part: len(part))
+    return sum(first) + sum(second)
+
+
+def _run_stream(policy: str, tenants: list[str], priorities: list[int] | None = None):
+    service = JobService(
+        _small_cluster(),
+        service_config=ServiceConfig(inter_job_policy=policy),
+    )
+    priorities = priorities or [0] * len(tenants)
+    for tenant, priority in zip(tenants, priorities):
+        service.submit(_two_job_app, tenant=tenant, priority=priority,
+                       arrival_time=0.0)
+    service.run()
+    records = service.job_records
+    service.shutdown()
+    return records
+
+
+def test_make_inter_job_policy_dispatch():
+    assert isinstance(make_inter_job_policy("fifo"), FifoPolicy)
+    assert isinstance(make_inter_job_policy("fair"), FairSharePolicy)
+    with pytest.raises(ServiceError):
+        make_inter_job_policy("lottery")
+
+
+def test_fifo_runs_applications_in_submission_order():
+    records = _run_stream("fifo", ["a", "b"])
+    # App 0 is granted every time it is pending, so its jobs all land
+    # before app 1's.
+    assert [r.app_seq for r in records] == [0, 0, 1, 1]
+
+
+def test_fifo_respects_priority_over_submission_order():
+    records = _run_stream("fifo", ["a", "b"], priorities=[0, 5])
+    assert [r.app_seq for r in records] == [1, 1, 0, 0]
+
+
+def test_fair_share_alternates_between_tenants():
+    records = _run_stream("fair", ["a", "b"])
+    # After tenant a's first job consumes service time, tenant b has the
+    # lower consumption and is granted next — so jobs interleave.
+    assert [r.tenant for r in records] == ["a", "b", "a", "b"]
+
+
+def test_fair_share_between_same_tenant_apps_behaves_like_fifo():
+    records = _run_stream("fair", ["a", "a"])
+    assert [r.app_seq for r in records] == [0, 0, 1, 1]
+
+
+def test_fair_share_favors_the_lightest_tenant():
+    policy = FairSharePolicy()
+
+    class App:
+        def __init__(self, seq, tenant, priority=0):
+            self.seq, self.tenant, self.priority = seq, tenant, priority
+
+    a0, b1 = App(0, "a"), App(1, "b")
+    assert policy.select([a0, b1]) is a0, "tie breaks on tenant name"
+    policy.on_job_complete(a0, 10.0)
+    assert policy.select([a0, b1]) is b1, "b has consumed less service"
+    policy.on_job_complete(b1, 25.0)
+    assert policy.select([a0, b1]) is a0

@@ -1,0 +1,137 @@
+"""Per-tenant memory quotas and fairness-aware victim selection.
+
+The starvation regression at the heart of this file: a tenant that has
+exhausted its quota must displace *its own* blocks (or fall back to
+disk), never another within-quota tenant's protected blocks.
+"""
+
+from __future__ import annotations
+
+from repro.caching.manager import SparkCacheManager
+from repro.caching.storage_level import StorageMode
+from repro.config import ClusterConfig, MiB, ServiceConfig
+from repro.dataflow.operators import SizeModel
+from repro.service import JobService
+
+
+def _cluster(memory_mb: int = 64) -> ClusterConfig:
+    return ClusterConfig(
+        num_executors=1, slots_per_executor=2,
+        memory_store_bytes=memory_mb * MiB,
+        tracing_enabled=True,
+    )
+
+
+def _quota_service(quotas: dict[str, float], mode=StorageMode.MEM_ONLY) -> JobService:
+    return JobService(
+        _cluster(),
+        SparkCacheManager(mode, "lru"),
+        service_config=ServiceConfig(tenant_quotas=quotas, dedup_enabled=False),
+    )
+
+
+def _cache_dataset(client, num_elements: int, parts: int, tag: int):
+    """Cache ``num_elements`` MiB across ``parts`` partitions."""
+    data = client.parallelize(
+        range(num_elements), parts,
+        size_model=SizeModel(bytes_per_element=1.0 * MiB),
+        name=f"d{tag}",
+    )
+    marked = data.map(lambda x, t=tag: (t, x))
+    marked.cache()
+    client.run_job(marked, lambda _s, part: len(part))
+    return marked
+
+
+def _memory_blocks(service):
+    return [
+        block
+        for executor in service.cluster.executors
+        for block in executor.bm.memory.blocks()
+    ]
+
+
+def test_tenant_at_quota_cannot_evict_protected_blocks():
+    quota = {"a": 32 * MiB, "b": 32 * MiB}
+    with _quota_service(quota) as service:
+        b = service.session(tenant="b")
+        cached_b = _cache_dataset(b, 24, 3, tag=0)  # 24 MiB, within quota
+        b_blocks = {blk.block_id for blk in _memory_blocks(service)}
+        assert len(b_blocks) == 3
+
+        a = service.session(tenant="a")
+        _cache_dataset(a, 48, 6, tag=1)  # wants 48 MiB against a 32 MiB quota
+
+        tenancy = service.cluster.tenancy
+        used_a = tenancy.memory_used_by(service.cluster, "a")
+        used_b = tenancy.memory_used_by(service.cluster, "b")
+        # The starvation regression: b's protected blocks all survive.
+        surviving = {blk.block_id for blk in _memory_blocks(service)}
+        assert b_blocks <= surviving
+        assert used_b == 24 * MiB
+        # a is capped at its quota, displacing only its own blocks.
+        assert used_a <= 32 * MiB
+        # And b's cached data still serves memory hits.
+        def mem_hits():
+            return sum(1 for e in service.tracer.events if e.name == "cache.hit_mem")
+
+        before = mem_hits()
+        b.run_job(cached_b, lambda _s, part: len(part))
+        assert mem_hits() == before + 3, "all three of b's partitions hit"
+
+
+def test_over_quota_tenants_blocks_are_preferred_victims():
+    # b fills well past a's protected share; with no quota for b at first
+    # insert time, then a arrives: a's inserts should evict b's blocks
+    # (b is over its quota) before touching a's own.
+    quota = {"a": 48 * MiB, "b": 16 * MiB}
+    with _quota_service(quota) as service:
+        b = service.session(tenant="b")
+        # b wants 32 MiB against a 16 MiB quota: enforcement caps it.
+        _cache_dataset(b, 32, 4, tag=0)
+        tenancy = service.cluster.tenancy
+        assert tenancy.memory_used_by(service.cluster, "b") <= 16 * MiB
+
+        a = service.session(tenant="a")
+        _cache_dataset(a, 48, 6, tag=1)
+        used_a = tenancy.memory_used_by(service.cluster, "a")
+        assert used_a == 48 * MiB, "a gets its full quota"
+
+
+def test_quota_unmet_falls_back_to_disk_when_available():
+    quota = {"a": 8 * MiB}
+    with _quota_service(quota, mode=StorageMode.MEM_AND_DISK) as service:
+        a = service.session(tenant="a")
+        _cache_dataset(a, 24, 3, tag=0)  # 8 MiB partitions vs an 8 MiB quota
+        tenancy = service.cluster.tenancy
+        assert tenancy.memory_used_by(service.cluster, "a") <= 8 * MiB
+        disk_blocks = [
+            blk
+            for executor in service.cluster.executors
+            for blk in executor.bm.disk.blocks()
+        ]
+        assert disk_blocks, "over-quota inserts spill to disk"
+
+
+def test_unquoted_tenants_are_unlimited():
+    quota = {"a": 8 * MiB}
+    with _quota_service(quota) as service:
+        c = service.session(tenant="c")  # absent from the quota map
+        _cache_dataset(c, 48, 6, tag=0)
+        tenancy = service.cluster.tenancy
+        assert tenancy.memory_used_by(service.cluster, "c") == 48 * MiB
+
+
+def test_empty_quota_map_is_fully_inert():
+    with JobService(
+        _cluster(), SparkCacheManager(StorageMode.MEM_ONLY, "lru"),
+        service_config=ServiceConfig(dedup_enabled=False),
+    ) as service:
+        a = service.session(tenant="a")
+        b = service.session(tenant="b")
+        _cache_dataset(a, 40, 5, tag=0)
+        _cache_dataset(b, 40, 5, tag=1)  # LRU may evict a's blocks freely
+        tenancy = service.cluster.tenancy
+        assert not tenancy.quotas_active
+        used = tenancy.memory_used_by(service.cluster, "b")
+        assert used > 32 * MiB, "no quota caps apply"

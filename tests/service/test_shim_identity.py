@@ -1,0 +1,77 @@
+"""Property: a one-tenant JobService session IS the legacy engine.
+
+For every system preset, running the pressure workload through
+``run_experiment`` (the legacy ``BlazeContext`` path — itself a shim over
+a private service) and through an explicit one-tenant
+:class:`~repro.service.JobService` session must export byte-identical
+JSONL traces.  Admission comparisons, eviction order, spill-vs-discard
+choices and task scheduling all land in the trace, so byte-equality
+proves the service refactor changed *nothing* about single-tenant
+behavior — even with cross-application dedup left at its default (on):
+a single application sees sequential ids either way.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import BlazeConfig, ClusterConfig, DiskConfig, GiB, MiB
+from repro.core.profiler import run_dependency_extraction
+from repro.experiments.runner import run_experiment
+from repro.service import JobService
+from repro.systems import SYSTEMS, make_system
+from repro.tracing import InMemoryTracer, to_jsonl
+from repro.workloads.base import replace_params
+from repro.workloads.registry import make_workload
+
+SEED = 3
+
+
+def _pressure_cluster() -> ClusterConfig:
+    return ClusterConfig(
+        num_executors=2,
+        slots_per_executor=2,
+        memory_store_bytes=24 * MiB,
+        disk=DiskConfig(capacity_bytes=5 * GiB),
+    )
+
+
+def _workload():
+    return replace_params(make_workload("pr", "tiny"), num_partitions=24)
+
+
+def _legacy_trace(system: str) -> str:
+    tracer = InMemoryTracer()
+    run_experiment(
+        system, _workload(), scale="tiny", seed=SEED,
+        cluster_config=_pressure_cluster(), tracer=tracer,
+    )
+    return to_jsonl(tracer.events)
+
+
+def _service_trace(system: str) -> str:
+    wl = _workload()
+    spec = make_system(system)
+    bcfg = BlazeConfig()
+    tracer = InMemoryTracer()
+    profile = None
+    if spec.needs_profile:
+        profile = run_dependency_extraction(
+            wl.profiling_run_fn(bcfg.profiling_sample_fraction), bcfg,
+            seed=SEED, tracer=tracer,
+        )
+    manager = spec.build(profile=profile, blaze_config=bcfg)
+    service = JobService(
+        _pressure_cluster(), manager, seed=SEED, tracer=tracer,
+        blaze_config=bcfg,
+    )
+    wl.run(service.session())
+    service.shutdown()
+    return to_jsonl(tracer.events)
+
+
+@pytest.mark.parametrize("system", sorted(SYSTEMS))
+def test_one_tenant_service_trace_matches_legacy(system):
+    legacy = _legacy_trace(system)
+    assert legacy, "the oracle needs a non-empty trace"
+    assert legacy == _service_trace(system)

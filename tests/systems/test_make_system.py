@@ -1,4 +1,4 @@
-"""The make_system factory, overrides, and the deprecation shim."""
+"""The make_system factory and its override surface."""
 
 import dataclasses
 
@@ -10,7 +10,7 @@ from repro.caching.storage_level import StorageMode
 from repro.config import BlazeConfig
 from repro.core.udl import BlazeCacheManager
 from repro.errors import ConfigError, PolicyError
-from repro.systems import SYSTEMS, SystemSpec, make_cache_manager, make_system
+from repro.systems import SYSTEMS, SystemSpec, make_system
 
 
 def test_make_system_returns_the_preset_spec():
@@ -100,13 +100,13 @@ def test_spec_validates_kind_and_blaze_fields():
         SystemSpec("x", "X", "blaze", blaze_overrides={"bogus": 1})
 
 
-def test_make_cache_manager_shim_warns_and_still_works():
-    with pytest.warns(DeprecationWarning):
-        manager = make_cache_manager("spark_mem_only")
-    assert isinstance(manager, SparkCacheManager)
-    with pytest.warns(DeprecationWarning):
-        with pytest.raises(ConfigError):
-            make_cache_manager("spark_quantum")
+def test_make_cache_manager_shim_is_gone():
+    # The DeprecationWarning shim was removed; make_system().build() is
+    # the only construction path.
+    import repro.systems as systems
+
+    assert not hasattr(systems, "make_cache_manager")
+    assert "make_cache_manager" not in systems.__all__
 
 
 def test_make_policy_forwards_kwargs():
