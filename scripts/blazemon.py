@@ -1,0 +1,76 @@
+"""blazemon: render archived JSONL traces into human-readable views.
+
+Run:  PYTHONPATH=src python scripts/blazemon.py render trace.jsonl -o dash.html
+      PYTHONPATH=src python scripts/blazemon.py summary trace.jsonl
+
+``render`` produces a self-contained HTML dashboard (inline SVG, no
+external assets): job gantt, cumulative hit-ratio and evicted-bytes
+series, and the critical-path attribution per job.  ``summary`` prints
+the same aggregates as text.  Both work on any JSONL file written by
+:func:`repro.tracing.write_jsonl` — live run or archive.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.obs import analyze_critical_paths, render_dashboard_html
+from repro.tracing import read_jsonl
+
+
+def cmd_render(args: argparse.Namespace) -> int:
+    events = read_jsonl(args.trace)
+    if not events:
+        print(f"error: {args.trace} contains no trace events", file=sys.stderr)
+        return 1
+    html = render_dashboard_html(events, title=args.title)
+    out = Path(args.output)
+    out.write_text(html, encoding="utf-8")
+    print(f"wrote {out} ({len(html):,} bytes, {len(events):,} events)")
+    return 0
+
+
+def cmd_summary(args: argparse.Namespace) -> int:
+    events = read_jsonl(args.trace)
+    if not events:
+        print(f"error: {args.trace} contains no trace events", file=sys.stderr)
+        return 1
+    cp = analyze_critical_paths(events)
+    spans = sum(1 for e in events if e.kind == "span")
+    print(f"{args.trace}: {len(events)} events ({spans} spans)")
+    print(f"jobs: {len(cp.jobs)}")
+    totals = cp.totals()
+    width = max(len(k) for k in totals)
+    for name, seconds in totals.items():
+        print(f"  {name:<{width}}  {seconds:10.4f} s")
+    for job in cp.jobs:
+        print(f"job {job.job_id}: latency {job.latency:.4f} s "
+              f"(compute {job.compute:.4f}, recompute {job.recompute:.4f}, "
+              f"shuffle {job.shuffle:.4f}, queueing {job.queueing:.4f})")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="blazemon", description=__doc__.splitlines()[0]
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_render = sub.add_parser("render", help="render a trace as an HTML dashboard")
+    p_render.add_argument("trace", help="JSONL trace file (write_jsonl output)")
+    p_render.add_argument("-o", "--output", required=True, help="output HTML path")
+    p_render.add_argument("--title", default="Blaze run", help="dashboard title")
+    p_render.set_defaults(fn=cmd_render)
+
+    p_summary = sub.add_parser("summary", help="print trace aggregates as text")
+    p_summary.add_argument("trace", help="JSONL trace file (write_jsonl output)")
+    p_summary.set_defaults(fn=cmd_summary)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -22,6 +22,7 @@ from ..cluster.blocks import Block
 from ..cluster.cachemanager import CacheManager
 from ..dataflow.dag import job_reference_sets
 from ..metrics.collector import TaskMetrics
+from ..obs.audit import CandidateTerm, make_terms
 from ..tracing.tracer import executor_pid
 from .mrd import _NO_FUTURE_USE
 from .policy import EvictionPolicy, make_policy
@@ -125,6 +126,12 @@ class SparkCacheManager(CacheManager):
             # Too big for the memory store outright.
             if self.storage_mode.spills_to_disk:
                 bm.insert_disk(block, tm, include_ser=True)
+            if self.audit is not None:
+                self._audit_decision(
+                    executor, block,
+                    outcome="disk" if self.storage_mode.spills_to_disk else "drop",
+                    reason="too_big",
+                )
             return
 
         needed = size_bytes - bm.memory.free_bytes
@@ -142,17 +149,27 @@ class SparkCacheManager(CacheManager):
         if victims is None or not policy.admit(size_bytes, rdd.rdd_id, victims):
             # Cannot (or should not) displace residents: fall back to disk
             # when the mode has one, otherwise give up caching.
+            reason = "no_victims" if victims is None else "not_admitted"
             if self.tracer.enabled:
                 self.tracer.instant(
                     "cache.reject", "cache",
                     pid=executor_pid(executor.executor_id),
                     rdd=rdd.rdd_id, split=split, bytes=size_bytes,
-                    reason="no_victims" if victims is None else "not_admitted",
+                    reason=reason,
                 )
             if self.storage_mode.spills_to_disk:
                 bm.insert_disk(block, tm, include_ser=True)
+            if self.audit is not None:
+                self._audit_decision(
+                    executor, block,
+                    outcome="disk" if self.storage_mode.spills_to_disk else "drop",
+                    reason=reason,
+                    candidates=self._audit_candidates(victims or ()),
+                )
             return
 
+        pre = self._audit_candidates(victims) if self.audit is not None else ()
+        victim_state = "disk" if self.storage_mode.spills_to_disk else "gone"
         for victim in victims:
             policy.on_remove(victim)
             if self.storage_mode.spills_to_disk:
@@ -169,6 +186,52 @@ class SparkCacheManager(CacheManager):
         bm.insert_memory(block)
         block.touch(now)
         policy.on_insert(block, now)
+        if self.audit is not None:
+            self._audit_decision(
+                executor, block, outcome="memory",
+                reason="displaced" if victims else "free_space",
+                candidates=pre, states=[victim_state] * len(victims),
+            )
+
+    # ------------------------------------------------------------------
+    def _audit_candidates(self, victims) -> tuple[CandidateTerm, ...]:
+        # The baseline manager has no cost model: candidates carry the
+        # recency key its policies actually order by.
+        return tuple(
+            CandidateTerm(
+                rdd_id=v.rdd_id, split=v.split, size_bytes=v.size_bytes,
+                last_access=v.last_access,
+            )
+            for v in victims
+        )
+
+    def _audit_decision(
+        self,
+        executor: "Executor",
+        block: Block,
+        *,
+        outcome: str,
+        reason: str,
+        candidates: tuple = (),
+        states: list | tuple = (),
+    ) -> None:
+        if states:
+            candidates = tuple(
+                c._replace(chosen_state=s) for c, s in zip(candidates, states)
+            )
+        self.audit.record(
+            ts=self.cluster.clock.now,
+            kind="admit" if outcome == "memory" else "reject",
+            executor_id=executor.executor_id,
+            outcome=outcome,
+            reason=reason,
+            rdd_id=block.rdd_id,
+            split=block.split,
+            size_bytes=block.size_bytes,
+            tenant=block.tenant,
+            terms=make_terms(),
+            candidates=tuple(candidates),
+        )
 
     # ------------------------------------------------------------------
     def _quota_select_victims(

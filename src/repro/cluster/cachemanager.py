@@ -42,11 +42,17 @@ class CacheManager(ABC):
         self.cluster: "Cluster | None" = None
         #: the run's tracer; bound in :meth:`attach`, no-op until then
         self.tracer: Tracer = NULL_TRACER
+        #: the run's decision audit log (``repro.obs``); ``None`` unless the
+        #: cluster carries an enabled observability hub.  Pure observer: the
+        #: manager records entries into it but never reads decisions back.
+        self.audit = None
 
     def attach(self, cluster: "Cluster") -> None:
         """Bind to the cluster before the first job runs."""
         self.cluster = cluster
         self.tracer = cluster.tracer
+        hub = getattr(cluster, "obs", None)
+        self.audit = hub.audit if hub is not None else None
 
     def detach(self) -> None:
         """Release the cluster binding (context shutdown).
@@ -57,6 +63,7 @@ class CacheManager(ABC):
         """
         self.cluster = None
         self.tracer = NULL_TRACER
+        self.audit = None
 
     # ------------------------------------------------------------------
     # Candidate selection (the caching layer)

@@ -37,6 +37,9 @@ class Cluster:
         self.shuffle = ShuffleManager(config)
         #: tenant registry (set by the job service); None for bare clusters.
         self.tenancy = None
+        #: observability hub (set by the job service when ``obs.enabled``);
+        #: None keeps every hot path on a single attribute check.
+        self.obs = None
 
     # ------------------------------------------------------------------
     def executor_for(self, split: int) -> Executor:

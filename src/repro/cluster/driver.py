@@ -254,11 +254,13 @@ class Driver:
                 return hit
 
         is_recovery = candidate and block_id in self._was_cached
-        if candidate and self.tracer.enabled:
-            self.tracer.instant(
-                "cache.miss", "cache", pid=executor_pid(executor.executor_id),
-                rdd=rdd.rdd_id, split=split, recovery=is_recovery,
-            )
+        if candidate:
+            self.metrics.cache_misses += 1
+            if self.tracer.enabled:
+                self.tracer.instant(
+                    "cache.miss", "cache", pid=executor_pid(executor.executor_id),
+                    rdd=rdd.rdd_id, split=split, recovery=is_recovery,
+                )
         # Calibration hook: when the fault layer is active, sample the
         # cost model's Eq. 4 prediction for a top-level recompute recovery
         # before running it, then compare against the measured charges.
@@ -371,6 +373,7 @@ class Driver:
             )
 
     def _trace_hit(self, name: str, executor: "Executor", block: Block, **extra) -> None:
+        self.metrics.cache_hits += 1
         if self.tracer.enabled:
             self.tracer.instant(
                 name, "cache", pid=executor_pid(executor.executor_id),

@@ -174,6 +174,40 @@ class ServiceConfig:
 
 
 @dataclass(frozen=True)
+class ObsConfig:
+    """Tunables of the observability layer (``repro.obs``).
+
+    Everything here is a *pure reader* of existing deterministic state:
+    the audit log, the virtual-clock sampler, and the exporters never
+    emit trace events, advance the clock, consume randomness, or alter a
+    caching decision, so every preset's JSONL trace is byte-identical
+    with obs on or off (pinned by ``tests/integration/test_trace_identity``).
+    """
+
+    # Master kill switch.  Off by default: the hot paths then carry only
+    # a ``None`` check per decision.
+    enabled: bool = False
+
+    # The decision audit log is a ring buffer: only the most recent
+    # ``audit_ring_size`` admission/eviction/ILP entries are retained.
+    audit_ring_size: int = 4096
+
+    # Fixed virtual-time interval between occupancy samples, and a cap on
+    # the number of samples retained (long service runs with sparse
+    # arrivals would otherwise grow the series without bound).
+    sample_interval_seconds: float = 1.0
+    max_samples: int = 50_000
+
+    def __post_init__(self) -> None:
+        if self.audit_ring_size <= 0:
+            raise ConfigError("audit_ring_size must be positive")
+        if self.sample_interval_seconds <= 0:
+            raise ConfigError("sample_interval_seconds must be positive")
+        if self.max_samples <= 0:
+            raise ConfigError("max_samples must be positive")
+
+
+@dataclass(frozen=True)
 class BlazeConfig:
     """Tunables of the Blaze unified decision layer (paper section 5).
 
@@ -187,7 +221,9 @@ class BlazeConfig:
     - ``fault_injection`` — deterministic fault injection (off by
       default; a FaultSchedule is inert without it);
     - ``service.dedup_enabled`` — cross-application lineage dedup on the
-      :class:`~repro.service.JobService` path (see :class:`ServiceConfig`).
+      :class:`~repro.service.JobService` path (see :class:`ServiceConfig`);
+    - ``obs.enabled`` — decision audit log + virtual-clock sampler (pure
+      readers; traces byte-identical either way, see :class:`ObsConfig`).
     """
 
     # Dependency-extraction phase (section 5.1 / 7.5).
@@ -246,6 +282,10 @@ class BlazeConfig:
     # Multi-tenant job-service knobs (arrival stream, inter-job policy,
     # tenant quotas, cross-application dedup).  See :class:`ServiceConfig`.
     service: ServiceConfig = field(default_factory=ServiceConfig)
+
+    # Observability layer (decision audit log, occupancy sampler,
+    # Prometheus/dashboard exporters).  See :class:`ObsConfig`.
+    obs: ObsConfig = field(default_factory=ObsConfig)
 
     def __post_init__(self) -> None:
         if self.ilp_horizon_jobs < 1:

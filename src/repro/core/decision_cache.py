@@ -341,6 +341,19 @@ class DecisionCostCache:
         recompute = self.cost_r(rdd_id, split)
         return "disk" if spill_total < recompute else "gone"
 
+    def explain_costs(self, rdd_id: int, split: int) -> tuple[float, float, float]:
+        """Audit probe: ``(cost_d, cost_r, potential_cost)`` via the caches.
+
+        Resolved at the current epoch, so the values are bit-identical to
+        a fresh naive computation against the same snapshot (this cache's
+        core invariant) — which is what makes ``report().explain()``
+        answers path-invariant between the incremental and kill-switched
+        decision engines.  Reading may populate memo entries (shifting
+        the hit/miss counters); it never changes a value or a decision.
+        """
+        cost_d = self.cost_model.cost_d(rdd_id, split, self.scratch())
+        return cost_d, self.cost_r(rdd_id, split), self.potential_cost(rdd_id, split)
+
 
 class VictimIndex:
     """Per-executor sorted victim order with lazy invalidation.

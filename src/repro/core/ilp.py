@@ -70,12 +70,17 @@ def solve_partition_states(
     disk_capacity: float | None = None,
     backend: str = "exact",
     node_budget: int = 200_000,
+    observer=None,
 ) -> IlpSolution:
     """Solve Eq. 5-6 for the given partitions.
 
     ``backend='exact'`` runs branch-and-bound (falling back to the greedy
     incumbent if ``node_budget`` is exhausted); ``'greedy'`` uses
     cost-density order directly.
+
+    ``observer``, when given, is called as ``observer(items, solution)``
+    right before returning — the decision audit log hooks in here.  It
+    must not mutate either argument.
     """
     if memory_capacity < 0:
         raise SolverError("memory capacity must be non-negative")
@@ -113,7 +118,12 @@ def solve_partition_states(
             residual += item.cost_r * item.weight
 
     residual += _assign_disk_states(spill_candidates, disk_capacity, states)
-    return IlpSolution(states=states, objective=residual, optimal=optimal, nodes_explored=nodes)
+    solution = IlpSolution(
+        states=states, objective=residual, optimal=optimal, nodes_explored=nodes
+    )
+    if observer is not None:
+        observer(items, solution)
+    return solution
 
 
 def _assign_disk_states(

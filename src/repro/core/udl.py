@@ -27,6 +27,7 @@ from ..cluster.blocks import Block, BlockId, BlockLocation
 from ..cluster.cachemanager import CacheManager
 from ..config import BlazeConfig
 from ..metrics.collector import TaskMetrics
+from ..obs.audit import CandidateTerm, make_terms
 from ..tracing.tracer import executor_pid
 from .cost_lineage import CostLineage, capture_job
 from .cost_model import CostModel, PartitionState
@@ -346,8 +347,14 @@ class BlazeCacheManager(CacheManager):
             tenant=tenancy.current_tenant if tenancy is not None else None,
         )
         if speculative:
-            if executor.bm.memory.fits(size_bytes):
+            placed = executor.bm.memory.fits(size_bytes)
+            if placed:
                 self._place_in_memory(executor.bm, block, False, self.cluster.clock.now)
+            if self.audit is not None:
+                self._audit_admission(
+                    executor, block, remaining_refs, from_disk=False,
+                    outcome="memory" if placed else "drop", reason="speculative",
+                )
             return
         self._admit(executor, block, remaining_refs, tm, from_disk=False)
 
@@ -364,6 +371,127 @@ class BlazeCacheManager(CacheManager):
                 self._place_in_memory(executor.bm, block, True, self.cluster.clock.now)
             return
         self._admit(executor, block, refs, tm, from_disk=True)
+
+    # ------------------------------------------------------------------
+    # Decision audit capture (``repro.obs``): pure readers of the same
+    # pre-eviction snapshot every decision above consulted.  Cost probes
+    # go through the epoch caches when incremental (reads are bit-equal
+    # to fresh computes — the PR3 invariant) and through a *private*
+    # fresh memo otherwise, never the decision's shared memo, so later
+    # ``_evict`` computations see exactly the memo state they would have
+    # seen with auditing off.
+    # ------------------------------------------------------------------
+    def _audit_costs(self, rdd_id: int, split: int) -> tuple[float, float, float]:
+        if self._cache is not None:
+            return self._cache.explain_costs(rdd_id, split)
+        memo: dict = {}
+        cost_d = self.cost_model.cost_d(rdd_id, split, memo)
+        cost_r = self.cost_model.cost_r(rdd_id, split, self._future_state_of, memo)
+        return cost_d, cost_r, min(cost_d, cost_r)
+
+    def _audit_candidates(
+        self,
+        victims: list[Block],
+        tiers: dict[BlockId, int] | None = None,
+    ) -> tuple[CandidateTerm, ...]:
+        cost_aware = self.config.cost_aware_enabled
+        out = []
+        for v in victims:
+            cost_d = cost_r = pc = None
+            if cost_aware:
+                cost_d, cost_r, pc = self._audit_costs(v.rdd_id, v.split)
+            out.append(
+                CandidateTerm(
+                    rdd_id=v.rdd_id,
+                    split=v.split,
+                    size_bytes=v.size_bytes,
+                    tier=None if tiers is None else tiers.get(v.block_id),
+                    cost_d=cost_d,
+                    cost_r=cost_r,
+                    potential_cost=pc,
+                    last_access=None if cost_aware else v.last_access,
+                )
+            )
+        return tuple(out)
+
+    def _audit_admission(
+        self,
+        executor: "Executor",
+        block: Block,
+        refs: int,
+        *,
+        from_disk: bool,
+        outcome: str,
+        reason: str,
+        candidates: tuple = (),
+        states: list | tuple = (),
+        incoming_value: float | None = None,
+        displaced_value: float | None = None,
+    ) -> None:
+        if states:
+            candidates = tuple(
+                c._replace(chosen_state=s) for c, s in zip(candidates, states)
+            )
+        self.audit.record(
+            ts=self.cluster.clock.now,
+            kind="admit" if outcome == "memory" else "reject",
+            executor_id=executor.executor_id,
+            outcome=outcome,
+            reason=reason,
+            rdd_id=block.rdd_id,
+            split=block.split,
+            size_bytes=block.size_bytes,
+            tenant=block.tenant,
+            terms=make_terms(
+                refs=float(refs),
+                from_disk=float(from_disk),
+                incoming_value=incoming_value,
+                displaced_value=displaced_value,
+            ),
+            candidates=tuple(candidates),
+        )
+
+    @staticmethod
+    def _off_memory_outcome(from_disk: bool, placed: bool) -> str:
+        # A from-disk candidate denied memory simply stays on disk; a
+        # fresh partition lands there only if ``_maybe_write_to_disk`` bit.
+        return "disk" if (from_disk or placed) else "drop"
+
+    def _ilp_observer(self, executor_id: int, job_id: int, round_idx: int):
+        def observer(items, solution) -> None:
+            self.audit.record(
+                ts=self.cluster.clock.now,
+                kind="ilp",
+                executor_id=executor_id,
+                outcome="solved",
+                reason=f"round_{round_idx}",
+                terms=make_terms(
+                    job_id=float(job_id),
+                    round=float(round_idx),
+                    items=float(len(items)),
+                    nodes_explored=float(solution.nodes_explored),
+                    objective=solution.objective,
+                    optimal=float(solution.optimal),
+                ),
+                candidates=tuple(
+                    CandidateTerm(
+                        rdd_id=it.key[0],
+                        split=it.key[1],
+                        size_bytes=it.size_bytes,
+                        cost_d=it.cost_d,
+                        cost_r=it.cost_r,
+                        potential_cost=min(it.cost_d, it.cost_r),
+                        chosen_state=(
+                            None
+                            if solution.states.get(it.key) == "mem"
+                            else solution.states.get(it.key)
+                        ),
+                    )
+                    for it in items
+                ),
+            )
+
+        return observer
 
     # ------------------------------------------------------------------
     def _admit(
@@ -384,9 +512,17 @@ class BlazeCacheManager(CacheManager):
             return
         bm = executor.bm
         now = self.cluster.clock.now
+        audit = self.audit
         if block.size_bytes > bm.memory.capacity_bytes:
+            placed = False
             if not from_disk:
-                self._maybe_write_to_disk(executor, block, tm)
+                placed = self._maybe_write_to_disk(executor, block, tm)
+            if audit is not None:
+                self._audit_admission(
+                    executor, block, refs, from_disk=from_disk,
+                    outcome=self._off_memory_outcome(from_disk, placed),
+                    reason="too_big",
+                )
             return
 
         needed = block.size_bytes - bm.memory.free_bytes
@@ -396,16 +532,33 @@ class BlazeCacheManager(CacheManager):
             and tenancy.would_exceed(self.cluster, tenancy.current_tenant, block.size_bytes)
         ):
             self._place_in_memory(bm, block, from_disk, now)
+            if audit is not None:
+                self._audit_admission(
+                    executor, block, refs, from_disk=from_disk,
+                    outcome="memory", reason="free_space",
+                )
             return
 
+        tiers: dict[BlockId, int] | None = (
+            {} if (audit is not None and quota_mode) else None
+        )
         victims = self._select_victims(
-            bm, max(needed, 0.0), block.rdd_id, memo, incoming_block=block
+            bm, max(needed, 0.0), block.rdd_id, memo, incoming_block=block,
+            tier_out=tiers,
         )
         if victims is None:
+            placed = False
             if not from_disk:
-                self._maybe_write_to_disk(executor, block, tm)
+                placed = self._maybe_write_to_disk(executor, block, tm)
+            if audit is not None:
+                self._audit_admission(
+                    executor, block, refs, from_disk=from_disk,
+                    outcome=self._off_memory_outcome(from_disk, placed),
+                    reason="no_victims",
+                )
             return
 
+        incoming_value = displaced_value = None
         if self.config.admission_enabled:
             incoming_value = (
                 self.cost_model.potential_cost(
@@ -425,13 +578,33 @@ class BlazeCacheManager(CacheManager):
                         incoming_value=incoming_value,
                         displaced_value=displaced_value,
                     )
+                placed = False
                 if not from_disk:
-                    self._maybe_write_to_disk(executor, block, tm)
+                    placed = self._maybe_write_to_disk(executor, block, tm)
+                if audit is not None:
+                    self._audit_admission(
+                        executor, block, refs, from_disk=from_disk,
+                        outcome=self._off_memory_outcome(from_disk, placed),
+                        reason="admission",
+                        candidates=self._audit_candidates(victims, tiers),
+                        incoming_value=incoming_value,
+                        displaced_value=displaced_value,
+                    )
                 return
 
-        for victim in victims:
-            self._evict(executor, victim, tm, memo)
+        # Audit cost terms are probed on the pre-eviction snapshot (the
+        # same one every decision above used); the actual per-victim
+        # destinations are captured from the eviction ladder itself.
+        pre = self._audit_candidates(victims, tiers) if audit is not None else ()
+        states = [self._evict(executor, victim, tm, memo) for victim in victims]
         self._place_in_memory(bm, block, from_disk, now)
+        if audit is not None:
+            self._audit_admission(
+                executor, block, refs, from_disk=from_disk,
+                outcome="memory", reason="displaced",
+                candidates=pre, states=states,
+                incoming_value=incoming_value, displaced_value=displaced_value,
+            )
 
     def _admit_incremental(
         self,
@@ -452,14 +625,27 @@ class BlazeCacheManager(CacheManager):
         bm = executor.bm
         cache = self._cache
         now = self.cluster.clock.now
+        audit = self.audit
         if block.size_bytes > bm.memory.capacity_bytes:
+            placed = False
             if not from_disk:
-                self._maybe_write_to_disk(executor, block, tm)
+                placed = self._maybe_write_to_disk(executor, block, tm)
+            if audit is not None:
+                self._audit_admission(
+                    executor, block, refs, from_disk=from_disk,
+                    outcome=self._off_memory_outcome(from_disk, placed),
+                    reason="too_big",
+                )
             return
 
         needed = block.size_bytes - bm.memory.free_bytes
         if needed <= 0:
             self._place_in_memory(bm, block, from_disk, now)
+            if audit is not None:
+                self._audit_admission(
+                    executor, block, refs, from_disk=from_disk,
+                    outcome="memory", reason="free_space",
+                )
             return
 
         index = self._indexes[executor.executor_id]
@@ -469,10 +655,18 @@ class BlazeCacheManager(CacheManager):
         metrics.victim_candidates_scanned += scanned
         metrics.victim_selections += 1
         if victims is None:
+            placed = False
             if not from_disk:
-                self._maybe_write_to_disk(executor, block, tm)
+                placed = self._maybe_write_to_disk(executor, block, tm)
+            if audit is not None:
+                self._audit_admission(
+                    executor, block, refs, from_disk=from_disk,
+                    outcome=self._off_memory_outcome(from_disk, placed),
+                    reason="no_victims",
+                )
             return
 
+        incoming_value = displaced_value = None
         if self.config.admission_enabled:
             incoming_value = cache.potential_cost(block.rdd_id, block.split) * refs
             displaced_value = sum(cache.block_value(v) for v in victims)
@@ -486,12 +680,23 @@ class BlazeCacheManager(CacheManager):
                         incoming_value=incoming_value,
                         displaced_value=displaced_value,
                     )
+                placed = False
                 if not from_disk:
-                    self._maybe_write_to_disk(executor, block, tm)
+                    placed = self._maybe_write_to_disk(executor, block, tm)
+                if audit is not None:
+                    self._audit_admission(
+                        executor, block, refs, from_disk=from_disk,
+                        outcome=self._off_memory_outcome(from_disk, placed),
+                        reason="admission",
+                        candidates=self._audit_candidates(victims),
+                        incoming_value=incoming_value,
+                        displaced_value=displaced_value,
+                    )
                 return
 
         # Resolve every victim's destination on the pre-eviction snapshot,
         # then execute (each eviction invalidates the caches behind us).
+        pre = self._audit_candidates(victims) if audit is not None else ()
         plans = [self._eviction_plan(victim) for victim in victims]
         for victim, spill in zip(victims, plans):
             if spill:
@@ -499,6 +704,14 @@ class BlazeCacheManager(CacheManager):
             else:
                 bm.discard(victim.block_id, evicted=True)
         self._place_in_memory(bm, block, from_disk, now)
+        if audit is not None:
+            self._audit_admission(
+                executor, block, refs, from_disk=from_disk,
+                outcome="memory", reason="displaced",
+                candidates=pre,
+                states=["disk" if spill else "gone" for spill in plans],
+                incoming_value=incoming_value, displaced_value=displaced_value,
+            )
 
     def _eviction_plan(self, victim: Block) -> bool:
         """``True`` to spill, ``False`` to discard — :meth:`_evict`'s ladder."""
@@ -542,6 +755,7 @@ class BlazeCacheManager(CacheManager):
         incoming_rdd_id: int,
         memo: dict,
         incoming_block: Block | None = None,
+        tier_out: dict | None = None,
     ) -> list[Block] | None:
         """Cheapest-first victim selection (Spark's same-RDD guard kept).
 
@@ -551,6 +765,10 @@ class BlazeCacheManager(CacheManager):
         then — only if the inserter stays within its quota — other
         within-quota tenants' blocks; and enough of the inserter's own
         bytes must be displaced to keep it within quota after the insert.
+
+        ``tier_out``, when given, collects each eligible block's quota
+        tier keyed by block id (audit-log bookkeeping; selection is
+        unaffected).
         """
         eligible = [b for b in bm.memory.blocks() if b.rdd_id != incoming_rdd_id]
         if self.config.cost_aware_enabled:
@@ -595,6 +813,8 @@ class BlazeCacheManager(CacheManager):
                 tier = tier_of(b)
                 if tier is not None:
                     tiered.append((tier, b))
+                    if tier_out is not None:
+                        tier_out[b.block_id] = tier
             tiered.sort(
                 key=lambda tb: (
                     tb[0], order_key(tb[1]),
@@ -621,15 +841,20 @@ class BlazeCacheManager(CacheManager):
             return None
         return victims
 
-    def _evict(self, executor: "Executor", victim: Block, tm: TaskMetrics, memo: dict) -> None:
-        """Move a memory victim to its cheapest state (§4.2)."""
+    def _evict(self, executor: "Executor", victim: Block, tm: TaskMetrics, memo: dict) -> str:
+        """Move a memory victim to its cheapest state (§4.2).
+
+        Returns the state the victim actually landed in (``"disk"`` or
+        ``"gone"``) so the audit log can record destinations from the
+        ladder itself instead of predicting them.
+        """
         bm = executor.bm
         if not self.config.disk_enabled:
             bm.discard(victim.block_id, evicted=True)
-            return
+            return "gone"
         if not self.config.recompute_option_enabled:
             bm.spill_to_disk(victim.block_id, tm)
-            return
+            return "disk"
         if (
             self.config.cost_aware_enabled
             and self.lineage.knowledge_complete
@@ -640,22 +865,26 @@ class BlazeCacheManager(CacheManager):
             # same-stage readers recover through the (still retained)
             # current shuffle generation cheaply.  Discard.
             bm.discard(victim.block_id, evicted=True)
-            return
+            return "gone"
         state = self.cost_model.preferred_eviction_state(
             victim.rdd_id, victim.split, self._future_state_of, memo
         )
         if state == "disk":
             bm.spill_to_disk(victim.block_id, tm)
-        else:
-            bm.discard(victim.block_id, evicted=True)
+            return "disk"
+        bm.discard(victim.block_id, evicted=True)
+        return "gone"
 
-    def _maybe_write_to_disk(self, executor: "Executor", block: Block, tm: TaskMetrics) -> None:
-        """A partition denied memory may still be worth persisting on disk."""
+    def _maybe_write_to_disk(self, executor: "Executor", block: Block, tm: TaskMetrics) -> bool:
+        """A partition denied memory may still be worth persisting on disk.
+
+        Returns ``True`` iff the block was written to disk.
+        """
         if not self.config.disk_enabled:
-            return
+            return False
         if not (self.config.cost_aware_enabled and self.config.recompute_option_enabled):
             executor.bm.insert_disk(block, tm)
-            return
+            return True
         if self._cache is not None:
             # All call sites run pre-eviction, so the cached values equal
             # what the naive fresh-memo computation would produce here.
@@ -666,6 +895,8 @@ class BlazeCacheManager(CacheManager):
             )
         if state == "disk":
             executor.bm.insert_disk(block, tm)
+            return True
+        return False
 
     # ------------------------------------------------------------------
     # The ILP trigger (§5.5): re-optimize states for the upcoming jobs
@@ -712,8 +943,14 @@ class BlazeCacheManager(CacheManager):
                 disk_cap = (
                     executor.bm.disk.capacity_bytes if cfg.constrain_disk else None
                 )
+                observer = (
+                    self._ilp_observer(executor.executor_id, job.job_id, _round)
+                    if self.audit is not None
+                    else None
+                )
                 solution = solve_partition_states(
-                    items, capacity, disk_capacity=disk_cap, backend=cfg.ilp_backend
+                    items, capacity, disk_capacity=disk_cap, backend=cfg.ilp_backend,
+                    observer=observer,
                 )
                 self.cluster.metrics.ilp_solves += 1
                 self.cluster.metrics.ilp_nodes += solution.nodes_explored

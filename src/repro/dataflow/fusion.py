@@ -191,6 +191,9 @@ class FusionPlanner:
         tracer = driver.tracer
         cm = self.cache_manager
         mids = chain.mids
+        for mid in mids:
+            if cm.is_cache_candidate(mid):
+                driver.metrics.cache_misses += 1
         if tracer.enabled:
             pid = executor_pid(executor.executor_id)
             for mid in mids:

@@ -200,6 +200,12 @@ class MetricsCollector:
         self.gids_deduped: int = 0
         self.shared_hits: int = 0
         self.shared_hit_bytes: float = 0.0
+        # Cache-access counters (``repro.obs``): every hit on a cached
+        # block and every miss on a cache candidate, maintained even when
+        # tracing is off so the occupancy sampler can compute hit ratios
+        # without replaying a trace.
+        self.cache_hits: int = 0
+        self.cache_misses: int = 0
 
     # ------------------------------------------------------------------
     def record_task(self, job_id: int, executor_id: int, tm: TaskMetrics) -> None:
@@ -302,6 +308,13 @@ class MetricsCollector:
             "gids_deduped": self.gids_deduped,
             "shared_hits": self.shared_hits,
             "shared_hit_bytes": self.shared_hit_bytes,
+        }
+
+    def access_counters(self) -> dict[str, int]:
+        """Cache-access counters (``repro.obs``)."""
+        return {
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
         }
 
     def breakdown(self) -> dict[str, float]:

@@ -1,0 +1,44 @@
+"""Observability layer: decision explainability, time-series, critical path.
+
+``repro.obs`` is a *pure reader* of the deterministic simulation state.
+Its three pillars —
+
+- :class:`DecisionAudit`: a ring-buffered audit log of every admission,
+  eviction, and ILP choice, with per-candidate cost terms, queryable via
+  ``report().explain(rdd_id, split)``;
+- :class:`OccupancySampler`: a virtual-clock-driven sampler of per-tenant
+  occupancy, hit ratio, shared-hit rate, queue depth, and quota headroom,
+  exported as Prometheus text (``report().prometheus()``) or as a
+  self-contained HTML dashboard (``scripts/blazemon.py``);
+- :func:`analyze_critical_paths`: a span-DAG reconstruction that
+  attributes each job's end-to-end virtual latency to compute, shuffle,
+  recompute-after-eviction, disk I/O, and cross-job queueing
+  (``report().critical_path()``)
+
+— never emit trace events, never advance the clock, and never consume
+randomness, so every preset's JSONL trace is byte-identical with obs on
+or off (pinned by ``tests/integration/test_trace_identity.py``).
+"""
+
+from .audit import AuditEntry, CandidateTerm, DecisionAudit, ExplainAnswer, explain_entries
+from .critical_path import CriticalPathReport, JobCriticalPath, analyze_critical_paths
+from .dashboard import render_dashboard_html
+from .hub import ObsHub
+from .prometheus import render_prometheus
+from .sampler import OccupancySampler, Sample
+
+__all__ = [
+    "AuditEntry",
+    "CandidateTerm",
+    "CriticalPathReport",
+    "DecisionAudit",
+    "ExplainAnswer",
+    "JobCriticalPath",
+    "ObsHub",
+    "OccupancySampler",
+    "Sample",
+    "analyze_critical_paths",
+    "explain_entries",
+    "render_dashboard_html",
+    "render_prometheus",
+]

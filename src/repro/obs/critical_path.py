@@ -1,0 +1,218 @@
+"""Critical-path analysis over the span DAG of a trace.
+
+Reconstructs each job from its ``job`` → ``stage`` → ``task`` spans and
+attributes the job's end-to-end virtual latency to where it was actually
+spent *on the critical path*:
+
+- ``queueing``  — cross-job wait between submission and the driver
+  starting the job (from the service's job records);
+- ``compute``   — first-materialization operator time;
+- ``recompute`` — lineage recomputation after eviction (the subset of
+  compute the cache failed to save);
+- ``shuffle``   — shuffle read + write;
+- ``disk_io``   — cache disk reads/writes incl. (de)serialization;
+- ``remote_read`` — remote cache fetches;
+- ``wait``      — slot time the critical executor spent idle or blocked
+  inside a stage (scheduling gaps, straggler shadows);
+- ``coordination`` — driver time outside any stage (profiling, ILP
+  planning, inter-stage gaps) plus floating-point residue.
+
+Within a stage the critical chain is the task slot whose last task
+finishes latest — stages are barriers, so that slot's timeline bounds the
+stage.  Each chained task's duration is split across the buckets in
+proportion to its metric ledger, with the compute bucket taking the
+exact residual so per-task buckets sum to the task's traced duration.
+By construction the per-job attribution sums to the job's end-to-end
+latency (``end - submit``) to within floating-point dust; the acceptance
+test pins 1e-9.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..tracing.tracer import TraceEvent
+
+#: attribution bucket names, in presentation order.
+BUCKETS = (
+    "queueing", "compute", "recompute", "shuffle",
+    "disk_io", "remote_read", "wait", "coordination",
+)
+
+
+@dataclass(frozen=True)
+class JobCriticalPath:
+    """End-to-end latency attribution for one job."""
+
+    job_id: int
+    tenant: str | None
+    submit_time: float
+    start: float
+    end: float
+    queueing: float
+    compute: float
+    recompute: float
+    shuffle: float
+    disk_io: float
+    remote_read: float
+    wait: float
+    coordination: float
+    #: number of stages and critical-chain tasks that contributed.
+    stages: int
+    critical_tasks: int
+
+    @property
+    def latency(self) -> float:
+        """End-to-end virtual latency including cross-job queueing."""
+        return self.end - self.submit_time
+
+    @property
+    def total(self) -> float:
+        """Sum of all attribution buckets (== :attr:`latency`)."""
+        return (
+            self.queueing + self.compute + self.recompute + self.shuffle
+            + self.disk_io + self.remote_read + self.wait + self.coordination
+        )
+
+    def buckets(self) -> dict[str, float]:
+        return {name: getattr(self, name) for name in BUCKETS}
+
+
+@dataclass(frozen=True)
+class CriticalPathReport:
+    """All jobs of a run, with per-tenant aggregation helpers."""
+
+    jobs: tuple[JobCriticalPath, ...]
+
+    def totals(self) -> dict[str, float]:
+        """Bucket sums across every job."""
+        out = dict.fromkeys(BUCKETS, 0.0)
+        for job in self.jobs:
+            for name in BUCKETS:
+                out[name] += getattr(job, name)
+        return out
+
+    def by_tenant(self) -> dict[str, dict[str, float]]:
+        """Bucket sums grouped by tenant (``"default"`` when untagged)."""
+        out: dict[str, dict[str, float]] = {}
+        for job in self.jobs:
+            tenant = job.tenant if job.tenant is not None else "default"
+            agg = out.setdefault(tenant, dict.fromkeys(BUCKETS, 0.0))
+            for name in BUCKETS:
+                agg[name] += getattr(job, name)
+        return out
+
+    def job(self, job_id: int) -> JobCriticalPath | None:
+        for j in self.jobs:
+            if j.job_id == job_id:
+                return j
+        return None
+
+
+def _task_buckets(event: "TraceEvent") -> dict[str, float]:
+    """Split one task span's duration across buckets, exactly."""
+    dur = event.dur or 0.0
+    args = event.args
+    total = args.get("total_s", 0.0)
+    if total <= 0.0:
+        return {"compute": 0.0, "recompute": 0.0, "shuffle": 0.0,
+                "disk_io": 0.0, "remote_read": 0.0, "wait": dur}
+    scale = dur / total
+    recompute = args.get("recompute_s", 0.0) * scale
+    shuffle = args.get("shuffle_s", 0.0) * scale
+    disk_io = args.get("disk_io_s", 0.0) * scale
+    remote = args.get("remote_read_s", 0.0) * scale
+    # compute takes the residual so the buckets sum to ``dur`` exactly
+    # (the proportional split alone would be off by float distribution).
+    compute = dur - recompute - shuffle - disk_io - remote
+    return {"compute": compute, "recompute": recompute, "shuffle": shuffle,
+            "disk_io": disk_io, "remote_read": remote, "wait": 0.0}
+
+
+def analyze_critical_paths(
+    events: Iterable["TraceEvent"],
+    job_records: Sequence = (),
+) -> CriticalPathReport:
+    """Reconstruct the span DAG and attribute each job's latency.
+
+    ``job_records`` (the service's :class:`~repro.service.service.JobRecord`
+    list) supplies submission times for the queueing bucket; without them
+    submission is assumed to coincide with the job start.
+    """
+    spans = [e for e in events if e.kind == "span"]
+    jobs = sorted(
+        (e for e in spans if e.name == "job"), key=lambda e: (e.ts, e.seq)
+    )
+    stages_by_parent: dict[int, list] = {}
+    tasks_by_parent: dict[int, list] = {}
+    for e in spans:
+        if e.name == "stage" and e.parent_id is not None:
+            stages_by_parent.setdefault(e.parent_id, []).append(e)
+        elif e.name == "task" and e.parent_id is not None:
+            tasks_by_parent.setdefault(e.parent_id, []).append(e)
+
+    record_by_job = {}
+    for rec in job_records:
+        record_by_job[rec.job_id] = rec
+
+    out: list[JobCriticalPath] = []
+    for job in jobs:
+        job_id = job.args.get("job_id")
+        start = job.ts
+        end = job.ts + (job.dur or 0.0)
+        rec = record_by_job.get(job_id)
+        submit = rec.submit_time if rec is not None else start
+        tenant = rec.tenant if rec is not None else None
+        queueing = start - submit
+
+        acc = {"compute": 0.0, "recompute": 0.0, "shuffle": 0.0,
+               "disk_io": 0.0, "remote_read": 0.0, "wait": 0.0}
+        stage_spans = sorted(
+            stages_by_parent.get(job.span_id, ()), key=lambda e: (e.ts, e.seq)
+        )
+        critical_tasks = 0
+        for stage in stage_spans:
+            stage_dur = stage.dur or 0.0
+            tasks = tasks_by_parent.get(stage.span_id, ())
+            slots: dict[tuple[int, int], list] = {}
+            for t in tasks:
+                slots.setdefault((t.pid, t.tid), []).append(t)
+            if not slots:
+                acc["wait"] += stage_dur
+                continue
+            # The critical chain: the slot whose last task finishes latest
+            # bounds the stage barrier (deterministic tie-break on slot id).
+            chain = max(
+                slots.values(),
+                key=lambda ts_: (max(t.ts + (t.dur or 0.0) for t in ts_),
+                                 ts_[0].pid, ts_[0].tid),
+            )
+            chain_total = 0.0
+            for t in chain:
+                for name, val in _task_buckets(t).items():
+                    acc[name] += val
+                chain_total += t.dur or 0.0
+            critical_tasks += len(chain)
+            acc["wait"] += stage_dur - chain_total
+
+        # Driver time outside any stage (profiling, planning, gaps) plus
+        # floating-point residue: the exact remainder of the latency.
+        partial = (
+            queueing + acc["compute"] + acc["recompute"] + acc["shuffle"]
+            + acc["disk_io"] + acc["remote_read"] + acc["wait"]
+        )
+        coordination = (end - submit) - partial
+        out.append(
+            JobCriticalPath(
+                job_id=job_id, tenant=tenant, submit_time=submit,
+                start=start, end=end, queueing=queueing,
+                compute=acc["compute"], recompute=acc["recompute"],
+                shuffle=acc["shuffle"], disk_io=acc["disk_io"],
+                remote_read=acc["remote_read"], wait=acc["wait"],
+                coordination=coordination,
+                stages=len(stage_spans), critical_tasks=critical_tasks,
+            )
+        )
+    return CriticalPathReport(jobs=tuple(out))

@@ -1,0 +1,38 @@
+"""The per-run observability hub: one audit log + one sampler.
+
+The :class:`~repro.service.service.JobService` builds a hub when
+``BlazeConfig.obs.enabled`` and hangs it off ``cluster.obs`` *before*
+the driver attaches the cache manager, so every decision layer can bind
+the audit log in ``attach()``.  The hub is the only obs component that
+touches wiring; everything it owns is a pure reader.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..config import ObsConfig
+from .audit import DecisionAudit
+from .sampler import OccupancySampler
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..cluster.cluster import Cluster
+
+
+class ObsHub:
+    """Bundles the audit log and the sampler for one cluster run."""
+
+    def __init__(self, config: ObsConfig, cluster: "Cluster") -> None:
+        self.config = config
+        self.cluster = cluster
+        self.audit = DecisionAudit(ring_size=config.audit_ring_size)
+        self.sampler = OccupancySampler(
+            cluster,
+            interval_seconds=config.sample_interval_seconds,
+            max_samples=config.max_samples,
+        )
+        cluster.clock.add_listener(self.sampler.on_advance)
+
+    def bind_service(self, service) -> None:
+        """Give the sampler a queue-depth source (the owning JobService)."""
+        self.sampler.service = service

@@ -1,0 +1,122 @@
+"""Prometheus text exposition (version 0.0.4) for a finished run.
+
+``render_prometheus(report)`` renders the run's aggregate counters plus
+the *latest* sampler observation as gauges — the shape a real scrape of
+a live Blaze service would produce, generated here from the
+deterministic replay so dashboards can be developed against traces.
+"""
+
+from __future__ import annotations
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _fmt(value: float) -> str:
+    """Full-precision sample value (``%g`` would truncate byte counts)."""
+    value = float(value)
+    if value.is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+class _Doc:
+    def __init__(self) -> None:
+        self.lines: list[str] = []
+
+    def metric(
+        self,
+        name: str,
+        mtype: str,
+        help_text: str,
+        samples: list[tuple[dict[str, str], float]],
+    ) -> None:
+        self.lines.append(f"# HELP {name} {help_text}")
+        self.lines.append(f"# TYPE {name} {mtype}")
+        for labels, value in samples:
+            label_str = ""
+            if labels:
+                inner = ",".join(
+                    f'{k}="{_escape(str(v))}"' for k, v in sorted(labels.items())
+                )
+                label_str = "{" + inner + "}"
+            self.lines.append(f"{name}{label_str} {_fmt(value)}")
+
+    def render(self) -> str:
+        return "\n".join(self.lines) + "\n"
+
+
+def render_prometheus(report) -> str:
+    """Render a :class:`~repro.tracing.report.RunReport` as exposition text."""
+    doc = _Doc()
+    doc.metric("blaze_jobs_total", "counter", "Jobs executed.",
+               [({}, report.job_count)])
+    doc.metric("blaze_tasks_total", "counter", "Tasks executed.",
+               [({}, report.task_count)])
+    doc.metric("blaze_virtual_seconds", "gauge",
+               "Makespan on the virtual clock.", [({}, report.act_seconds)])
+    doc.metric("blaze_cache_hits_total", "counter",
+               "Cache hits (memory + disk).",
+               [({}, report.access_counters.get("cache_hits", 0))])
+    doc.metric("blaze_cache_misses_total", "counter",
+               "Cache misses on candidate datasets.",
+               [({}, report.access_counters.get("cache_misses", 0))])
+    doc.metric("blaze_cache_shared_hits_total", "counter",
+               "Cross-tenant hits on deduplicated lineage.",
+               [({}, report.service_counters.get("shared_hits", 0))])
+    doc.metric("blaze_evictions_total", "counter", "Blocks evicted.",
+               [({}, report.eviction_count)])
+    doc.metric("blaze_evictions_to_disk_total", "counter",
+               "Evictions spilled to disk.", [({}, report.evictions_to_disk)])
+    doc.metric("blaze_recompute_seconds_total", "counter",
+               "Virtual seconds spent recomputing evicted data.",
+               [({}, report.recompute_seconds)])
+    doc.metric("blaze_ilp_solves_total", "counter", "ILP optimizer runs.",
+               [({}, report.ilp_solves)])
+    doc.metric("blaze_disk_bytes_written_total", "counter",
+               "Bytes written to the disk tier.",
+               [({}, report.disk_bytes_written_total)])
+    doc.metric("blaze_audit_entries_total", "counter",
+               "Decision audit entries recorded.",
+               [({}, len(report.audit_entries))])
+
+    if report.samples:
+        last = report.samples[-1]
+        doc.metric("blaze_memory_used_bytes", "gauge",
+                   "Memory-store occupancy at last sample.",
+                   [({}, last.memory_used_bytes)])
+        doc.metric("blaze_disk_used_bytes", "gauge",
+                   "Disk-store occupancy at last sample.",
+                   [({}, last.disk_used_bytes)])
+        doc.metric(
+            "blaze_tenant_memory_bytes", "gauge",
+            "Per-tenant memory occupancy at last sample.",
+            [({"tenant": t}, v) for t, v in last.memory_by_tenant],
+        )
+        doc.metric(
+            "blaze_tenant_disk_bytes", "gauge",
+            "Per-tenant disk occupancy at last sample.",
+            [({"tenant": t}, v) for t, v in last.disk_by_tenant],
+        )
+        if last.quota_headroom:
+            doc.metric(
+                "blaze_tenant_quota_headroom_bytes", "gauge",
+                "Remaining quota per quota-carrying tenant.",
+                [({"tenant": t}, v) for t, v in last.quota_headroom],
+            )
+        doc.metric("blaze_hit_ratio", "gauge",
+                   "Cache hit ratio at last sample.", [({}, last.hit_ratio)])
+        doc.metric("blaze_shared_hit_rate", "gauge",
+                   "Fraction of hits served from another tenant's blocks.",
+                   [({}, last.shared_hit_rate)])
+        doc.metric("blaze_service_queue_depth", "gauge",
+                   "Applications parked on a pending job request.",
+                   [({}, last.queue_depth)])
+    else:
+        hits = report.access_counters.get("cache_hits", 0)
+        misses = report.access_counters.get("cache_misses", 0)
+        ratio = hits / (hits + misses) if hits + misses else 0.0
+        doc.metric("blaze_hit_ratio", "gauge",
+                   "Cache hit ratio over the whole run.", [({}, ratio)])
+    return doc.render()

@@ -124,6 +124,15 @@ class JobService:
         self.cluster = Cluster(self.config, tracer=tracer)
         self.cluster.shuffle.fast_path = self.fused_execution
         self.cluster.tenancy = TenantRegistry(service_config.tenant_quotas)
+        # Observability hub: must exist before the driver attaches the
+        # cache manager (attach() binds the audit log from cluster.obs).
+        # Pure reader — enabling it cannot change a trace or a decision.
+        obs_config = blaze_config.obs if blaze_config is not None else None
+        if obs_config is not None and obs_config.enabled:
+            from ..obs.hub import ObsHub
+
+            self.cluster.obs = ObsHub(obs_config, self.cluster)
+            self.cluster.obs.bind_service(self)
         # Fault injection has a double opt-in: a schedule must be passed
         # AND ``BlazeConfig.fault_injection`` (default off) flipped on.
         self.fault_injector: FaultInjector | None = None

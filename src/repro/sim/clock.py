@@ -20,23 +20,47 @@ class VirtualClock:
         if start < 0:
             raise ReproError("clock cannot start before time zero")
         self._now = float(start)
+        self._listeners: list = []
 
     @property
     def now(self) -> float:
         """Current virtual time in seconds."""
         return self._now
 
+    def add_listener(self, fn) -> None:
+        """Register ``fn(now)`` to fire after every forward move.
+
+        Listeners must be pure observers of simulation state: they run
+        *after* ``_now`` is updated and must not advance the clock
+        themselves.  The observability sampler is the only in-tree user.
+        """
+        self._listeners.append(fn)
+
+    def remove_listener(self, fn) -> None:
+        """Unregister a listener added with :meth:`add_listener`."""
+        self._listeners.remove(fn)
+
     def advance_to(self, t: float) -> None:
         """Move the clock forward to absolute time ``t``."""
         if t < self._now - 1e-12:
             raise ReproError(f"clock moving backwards: {self._now} -> {t}")
-        self._now = max(self._now, float(t))
+        new = max(self._now, float(t))
+        if new != self._now:
+            self._now = new
+            if self._listeners:
+                for fn in self._listeners:
+                    fn(new)
 
     def advance_by(self, dt: float) -> float:
         """Move the clock forward by ``dt`` seconds and return the new time."""
         if dt < 0:
             raise ReproError(f"cannot advance clock by negative dt: {dt}")
-        self._now += float(dt)
+        if dt:
+            self._now += float(dt)
+            if self._listeners:
+                now = self._now
+                for fn in self._listeners:
+                    fn(now)
         return self._now
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

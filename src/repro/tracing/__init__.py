@@ -19,7 +19,14 @@ argument construction behind ``tracer.enabled``.
   eviction timelines, and a cache hit/miss ratio series.
 """
 
-from .exporters import to_chrome, to_jsonl, write_chrome, write_jsonl
+from .exporters import (
+    from_jsonl,
+    read_jsonl,
+    to_chrome,
+    to_jsonl,
+    write_chrome,
+    write_jsonl,
+)
 from .report import EvictionEvent, HitMissPoint, JobTimeline, RunReport
 from .tracer import (
     DRIVER_PID,
@@ -41,6 +48,8 @@ __all__ = [
     "executor_pid",
     "to_jsonl",
     "write_jsonl",
+    "from_jsonl",
+    "read_jsonl",
     "to_chrome",
     "write_chrome",
     "RunReport",

@@ -39,6 +39,29 @@ def write_jsonl(events: Iterable[TraceEvent], path: str) -> None:
         f.write(to_jsonl(events))
 
 
+def from_jsonl(text: str) -> list[TraceEvent]:
+    """Parse JSONL text back into :class:`TraceEvent` rows.
+
+    Inverse of :func:`to_jsonl`: ``from_jsonl(to_jsonl(events)) == events``
+    for any traced run, so archived traces feed the same replay tooling
+    (``RunReport`` methods, ``repro.obs``, ``scripts/blazemon.py``) as
+    live ones.
+    """
+    events = []
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        row = json.loads(line)
+        events.append(TraceEvent(**row))
+    return events
+
+
+def read_jsonl(path: str) -> list[TraceEvent]:
+    """Load a JSONL trace file written by :func:`write_jsonl`."""
+    with open(path, "r", encoding="utf-8") as f:
+        return from_jsonl(f.read())
+
+
 # ----------------------------------------------------------------------
 # Chrome trace_event
 # ----------------------------------------------------------------------

@@ -11,6 +11,15 @@ are drawn from:
 - :meth:`eviction_timeline` — per-executor eviction events over time
   (Fig. 3 as a time series, not just totals);
 - :meth:`hit_miss_series` — the cumulative cache hit/miss ratio.
+
+When the run had observability enabled (``BlazeConfig.obs.enabled``) the
+report additionally carries the decision audit log and the occupancy
+samples, and grows three ``repro.obs``-backed views: :meth:`explain`
+(why a partition was admitted/evicted), :meth:`critical_path` (where
+each job's virtual latency went), and :meth:`prometheus` (exposition
+text).  Replay methods that walk the whole event log memoize their
+result on the report instance — callers must treat the returned
+containers as read-only.
 """
 
 from __future__ import annotations
@@ -23,6 +32,9 @@ from .tracer import TraceEvent
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..dataflow.context import BlazeContext
+    from ..obs.audit import AuditEntry, ExplainAnswer
+    from ..obs.critical_path import CriticalPathReport
+    from ..obs.sampler import Sample
 
 #: event names counted as capacity-driven evictions in the replay
 _EVICTION_EVENTS = {
@@ -115,12 +127,23 @@ class RunReport:
     #: per-job recomputation seconds, keyed by job id in submission order
     recompute_seconds_by_job: dict[int, float] = field(default_factory=dict)
     events: tuple[TraceEvent, ...] = field(default_factory=tuple)
+    #: cache-access counters (hits/misses on candidate datasets) — always
+    #: populated, trace not required
+    access_counters: dict[str, int] = field(default_factory=dict)
+    #: decision audit log (``repro.obs``); empty unless ``obs.enabled``
+    audit_entries: tuple["AuditEntry", ...] = field(default_factory=tuple)
+    #: occupancy time-series (``repro.obs``); empty unless ``obs.enabled``
+    samples: tuple["Sample", ...] = field(default_factory=tuple)
+    #: per-job latency records from the service scheduler
+    job_records: tuple = field(default_factory=tuple)
 
     # ------------------------------------------------------------------
     @classmethod
     def from_context(cls, ctx: "BlazeContext") -> "RunReport":
         """Snapshot a context's metrics and trace into a report."""
         m = ctx.metrics
+        hub = getattr(ctx.cluster, "obs", None)
+        service = getattr(ctx, "service", None)
         return cls(
             act_seconds=ctx.now,
             job_count=m.job_count,
@@ -145,7 +168,19 @@ class RunReport:
                 for job_id, tm in sorted(m.per_job.items())
             },
             events=ctx.tracer.events,
+            access_counters=m.access_counters(),
+            audit_entries=hub.audit.entries if hub is not None else (),
+            samples=hub.sampler.samples if hub is not None else (),
+            job_records=tuple(service.job_records) if service is not None else (),
         )
+
+    # ------------------------------------------------------------------
+    def _memoized(self, key: str, compute):
+        """Replay-result memo (instance-local; equality/frozen unaffected)."""
+        cache = self.__dict__.setdefault("_replay_memo", {})
+        if key not in cache:
+            cache[key] = compute()
+        return cache[key]
 
     # ------------------------------------------------------------------
     # Convenience aggregates
@@ -191,6 +226,9 @@ class RunReport:
     # ------------------------------------------------------------------
     def job_timelines(self) -> list[JobTimeline]:
         """Per-job (start, end) on the virtual clock, in job order."""
+        return self._memoized("job_timelines", self._job_timelines)
+
+    def _job_timelines(self) -> list[JobTimeline]:
         timelines = [
             JobTimeline(e.args["job_id"], e.ts, e.ts + (e.dur or 0.0))
             for e in self.events
@@ -216,6 +254,9 @@ class RunReport:
 
     def evicted_bytes_series(self) -> dict[int, list[tuple[float, float]]]:
         """Cumulative evicted bytes per executor over time (Fig. 3 replay)."""
+        return self._memoized("evicted_bytes_series", self._evicted_bytes_series)
+
+    def _evicted_bytes_series(self) -> dict[int, list[tuple[float, float]]]:
         series: dict[int, list[tuple[float, float]]] = {}
         totals: dict[int, float] = {}
         for ev in self.eviction_timeline():
@@ -225,6 +266,9 @@ class RunReport:
 
     def hit_miss_series(self) -> list[HitMissPoint]:
         """Cumulative hit/miss counters after each cache access."""
+        return self._memoized("hit_miss_series", self._hit_miss_series)
+
+    def _hit_miss_series(self) -> list[HitMissPoint]:
         points: list[HitMissPoint] = []
         hits = misses = 0
         for e in self.events:
@@ -243,3 +287,39 @@ class RunReport:
         """Final cache hit ratio (0.0 when untraced or no accesses)."""
         series = self.hit_miss_series()
         return series[-1].ratio if series else 0.0
+
+    # ------------------------------------------------------------------
+    # Observability views (``repro.obs``)
+    # ------------------------------------------------------------------
+    def explain(self, rdd_id: int, split: int) -> "ExplainAnswer":
+        """Why was this partition admitted, rejected, or evicted?
+
+        Answers from the decision audit log: every entry where the
+        partition was the admission subject, and every entry where it was
+        chosen as a victim.  Empty (``found`` False) unless the run had
+        ``BlazeConfig.obs.enabled``.
+        """
+        from ..obs.audit import explain_entries
+
+        return explain_entries(self.audit_entries, rdd_id, split)
+
+    def critical_path(self) -> "CriticalPathReport":
+        """Attribute each job's end-to-end virtual latency to phases.
+
+        Reconstructs the span DAG from the trace (needs a traced run) and
+        splits every job's submit-to-finish latency into queueing,
+        compute, recompute-after-eviction, shuffle, disk/remote I/O, slot
+        wait, and coordination — summing exactly to the latency.
+        """
+        from ..obs.critical_path import analyze_critical_paths
+
+        return self._memoized(
+            "critical_path",
+            lambda: analyze_critical_paths(self.events, self.job_records),
+        )
+
+    def prometheus(self) -> str:
+        """This report as Prometheus text exposition (version 0.0.4)."""
+        from ..obs.prometheus import render_prometheus
+
+        return render_prometheus(self)

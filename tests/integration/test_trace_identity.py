@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.config import BlazeConfig, DiskConfig, ClusterConfig, GiB, MiB
+from repro.config import BlazeConfig, DiskConfig, ClusterConfig, GiB, MiB, ObsConfig
 from repro.experiments.runner import run_experiment
 from repro.faults import FaultSchedule, FaultSpec
 from repro.tracing import InMemoryTracer, to_jsonl
@@ -35,7 +35,8 @@ def _pressure_cluster() -> ClusterConfig:
 
 
 def _trace(system: str, incremental: bool = True, fused: bool = True,
-           workload: str = "pr", schedule: FaultSchedule | None = None) -> str:
+           workload: str = "pr", schedule: FaultSchedule | None = None,
+           obs: bool = False) -> str:
     wl = replace_params(make_workload(workload, "tiny"), num_partitions=24)
     tracer = InMemoryTracer()
     result = run_experiment(
@@ -47,6 +48,7 @@ def _trace(system: str, incremental: bool = True, fused: bool = True,
         blaze_config=BlazeConfig(
             incremental_decisions=incremental, fused_execution=fused,
             fault_injection=schedule is not None,
+            obs=ObsConfig(enabled=obs),
         ),
         tracer=tracer,
         fault_schedule=schedule,
@@ -106,3 +108,15 @@ def test_faulted_trace_is_deterministic_across_repeats(system, fused):
     first = _trace(system, fused=fused, schedule=_fault_schedule())
     second = _trace(system, fused=fused, schedule=_fault_schedule())
     assert first == second
+
+
+# The observability layer (PR 7) is a pure reader: the decision audit
+# log, the occupancy sampler, and the explainability surfaces may never
+# perturb a decision or the clock.  Every preset must emit the byte-exact
+# trace with ``obs.enabled`` on vs. off under the same pressure workload.
+from repro.systems.presets import SYSTEMS  # noqa: E402
+
+
+@pytest.mark.parametrize("system", sorted(SYSTEMS))
+def test_obs_trace_is_byte_identical(system):
+    assert _trace(system, obs=False) == _trace(system, obs=True)

@@ -1,0 +1,97 @@
+"""DecisionAudit unit behavior: the ring, terms, and the explain query."""
+
+from __future__ import annotations
+
+from repro.obs.audit import (
+    AuditEntry,
+    CandidateTerm,
+    DecisionAudit,
+    explain_entries,
+    make_terms,
+)
+
+
+def _record_n(audit: DecisionAudit, n: int) -> None:
+    for i in range(n):
+        audit.record(
+            ts=float(i), kind="reject", executor_id=0, outcome="drop",
+            reason="admission", rdd_id=i, split=0,
+        )
+
+
+def test_ring_keeps_only_the_most_recent_entries():
+    audit = DecisionAudit(ring_size=4)
+    _record_n(audit, 10)
+    assert len(audit) == 4
+    assert audit.total_recorded == 10
+    assert [e.seq for e in audit.entries] == [6, 7, 8, 9]
+    # A wrapped-out block is honestly reported as not found.
+    gone = audit.explain(0, 0)
+    assert not gone.found
+    assert "ring may have wrapped" in gone.summary()
+    assert audit.explain(9, 0).found
+
+
+def test_make_terms_sorts_and_drops_none():
+    terms = make_terms(zeta=1.0, alpha=2.0, skipped=None)
+    assert terms == (("alpha", 2.0), ("zeta", 1.0))
+    entry = AuditEntry(
+        seq=0, ts=0.0, kind="admit", executor_id=0, outcome="memory",
+        reason="free_space", terms=terms,
+    )
+    assert entry.term("alpha") == 2.0
+    assert entry.term("skipped") is None
+    assert entry.term("skipped", default=-1.0) == -1.0
+
+
+def test_victims_are_the_candidates_with_a_chosen_state():
+    considered = CandidateTerm(rdd_id=1, split=0, size_bytes=10.0)
+    displaced = CandidateTerm(
+        rdd_id=2, split=3, size_bytes=20.0, cost_d=1.0, cost_r=4.0,
+        potential_cost=1.0, chosen_state="disk",
+    )
+    entry = AuditEntry(
+        seq=0, ts=1.5, kind="admit", executor_id=1, outcome="memory",
+        reason="displaced", rdd_id=7, split=0,
+        candidates=(considered, displaced),
+    )
+    assert entry.victims == (displaced,)
+
+
+def test_explain_separates_subject_and_victim_roles():
+    audit = DecisionAudit()
+    audit.record(
+        ts=0.0, kind="admit", executor_id=0, outcome="memory",
+        reason="free_space", rdd_id=5, split=1,
+    )
+    audit.record(
+        ts=1.0, kind="admit", executor_id=0, outcome="memory",
+        reason="displaced", rdd_id=9, split=0,
+        candidates=(
+            CandidateTerm(rdd_id=5, split=1, size_bytes=8.0,
+                          last_access=0.25, chosen_state="gone"),
+        ),
+    )
+    # ILP placements never count as admission subjects.
+    audit.record(
+        ts=2.0, kind="ilp", executor_id=0, outcome="solved", reason="round_0",
+        rdd_id=5, split=1,
+    )
+    answer = audit.explain(5, 1)
+    assert answer.found
+    assert [e.seq for e in answer.as_subject] == [0]
+    assert [e.seq for e in answer.as_victim] == [1]
+    assert answer.last_decision.seq == 1
+
+    text = answer.summary()
+    assert "block rdd=5 split=1" in text
+    assert "admit -> memory (free_space)" in text
+    assert "chosen as admit victim -> gone" in text
+    assert "displaced by rdd=9 split=0" in text
+    assert "last_access=0.25" in text
+
+
+def test_explain_entries_matches_the_ring_query():
+    audit = DecisionAudit()
+    _record_n(audit, 3)
+    assert explain_entries(audit.entries, 1, 0) == audit.explain(1, 0)

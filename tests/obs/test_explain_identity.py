@@ -1,0 +1,123 @@
+"""Acceptance: explain() answers identically on both decision paths.
+
+The decision audit log is recorded at the capture points of whichever
+admission path ran — the incremental engine (epoch cost cache + victim
+index) or the kill-switched naive path.  PR 3 guarantees the two paths
+make bit-identical decisions; PR 7 extends that to the *explanation*:
+the audit entries, and therefore every ``report().explain()`` answer,
+must be value-identical between the paths on a seeded eviction-heavy
+run.  Cost terms are probed through ``DecisionCostCache.explain_costs``
+on the incremental side and fresh cost-model computes on the naive side,
+so equality here is exactly the PR 3 cache-read ≡ fresh-compute
+invariant, surfaced through the observability layer.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import BlazeConfig, ClusterConfig, DiskConfig, GiB, MiB, ObsConfig
+from repro.experiments.runner import run_experiment
+from repro.tracing import InMemoryTracer, to_jsonl
+from repro.workloads.base import replace_params
+from repro.workloads.registry import make_workload
+
+SEED = 3
+
+
+def _run(system: str, incremental: bool):
+    wl = replace_params(make_workload("pr", "tiny"), num_partitions=24)
+    tracer = InMemoryTracer()
+    result = run_experiment(
+        system,
+        wl,
+        scale="tiny",
+        seed=SEED,
+        cluster_config=ClusterConfig(
+            num_executors=2,
+            slots_per_executor=2,
+            memory_store_bytes=24 * MiB,
+            disk=DiskConfig(capacity_bytes=5 * GiB),
+        ),
+        blaze_config=BlazeConfig(
+            incremental_decisions=incremental,
+            obs=ObsConfig(enabled=True),
+        ),
+        tracer=tracer,
+    )
+    assert result.eviction_count > 0, "config must generate memory pressure"
+    return result.report, to_jsonl(tracer.events)
+
+
+@pytest.mark.parametrize("system", ["blaze", "costaware"])
+def test_audit_entries_identical_incremental_vs_naive(system):
+    naive, naive_trace = _run(system, incremental=False)
+    incr, incr_trace = _run(system, incremental=True)
+    # Same decisions (the PR 3 oracle) ...
+    assert naive_trace == incr_trace
+    # ... and the same audited record of why, value-for-value: timestamps,
+    # candidate sets, and bit-identical float cost terms.
+    assert len(naive.audit_entries) == len(incr.audit_entries) > 0
+    assert naive.audit_entries == incr.audit_entries
+
+
+def test_explain_answers_identical_on_both_paths():
+    naive, _ = _run("blaze", incremental=False)
+    incr, _ = _run("blaze", incremental=True)
+
+    # Every block any decision touched must explain identically.
+    keys = set()
+    for entry in incr.audit_entries:
+        if entry.rdd_id is not None:
+            keys.add((entry.rdd_id, entry.split))
+        for cand in entry.candidates:
+            keys.add((cand.rdd_id, cand.split))
+    assert keys, "the pressure run must audit at least one block"
+
+    for rdd_id, split in sorted(keys):
+        a = naive.explain(rdd_id, split)
+        b = incr.explain(rdd_id, split)
+        assert a == b
+        assert a.found
+        assert a.summary() == b.summary()
+
+
+def test_explain_surfaces_eviction_victims_with_cost_terms():
+    report, _ = _run("blaze", incremental=True)
+    victims = [
+        (cand, entry)
+        for entry in report.audit_entries
+        for cand in entry.victims
+        if entry.kind != "ilp"
+    ]
+    assert victims, "the eviction-heavy run must displace at least one block"
+    cand, entry = victims[0]
+    answer = report.explain(cand.rdd_id, cand.split)
+    assert answer.found
+    assert entry in answer.as_victim
+    # Blaze ranks victims by Eq. 2, so the audited candidate carries the
+    # full cost triple and its actual destination.
+    assert cand.cost_d is not None
+    assert cand.cost_r is not None
+    assert cand.potential_cost == min(cand.cost_d, cand.cost_r)
+    assert cand.chosen_state in ("disk", "gone")
+    text = answer.summary()
+    assert f"rdd={cand.rdd_id}" in text
+    assert "victim" in text
+
+
+def test_explain_empty_without_obs():
+    wl = replace_params(make_workload("pr", "tiny"), num_partitions=24)
+    result = run_experiment(
+        "blaze", wl, scale="tiny", seed=SEED,
+        cluster_config=ClusterConfig(
+            num_executors=2, slots_per_executor=2,
+            memory_store_bytes=24 * MiB,
+            disk=DiskConfig(capacity_bytes=5 * GiB),
+        ),
+    )
+    report = result.report
+    assert report.audit_entries == ()
+    answer = report.explain(0, 0)
+    assert not answer.found
+    assert "no audited decision" in answer.summary()
