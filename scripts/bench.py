@@ -1,8 +1,8 @@
 """Engine benchmarks: decision-layer (PR 3), data-plane (PR 4),
-fault-recovery (PR 5), multi-tenant job-service (PR 6) and
-observability (PR 7) hot paths.
+fault-recovery (PR 5), multi-tenant job-service (PR 6), observability
+(PR 7) and columnar-backend (PR 8) hot paths.
 
-Five suites, one script:
+Six suites, one script:
 
 - **decision** — pressure-heavy cells (working set overflows the memory
   store, eviction/admission decisions dominate) run with
@@ -34,7 +34,20 @@ Five suites, one script:
   the recording overhead as ``overhead_pct`` with
   ``observables_identical`` asserting the run itself did not move;
   ``tests/experiments/test_bench_smoke.py`` holds the overhead under
-  10%.  Writes ``BENCH_pr7.json`` by default.
+  10%.  Writes ``BENCH_pr7.json`` by default;
+- **columnar** — the flagship columnar-eligible cell: a deep
+  element-wise chain over cached (int, float) pairs, scaled so each
+  partition holds thousands of rows, run with ``columnar_backend`` off
+  (list partitions + per-record iterator pipeline) then on (numpy record
+  batches + vectorized fused kernels).  Kernel engagement, encode
+  counts, and codec transitions ride the counters; evictions and ILP
+  node counts must match between the modes
+  (``observables_identical``).  Writes ``BENCH_pr8.json`` by default.
+
+Every measurement also records its data-plane identity — ``backend``
+("columnar" or "list"), ``codec``, and ``spill_codec`` — so cells from
+different suites and PRs remain comparable after the columnar default
+flipped on.
 
 Both flags are observationally invisible (enforced byte-for-byte by
 ``tests/integration/test_trace_identity.py`` and
@@ -158,6 +171,9 @@ FAULT_COUNT = 4
 #: obs suite (PR 7): decision-bound cells with the recording layer on/off
 OBS_SYSTEMS = ["blaze"]
 OBS_WORKLOADS = ["pr"]
+#: columnar suite (PR 8): kernel-eligible chains, list vs columnar plane
+COLUMNAR_SYSTEMS = ["blaze", "costaware", "spark_mem_disk"]
+COLUMNAR_WORKLOADS = ["chain"]
 #: service suite (PR 6): the multi-tenant application stream per preset
 SERVICE_SYSTEMS = ["blaze", "spark_mem_disk", "spark_mem_only", "spark_lrc"]
 SERVICE_WORKLOAD = "pr"
@@ -230,6 +246,23 @@ def run_cell(
         wl = make_workload(workload, scale)
         cluster = smoke_cluster() if scale == "tiny" else None
         bcfg = BlazeConfig(fault_injection=flag)
+    elif suite == "columnar":
+        # Kernel-eligible shape: a deep element-wise chain over cached
+        # (int, float) pairs with thousands of rows per partition, so the
+        # list side pays tens of millions of per-record Python calls that
+        # the columnar side replaces with array expressions.  The modeled
+        # source (~13 GB across 10 executors) stays memory-resident, so
+        # every fused chain reads its source as a cached record batch.
+        wl = make_workload(workload, scale)
+        if scale == "tiny":
+            cluster = smoke_cluster()
+        else:
+            wl = replace_params(
+                wl, num_records=262_144, num_partitions=32,
+                chain_depth=24, iterations=6,
+            )
+            cluster = None
+        bcfg = BlazeConfig(columnar_backend=flag)
     else:
         # Low-pressure configuration: the registry's own shapes, where
         # decision work is cheap and the data plane dominates.
@@ -278,6 +311,9 @@ def run_cell(
         "evictions": result.eviction_count,
         "num_partitions": wl.num_partitions,
         "counters": result.report.decision_counters,
+        "backend": "columnar" if bcfg.columnar_backend else "list",
+        "codec": bcfg.columnar_codec,
+        "spill_codec": bcfg.columnar_spill_codec,
     }
     if suite == "obs":
         report = result.report
@@ -374,6 +410,9 @@ def run_service_cell(
     doc["wall_seconds"] = round(wall, 3)
     doc["system"] = system
     doc["seed"] = SEED
+    doc["backend"] = "columnar" if bcfg.columnar_backend else "list"
+    doc["codec"] = bcfg.columnar_codec
+    doc["spill_codec"] = bcfg.columnar_spill_codec
     return doc
 
 
@@ -432,6 +471,7 @@ def run_matrix(
         "dataplane": ("unfused", "fused"),
         "faults": ("clean", "faulted"),
         "obs": ("obs_off", "obs_on"),
+        "columnar": ("list", "columnar"),
     }[suite]
     cells = []
     for workload in workloads:
@@ -463,7 +503,7 @@ def run_matrix(
                 ),
             }
             on.pop("num_partitions", None)
-            if suite in ("dataplane", "obs"):
+            if suite in ("dataplane", "obs", "columnar"):
                 cell["observables_identical"] = (
                     off["evictions"] == on["evictions"]
                     and off["counters"]["ilp_nodes"] == on["counters"]["ilp_nodes"]
@@ -512,7 +552,8 @@ def main(argv: list[str] | None = None) -> int:
                         help="attach cProfile top-N to every measurement")
     parser.add_argument(
         "--suite",
-        choices=["decision", "dataplane", "faults", "service", "obs", "all"],
+        choices=["decision", "dataplane", "faults", "service", "obs",
+                 "columnar", "all"],
         default="all",
     )
     parser.add_argument("--cell", help="(internal) run one cell from a JSON spec")
@@ -549,6 +590,11 @@ def main(argv: list[str] | None = None) -> int:
                 "obs", "tiny", ["blaze"], ["pr"], in_process=True,
                 profile=args.profile,
             )
+        if args.suite in ("columnar", "all"):
+            doc["columnar"] = run_matrix(
+                "columnar", "tiny", ["blaze", "spark_mem_disk"], ["chain"],
+                in_process=True, profile=args.profile,
+            )
     else:
         if args.suite in ("decision", "all"):
             doc["decision"] = run_matrix(
@@ -575,13 +621,19 @@ def main(argv: list[str] | None = None) -> int:
                 "obs", "paper", OBS_SYSTEMS, OBS_WORKLOADS,
                 in_process=False, profile=args.profile,
             )
+        if args.suite in ("columnar", "all"):
+            doc["columnar"] = run_matrix(
+                "columnar", "paper", COLUMNAR_SYSTEMS, COLUMNAR_WORKLOADS,
+                in_process=False, profile=args.profile,
+            )
 
     out = args.out or {
         "service": "BENCH_pr6.json",
         "obs": "BENCH_pr7.json",
+        "columnar": "BENCH_pr8.json",
     }.get(args.suite, "BENCH_pr4.json")
     Path(out).write_text(json.dumps(doc, indent=2) + "\n", encoding="utf-8")
-    for suite in ("decision", "dataplane", "faults"):
+    for suite in ("decision", "dataplane", "faults", "columnar"):
         if suite in doc:
             print(
                 f"[bench] {suite}: speedups {doc[suite]['min_speedup']}x - "

@@ -42,6 +42,22 @@ class BlockManager:
         #: ``memory_added`` / ``memory_removed`` for the memory tier,
         #: ``disk_changed`` for disk-only transitions.
         self.residency_listener = None
+        #: the service's ColumnarBackend (None when disabled).  Crossing
+        #: the memory/disk boundary transcodes ColumnarBatch data between
+        #: the memory and spill codecs in place — a codec transition, not
+        #: a re-serialization; list blocks pass through untouched.  Virtual
+        #: I/O charges keep using ``block.size_bytes`` (the modeled or
+        #: admission-time measured size), so traces and decisions are
+        #: independent of the wall-clock transcode.
+        self.columnar = None
+
+    def _to_disk_codec(self, block: Block) -> None:
+        if self.columnar is not None and self.columnar.to_disk_tier(block.data):
+            self._metrics.codec_transitions += 1
+
+    def _to_memory_codec(self, block: Block) -> None:
+        if self.columnar is not None and self.columnar.to_memory_tier(block.data):
+            self._metrics.codec_transitions += 1
 
     def _trace(self, name: str, block: Block) -> None:
         """Emit one cache event on this executor's storage timeline."""
@@ -111,6 +127,7 @@ class BlockManager:
         """Write a freshly produced block straight to disk, charging I/O."""
         self._ensure_disk_space(block.size_bytes)
         self.charge_disk_write(block, tm, include_ser)
+        self._to_disk_codec(block)
         self.disk.put(block)
         self._metrics.record_disk_put(block.size_bytes)
         if self.residency_listener is not None:
@@ -123,6 +140,7 @@ class BlockManager:
         block = self.memory.remove(block_id)
         self._ensure_disk_space(block.size_bytes)
         self.charge_disk_write(block, tm, include_ser)
+        self._to_disk_codec(block)
         self.disk.put(block)
         self._metrics.record_disk_put(block.size_bytes)
         self._metrics.record_eviction_to_disk(self.executor_id, block.size_bytes)
@@ -176,6 +194,7 @@ class BlockManager:
             return None
         self.disk.remove(block_id)
         self._metrics.record_disk_remove(block.size_bytes)
+        self._to_memory_codec(block)
         self.memory.put(block)
         if self.residency_listener is not None:
             self.residency_listener.memory_added(self.executor_id, block)

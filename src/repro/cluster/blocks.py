@@ -4,6 +4,12 @@ A block is one materialized RDD partition held by an executor's block
 manager, identified by ``(rdd_id, split)`` exactly like Spark's
 ``RDDBlockId``.  The block keeps the *real* elements (so cache hits return
 correct data) alongside the *modeled* size used for capacity accounting.
+
+``data`` is a plain record list or — under the columnar backend — a
+:class:`~repro.storage.columnar.ColumnarBatch`, which iterates, indexes,
+and measures length exactly like the list it encodes.  Tier movement may
+transcode a batch between codecs in place; ``size_bytes`` is fixed at
+admission either way.
 """
 
 from __future__ import annotations
@@ -29,7 +35,7 @@ class Block:
     """A materialized partition plus its cache metadata."""
 
     block_id: BlockId
-    data: list[Any]
+    data: Any  # list of records, or a ColumnarBatch encoding them
     size_bytes: float
     ser_factor: float = 1.0
     rdd_name: str = ""

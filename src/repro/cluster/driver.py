@@ -24,6 +24,7 @@ from ..dataflow.fusion import FusionPlanner
 from ..errors import DataflowError
 from ..faults.injector import InjectedTaskFailure
 from ..metrics.collector import TaskMetrics
+from ..storage.columnar import ColumnarBatch
 from ..tracing.tracer import executor_pid
 from .blocks import Block, BlockId, BlockLocation
 from .scheduler import SlotScheduler, TaskSlot
@@ -45,9 +46,15 @@ class Driver:
         cache_manager: "CacheManager",
         fused_execution: bool = True,
         fault_injector: "FaultInjector | None" = None,
+        columnar=None,
     ) -> None:
         self.cluster = cluster
         self.cache_manager = cache_manager
+        #: the service's ColumnarBackend, or None when the columnar plane
+        #: is disabled: partitions offered to the cache get encoded as
+        #: record batches, and the fusion planner dispatches eligible
+        #: chains to its vectorized kernels.
+        self.columnar = columnar
         self.metrics = cluster.metrics
         self.tracer = cluster.tracer
         #: the run's fault injector (None on fault-free runs): drives the
@@ -284,7 +291,12 @@ class Driver:
             )
 
         if candidate and self.cluster.find_block(block_id) is None:
-            if self.fused_execution:
+            if self.columnar is not None:
+                # Encode type-analyzable partitions before they are sized
+                # and offered: memoized even when admission declines, so a
+                # recomputed-after-eviction split stays columnar too.
+                data = self.columnar.encode_for_cache(rdd, data, self.metrics)
+            if self.fused_execution and not rdd.size_model.measured:
                 size = self._task_size_memo.get(block_id)
                 if size is None:
                     self.metrics.bytes_for_memo_misses += 1
@@ -292,6 +304,8 @@ class Driver:
                 else:
                     self.metrics.bytes_for_memo_hits += 1
             else:
+                # Measured size models price the freshly-encoded batch's
+                # real nbytes, which the pre-encode memo cannot know.
                 size = rdd.size_model.bytes_for(rdd.size_weight(data))
             self.cache_manager.handle_cache(executor, rdd, split, data, size, tm)
             if self.cluster.find_block(block_id) is not None:
@@ -429,8 +443,10 @@ class Driver:
 
         n_in = sum(len(d) for d in narrow_data) + sum(len(s) for s in shuffle_data)
         out = rdd.compute(split, narrow_data, shuffle_data)
-        if not isinstance(out, list):
-            raise DataflowError(f"{rdd!r}.compute must return a list")
+        if not isinstance(out, (list, ColumnarBatch)):
+            # Pass-through computes (union, single-parent coalesce) hand a
+            # cached parent partition straight back, which may be a batch.
+            raise DataflowError(f"{rdd!r}.compute must return a partition")
         return self._charge_computed(rdd, split, n_in, out, tm)
 
     def _charge_computed(
@@ -455,7 +471,7 @@ class Driver:
         self.cache_manager.on_partition_computed(
             rdd, split, n_in, len(out), seconds, weight
         )
-        if self.fused_execution:
+        if self.fused_execution and not rdd.size_model.measured:
             self._task_size_memo[(rdd.rdd_id, split)] = rdd.size_model.bytes_for(weight)
         return out
 

@@ -29,6 +29,25 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 _MISSING = object()
 
 
+def _modeled_bytes(size_model, records, n_records: int) -> float:
+    """Shuffle-side modeled bytes, mirroring ``RDD.size_weight`` semantics.
+
+    Measured size models price the collection's real stored bytes when it
+    exposes them (a ColumnarBatch map-side input) and fall back to the
+    per-element estimate otherwise (combined/merged plain lists, or the
+    fetch path's scattered buckets); estimated models price the count.
+    """
+    if size_model.measured:
+        nbytes = getattr(records, "nbytes", None)
+        weight = (
+            float(nbytes)
+            if nbytes is not None
+            else size_model.bytes_per_element * n_records
+        )
+        return size_model.bytes_for(weight)
+    return size_model.bytes_for(n_records)
+
+
 class ShuffleManager:
     """Global catalog of shuffle map outputs (the simulator's shuffle files)."""
 
@@ -66,11 +85,15 @@ class ShuffleManager:
         self,
         dep: ShuffleDependency,
         map_split: int,
-        elements: list[Any],
+        elements: Any,
         tm: "TaskMetrics",
         job_id: int,
     ) -> None:
         """Bucket ``elements`` (key, value pairs) and register the output.
+
+        ``elements`` is a list or a ColumnarBatch — both iterate as (k, v)
+        records, and a batch short-circuits the key-column extraction in
+        ``_bucket_bulk``.
 
         Charges map-side combine happens here when the dependency carries a
         combiner (reduceByKey), shrinking the shuffled bytes like Spark.
@@ -100,7 +123,7 @@ class ShuffleManager:
                 else:
                     bucket.append(kv)
 
-        bytes_out = dep.parent.size_model.bytes_for(len(records))
+        bytes_out = _modeled_bytes(dep.parent.size_model, records, len(records))
         ser = self._config.disk.ser_seconds_per_byte * dep.parent.size_model.ser_factor
         tm.shuffle_write_seconds += bytes_out / self._config.disk.write_bytes_per_sec
         tm.shuffle_write_seconds += bytes_out * ser
@@ -110,7 +133,7 @@ class ShuffleManager:
         self._producer_job.setdefault(dep.shuffle_id, job_id)
 
     @staticmethod
-    def _bucket_bulk(records: list, partitioner: Partitioner) -> dict[int, list] | None:
+    def _bucket_bulk(records, partitioner: Partitioner) -> dict[int, list] | None:
         """Vectorized bucketing for integer keys under the stock partitioners.
 
         The expensive part of the per-record path is the Python call chain
@@ -196,7 +219,7 @@ class ShuffleManager:
                         values.append(v)
         merged_items = list(merged.items())
 
-        bytes_in = dep.parent.size_model.bytes_for(n_records)
+        bytes_in = _modeled_bytes(dep.parent.size_model, None, n_records)
         deser = self._config.disk.deser_seconds_per_byte * dep.parent.size_model.ser_factor
         tm.shuffle_read_seconds += self._config.network.latency_seconds
         tm.shuffle_read_seconds += bytes_in / self._config.network.bytes_per_sec

@@ -8,14 +8,29 @@ that iteration (and therefore policy tie-breaking) is deterministic.
 
 from __future__ import annotations
 
+import math
 from typing import Iterator
 
 from ..errors import StorageError
 from .blocks import Block, BlockId
 
+#: Recompute the running total from scratch after this many mutations, so
+#: any residual rounding the compensated accumulator could not represent
+#: is washed out on a bounded cadence.
+_RECONCILE_INTERVAL = 4096
+
 
 class BlockStore:
-    """An ordered, capacity-limited map of blocks."""
+    """An ordered, capacity-limited map of blocks.
+
+    ``used_bytes`` is tracked with Neumaier compensated summation (plus a
+    reset whenever the store empties and a periodic ``math.fsum``
+    reconcile), so the running total stays exact under arbitrarily long
+    put/remove churn with float sizes — the naive ``+=``/``-=`` pair
+    drifts by about one ulp of the occupancy per operation and needed a
+    capacity-scaled negative-occupancy tolerance; this accounting needs
+    none.
+    """
 
     def __init__(self, capacity_bytes: float, name: str) -> None:
         if capacity_bytes <= 0:
@@ -28,14 +43,32 @@ class BlockStore:
         # filter over the whole store.
         self._by_rdd: dict[int, dict[BlockId, Block]] = {}
         self._used = 0.0
+        self._comp = 0.0  # Neumaier compensation term
+        self._mutations = 0
+
+    def _account(self, delta: float) -> None:
+        total = self._used + delta
+        if abs(self._used) >= abs(delta):
+            self._comp += (self._used - total) + delta
+        else:
+            self._comp += (delta - total) + self._used
+        self._used = total
+        self._mutations += 1
+        if not self._blocks:
+            # An empty store holds exactly zero bytes, definitionally.
+            self._used = 0.0
+            self._comp = 0.0
+        elif self._mutations % _RECONCILE_INTERVAL == 0:
+            self._used = math.fsum(b.size_bytes for b in self._blocks.values())
+            self._comp = 0.0
 
     @property
     def used_bytes(self) -> float:
-        return self._used
+        return self._used + self._comp
 
     @property
     def free_bytes(self) -> float:
-        return self.capacity_bytes - self._used
+        return self.capacity_bytes - self.used_bytes
 
     def fits(self, size_bytes: float) -> bool:
         return size_bytes <= self.free_bytes
@@ -51,7 +84,7 @@ class BlockStore:
             )
         self._blocks[block.block_id] = block
         self._by_rdd.setdefault(block.rdd_id, {})[block.block_id] = block
-        self._used += block.size_bytes
+        self._account(block.size_bytes)
 
     def get(self, block_id: BlockId) -> Block | None:
         return self._blocks.get(block_id)
@@ -69,12 +102,11 @@ class BlockStore:
             per_rdd.pop(block_id, None)
             if not per_rdd:
                 del self._by_rdd[block.rdd_id]
-        self._used -= block.size_bytes
-        # Tolerance scales with capacity: GiB-magnitude float64 arithmetic
-        # accumulates rounding on the order of capacity * eps per op.
-        if self._used < -max(1e-6, 1e-6 * self.capacity_bytes):
+        self._account(-block.size_bytes)
+        # Compensated accounting is exact up to one rounding of the final
+        # sum; anything visibly negative is a real bookkeeping bug.
+        if self.used_bytes < -1e-9 * max(self.capacity_bytes, 1.0):
             raise StorageError(f"{self.name}: negative occupancy after remove")
-        self._used = max(0.0, self._used)
         return block
 
     def clear(self) -> None:
@@ -82,6 +114,8 @@ class BlockStore:
         self._blocks.clear()
         self._by_rdd.clear()
         self._used = 0.0
+        self._comp = 0.0
+        self._mutations = 0
 
     def blocks(self) -> Iterator[Block]:
         """Blocks in insertion order.
@@ -110,5 +144,5 @@ class BlockStore:
     def __repr__(self) -> str:
         return (
             f"<{self.name} {len(self._blocks)} blocks "
-            f"{self._used / 1e6:.1f}/{self.capacity_bytes / 1e6:.1f} MB>"
+            f"{self.used_bytes / 1e6:.1f}/{self.capacity_bytes / 1e6:.1f} MB>"
         )

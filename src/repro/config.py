@@ -218,6 +218,9 @@ class BlazeConfig:
       (decisions bit-identical either way);
     - ``fused_execution`` — fused data plane (observationally identical
       either way);
+    - ``columnar_backend`` — columnar partition storage + vectorized
+      fused kernels (traces byte-identical either way; see
+      ``repro.storage`` and docs/performance.md);
     - ``fault_injection`` — deterministic fault injection (off by
       default; a FaultSchedule is inert without it);
     - ``service.dedup_enabled`` — cross-application lineage dedup on the
@@ -270,6 +273,22 @@ class BlazeConfig:
     # data-plane cells of `scripts/bench.py`.
     fused_execution: bool = True
 
+    # Columnar data plane (the ``repro.storage`` package).  Partitions
+    # whose records are type-analyzable (numeric scalars, fixed tuples of
+    # scalars, int-keyed pairs) are stored as chunked numpy record batches
+    # at cache time, element-wise fused chains over them execute as
+    # batch-at-a-time vectorized kernels (with per-split fallback to the
+    # iterator pipeline), and spill/load becomes a codec transition
+    # between ``columnar_codec`` (memory tier) and ``columnar_spill_codec``
+    # (disk tier).  Execution is observationally identical either way —
+    # every preset's JSONL trace is byte-identical columnar vs list — so
+    # the flag is a kill switch and the baseline for the columnar cells of
+    # `scripts/bench.py`.
+    columnar_backend: bool = True
+    columnar_chunk_rows: int = 4096
+    columnar_codec: str = "none"
+    columnar_spill_codec: str = "zlib"
+
     # Deterministic fault injection (the ``repro.faults`` subsystem).  The
     # kill switch defaults to off: a FaultSchedule handed to a context is
     # inert unless ``fault_injection`` is raised.  The retry knobs bound
@@ -296,6 +315,19 @@ class BlazeConfig:
             raise ConfigError("profiling_sample_fraction must be in (0, 1]")
         if self.ilp_refinement_rounds < 1:
             raise ConfigError("ilp_refinement_rounds must be >= 1")
+        if self.columnar_chunk_rows < 1:
+            raise ConfigError("columnar_chunk_rows must be >= 1")
+        # Late import: repro.storage depends only on numpy/stdlib, but
+        # config must stay importable before the storage registry is.
+        from .storage.codecs import available_codecs, is_known_codec
+
+        for codec_field in ("columnar_codec", "columnar_spill_codec"):
+            name = getattr(self, codec_field)
+            if not is_known_codec(name):
+                raise ConfigError(
+                    f"{codec_field}={name!r} is not a registered codec "
+                    f"(available: {available_codecs()})"
+                )
         if self.fault_max_task_retries < 1:
             raise ConfigError("fault_max_task_retries must be >= 1")
         if self.fault_retry_backoff_seconds < 0:

@@ -42,6 +42,7 @@ from typing import TYPE_CHECKING, Any, Callable, Iterator
 
 import numpy as np
 
+from ..storage.columnar import ColumnarBatch
 from ..tracing.tracer import executor_pid
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -179,13 +180,21 @@ class FusionPlanner:
         split: int,
         executor: "Executor",
         tm: "TaskMetrics",
-    ) -> tuple[list, int]:
+    ) -> tuple[Any, int]:
         """Run the chain as one pass; returns (top partition, top n_in).
 
         Event/charge ordering replays the unfused recursion exactly:
         ``cache.miss`` instants top-down, then the source's own events,
         then per-intermediate compute charges and profiling callbacks
         bottom-up.  The caller charges the top itself.
+
+        When the source arrives as a :class:`ColumnarBatch` and the
+        columnar backend is enabled, the chain first attempts the
+        vectorized kernel path (``repro.storage.kernels``); a kernel
+        fallback lands on the iterator pipeline below before any charge
+        or event fires, so the two paths are observationally
+        indistinguishable — per-stage cardinalities feed one shared
+        charge loop with identical float math either way.
         """
         driver = self.driver
         tracer = driver.tracer
@@ -205,56 +214,86 @@ class FusionPlanner:
 
         src = driver.materialize(chain.source, split, executor, tm)
 
-        # Build the pipeline bottom-up.  Output counts are only measured
-        # where they are not derivable (filter / flat_map); plain maps use
-        # the C-level `map` iterator and inherit their input count.
-        stages = mids[::-1]
-        counts: list[list[int] | None] = []
-        stream: Iterator = iter(src)
-        for mid in stages:
-            kind, fn = mid.elem_op
-            if kind == "map":
-                counts.append(None)
-                stream = map(fn, stream)
-            elif kind == "filter":
-                cell = [0]
-                counts.append(cell)
-                stream = _counted_filter(fn, stream, cell)
-            else:  # flat_map
-                cell = [0]
-                counts.append(cell)
-                stream = _counted_flat_map(fn, stream, cell)
-
+        stages = list(mids[::-1])
         top = chain.top
-        if top.elem_op is not None:
-            kind, fn = top.elem_op
-            if kind == "map":
-                out = list(map(fn, stream))
-            elif kind == "filter":
-                out = [x for x in stream if fn(x)]
-            else:
-                out = [y for x in stream for y in fn(x)]
-        else:  # streamable map_partitions body (single-pass consumer)
-            produced = top._fn(split, stream)
-            out = produced if type(produced) is list else list(produced)
-            _exhaust(stream)  # the unfused path always computes everything
+        out: Any = None
+        stage_n_outs: list[int] | None = None
 
-        # Resolve per-intermediate output counts, then charge + observe in
-        # the unfused (deepest-first) order with identical float math.
+        # Vectorized kernel path: batch-at-a-time numpy execution of the
+        # whole chain.  run_chain returns None (having touched nothing
+        # observable) whenever the chain can't be vectorized faithfully.
+        backend = driver.columnar
+        if backend is not None and isinstance(src, ColumnarBatch):
+            res = backend.kernels.run_chain(chain, stages, src, self.metrics)
+            if res is not None:
+                body, stage_n_outs = res
+                if top.elem_op is not None:
+                    # A custom size weigher must see the exact list the
+                    # unfused path would hand it, so decode for those.
+                    out = body if top.size_weigher is None else list(body)
+                else:  # streamable map_partitions body over the mids' batch
+                    produced = top._fn(split, iter(body))
+                    out = produced if type(produced) is list else list(produced)
+                self.metrics.kernel_partitions += 1
+
+        if out is None:
+            # Iterator pipeline.  Output counts are only measured where
+            # they are not derivable (filter / flat_map); plain maps use
+            # the C-level `map` iterator and inherit their input count.
+            counts: list[list[int] | None] = []
+            stream: Iterator = iter(src)
+            for mid in stages:
+                kind, fn = mid.elem_op
+                if kind == "map":
+                    counts.append(None)
+                    stream = map(fn, stream)
+                elif kind == "filter":
+                    cell = [0]
+                    counts.append(cell)
+                    stream = _counted_filter(fn, stream, cell)
+                else:  # flat_map
+                    cell = [0]
+                    counts.append(cell)
+                    stream = _counted_flat_map(fn, stream, cell)
+
+            if top.elem_op is not None:
+                kind, fn = top.elem_op
+                if kind == "map":
+                    out = list(map(fn, stream))
+                elif kind == "filter":
+                    out = [x for x in stream if fn(x)]
+                else:
+                    out = [y for x in stream for y in fn(x)]
+            else:  # streamable map_partitions body (single-pass consumer)
+                produced = top._fn(split, stream)
+                out = produced if type(produced) is list else list(produced)
+                _exhaust(stream)  # the unfused path always computes everything
+
+            stage_n_outs = []
+            running = len(src)
+            for j in range(len(stages)):
+                cell = counts[j]
+                if cell is not None:
+                    running = cell[0]
+                stage_n_outs.append(running)
+
+        # Charge + observe in the unfused (deepest-first) order with
+        # identical float math, whichever path produced the counts.
         recovery = driver._recovery_depth > 0
         on_computed = cm.on_partition_computed
         n_in = len(src)
-        running = n_in
-        for j, mid in enumerate(stages):
-            cell = counts[j]
-            if cell is not None:
-                running = cell[0]
-            n_out = running
+        for mid, n_out in zip(stages, stage_n_outs):
             seconds = mid.op_cost.seconds(n_in, n_out)
             tm.compute_seconds += seconds
             if recovery:
                 tm.recompute_seconds += seconds
-            on_computed(mid, split, n_in, n_out, seconds, float(n_out))
+            if mid.size_model.measured:
+                # What the unfused path's size_weight returns for the
+                # list intermediate a measured mid would materialize.
+                weight = mid.size_model.bytes_per_element * n_out
+            else:
+                weight = float(n_out)
+            on_computed(mid, split, n_in, n_out, seconds, weight)
             n_in = n_out
 
         self.metrics.partitions_pipelined += 1
@@ -287,18 +326,32 @@ def _exhaust(it: Iterator) -> None:
 # ----------------------------------------------------------------------
 # Bulk integer-key extraction (used by the shuffle write fast path)
 # ----------------------------------------------------------------------
-def int_keys_of(records: list) -> "np.ndarray | None":
-    """The keys of ``records`` as an int array, or None if not all ints.
+def int_keys_of(records) -> "np.ndarray | None":
+    """The keys of ``records`` as an int64 array, or None if ineligible.
 
-    Uses ``np.array`` dtype inference so floats, strings, overflowing
-    ints, and tuple keys all land on the (exact) pure-Python fallback —
-    only a genuine integer key column takes the vectorized path, where
-    modulo/compare semantics match ``_stable_hash``'s int passthrough.
+    Eligibility is decided by explicit *Python type* checks, not numpy
+    dtype inference: the key column vectorizes only when every key is a
+    genuine ``int`` (so modulo/compare semantics match ``_stable_hash``'s
+    int passthrough) that fits in int64.  Everything else — ``bool`` keys
+    (an int subclass numpy would happily cast to 0/1 while ``_stable_hash``
+    sees the bool), mixed int/float columns (inference would promote the
+    ints to float64), ints outside int64 range (silent wraparound under
+    older inference rules), floats, strings, tuples, ragged records —
+    lands on the exact pure-Python fallback.
+
+    A :class:`ColumnarBatch` holding int-keyed tuples short-circuits all
+    of that: its key column is already a validated int64 array.
     """
+    key_column = getattr(records, "int_key_column", None)
+    if key_column is not None:
+        return key_column()
     try:
-        keys = np.array([r[0] for r in records])
-    except (TypeError, ValueError, OverflowError):  # ragged / unhashable
+        keys = [r[0] for r in records]
+    except (TypeError, IndexError, KeyError):  # non-subscriptable / empty keys
         return None
-    if keys.ndim != 1 or keys.dtype.kind != "i":
+    if set(map(type, keys)) != {int}:
         return None
-    return keys
+    try:
+        return np.asarray(keys, dtype=np.int64)
+    except (OverflowError, TypeError, ValueError):  # outside int64 range
+        return None

@@ -136,9 +136,23 @@ class RDD:
         self.size_weigher = weigher
         return self
 
-    def size_weight(self, data: list) -> float:
-        """The size-model weight of a materialized partition."""
-        return float(self.size_weigher(data)) if self.size_weigher else float(len(data))
+    def size_weight(self, data) -> float:
+        """The size-model weight of a materialized partition.
+
+        Custom weighers always win.  Under a measured size model the
+        weight is the stored representation's real byte count when it
+        exposes one (``ColumnarBatch.nbytes``); list partitions fall back
+        to the per-element estimate so a measured model degrades gracefully
+        on non-analyzable data.
+        """
+        if self.size_weigher is not None:
+            return float(self.size_weigher(data))
+        if self.size_model.measured:
+            nbytes = getattr(data, "nbytes", None)
+            if nbytes is not None:
+                return float(nbytes)
+            return self.size_model.bytes_per_element * len(data)
+        return float(len(data))
 
     def cache(self) -> "RDD":
         """Annotate this dataset to be cached (Spark ``cache()`` semantics).

@@ -172,6 +172,18 @@ class MetricsCollector:
         self.partitions_pipelined: int = 0
         self.bytes_for_memo_hits: int = 0
         self.bytes_for_memo_misses: int = 0
+        # Columnar data-plane counters (``repro.storage``): partitions
+        # encoded as record batches at cache time (and structural
+        # rejections), fused chains compiled to vectorized kernels, the
+        # partition executions those kernels handled (vs per-split
+        # fallbacks to the iterator pipeline), and memory<->disk codec
+        # transitions on tier movement.
+        self.columnar_batches_encoded: int = 0
+        self.columnar_encode_rejected: int = 0
+        self.kernel_chains_compiled: int = 0
+        self.kernel_partitions: int = 0
+        self.kernel_fallbacks: int = 0
+        self.codec_transitions: int = 0
         # Fault-injection and recovery counters (the ``repro.faults``
         # layer).  ``stage_resubmits`` also counts fault-free shuffle
         # regeneration (retention cleanup) — stage re-execution is the
@@ -281,6 +293,12 @@ class MetricsCollector:
             "partitions_pipelined": self.partitions_pipelined,
             "bytes_for_memo_hits": self.bytes_for_memo_hits,
             "bytes_for_memo_misses": self.bytes_for_memo_misses,
+            "columnar_batches_encoded": self.columnar_batches_encoded,
+            "columnar_encode_rejected": self.columnar_encode_rejected,
+            "kernel_chains_compiled": self.kernel_chains_compiled,
+            "kernel_partitions": self.kernel_partitions,
+            "kernel_fallbacks": self.kernel_fallbacks,
+            "codec_transitions": self.codec_transitions,
         }
 
     def fault_counters(self) -> dict[str, float]:

@@ -124,6 +124,26 @@ class JobService:
         self.cluster = Cluster(self.config, tracer=tracer)
         self.cluster.shuffle.fast_path = self.fused_execution
         self.cluster.tenancy = TenantRegistry(service_config.tenant_quotas)
+        #: columnar data plane (``repro.storage``): one backend shared by
+        #: the driver (encode at cache time, vectorized fused kernels) and
+        #: every executor's block manager (memory<->disk codec
+        #: transitions).  ``BlazeConfig.columnar_backend`` is the kill
+        #: switch; traces are byte-identical either way.
+        self.columnar = None
+        columnar_on = (
+            blaze_config.columnar_backend if blaze_config is not None else True
+        )
+        if columnar_on:
+            from ..storage.backend import ColumnarBackend
+
+            cfg = blaze_config if blaze_config is not None else BlazeConfig()
+            self.columnar = ColumnarBackend(
+                chunk_rows=cfg.columnar_chunk_rows,
+                codec=cfg.columnar_codec,
+                spill_codec=cfg.columnar_spill_codec,
+            )
+            for ex in self.cluster.executors:
+                ex.bm.columnar = self.columnar
         # Observability hub: must exist before the driver attaches the
         # cache manager (attach() binds the audit log from cluster.obs).
         # Pure reader — enabling it cannot change a trace or a decision.
@@ -146,6 +166,7 @@ class JobService:
             self.cluster, cache_manager,
             fused_execution=self.fused_execution,
             fault_injector=self.fault_injector,
+            columnar=self.columnar,
         )
         self.cache_manager = cache_manager
 

@@ -1,0 +1,80 @@
+"""ColumnarBackend: the per-service policy object for the columnar plane.
+
+One instance is built by the job service from ``BlazeConfig`` and handed
+to the driver (kernel dispatch + encode-at-materialize) and to every
+executor's BlockManager (tier codec transitions) — the same wiring shape
+as the shuffle fast-path flag.  Holding it here keeps ``repro.storage``
+free of engine imports: the backend speaks in rdds and metrics objects
+only through duck-typed attributes.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .codecs import get_codec
+from .columnar import ColumnarBatch
+from .kernels import KernelEngine
+
+
+class ColumnarBackend:
+    """Knobs + encode memo + kernel engine for one service's data plane."""
+
+    def __init__(
+        self,
+        chunk_rows: int = 4096,
+        codec: str = "none",
+        spill_codec: str = "zlib",
+    ) -> None:
+        # Fail fast on unknown codecs (config validation routes here too).
+        get_codec(codec)
+        get_codec(spill_codec)
+        self.chunk_rows = int(chunk_rows)
+        self.codec = codec
+        self.spill_codec = spill_codec
+        self.kernels = KernelEngine(chunk_rows=self.chunk_rows, codec=codec)
+        # rdd_id -> structural verdict.  True means "this rdd has produced
+        # an encodable partition" (heterogeneous splits may still decline
+        # individually); False means a non-empty partition was structurally
+        # rejected, so stop paying the analysis pass for this rdd.
+        self._eligibility: dict[int, bool] = {}
+
+    def encode_for_cache(self, rdd: Any, data: Any, metrics: Any = None) -> Any:
+        """Encode a partition about to be offered to the cache, if analyzable.
+
+        Returns the ColumnarBatch, or `data` unchanged when it is already
+        a batch, the rdd has a custom size weigher (weighers see records,
+        not batches — modeled sizes must not change), or the records are
+        not type-analyzable.
+        """
+        if type(data) is not list:
+            return data
+        if rdd.size_weigher is not None:
+            return data
+        if self._eligibility.get(rdd.rdd_id) is False:
+            return data
+        batch = ColumnarBatch.from_records(data, self.chunk_rows, self.codec)
+        if batch is None:
+            if data:  # empty partitions stay undecided
+                self._eligibility[rdd.rdd_id] = False
+                if metrics is not None:
+                    metrics.columnar_encode_rejected += 1
+            return data
+        self._eligibility[rdd.rdd_id] = True
+        if metrics is not None:
+            metrics.columnar_batches_encoded += 1
+        return batch
+
+    # -- tier transitions ----------------------------------------------
+
+    def to_disk_tier(self, data: Any) -> bool:
+        """Transcode a batch to the spill codec; True if a transition ran."""
+        if isinstance(data, ColumnarBatch):
+            return data.transcode(self.spill_codec)
+        return False
+
+    def to_memory_tier(self, data: Any) -> bool:
+        """Transcode a batch back to the memory codec on promotion."""
+        if isinstance(data, ColumnarBatch):
+            return data.transcode(self.codec)
+        return False

@@ -1,0 +1,127 @@
+"""Pluggable per-chunk codecs for columnar partition storage.
+
+A codec turns one column chunk (a 1-D numpy array) into a stored payload
+and back.  The null codec stores the array itself (zero copy); ``zlib``
+stores compressed bytes.  Either way the *stored* payload is what
+``ColumnarBatch.nbytes`` measures, so a compressed chunk reports its
+compressed size — which is how the memory and disk tiers get to share one
+representation: a spill is a codec transition, not a re-serialization.
+
+The registry is open: :func:`register_codec` accepts anything implementing
+the :class:`Codec` protocol (a blosc-backed codec registers itself
+automatically when the optional ``blosc`` package is importable; nothing
+here requires it).
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Any
+
+import numpy as np
+
+
+class Codec:
+    """Encode/decode one column chunk.  Subclass and register to extend."""
+
+    name = "abstract"
+
+    def encode(self, arr: np.ndarray) -> Any:
+        raise NotImplementedError
+
+    def decode(self, payload: Any, dtype: np.dtype, n_rows: int) -> np.ndarray:
+        raise NotImplementedError
+
+    def payload_nbytes(self, payload: Any) -> int:
+        raise NotImplementedError
+
+
+class NullCodec(Codec):
+    """Store the array as-is (the memory-tier default)."""
+
+    name = "none"
+
+    def encode(self, arr: np.ndarray) -> np.ndarray:
+        return arr
+
+    def decode(self, payload: np.ndarray, dtype: np.dtype, n_rows: int) -> np.ndarray:
+        return payload
+
+    def payload_nbytes(self, payload: np.ndarray) -> int:
+        return int(payload.nbytes)
+
+
+class ZlibCodec(Codec):
+    """DEFLATE-compressed chunk bytes (stdlib; the spill-tier default).
+
+    Level 1 favors throughput: chunk payloads are small and the win over
+    higher levels is marginal on numeric columns.
+    """
+
+    name = "zlib"
+
+    def __init__(self, level: int = 1) -> None:
+        self.level = level
+
+    def encode(self, arr: np.ndarray) -> bytes:
+        return zlib.compress(np.ascontiguousarray(arr).tobytes(), self.level)
+
+    def decode(self, payload: bytes, dtype: np.dtype, n_rows: int) -> np.ndarray:
+        # frombuffer yields a read-only view of the decompressed bytes —
+        # exactly right for immutable partitions.
+        return np.frombuffer(zlib.decompress(payload), dtype=dtype, count=n_rows)
+
+    def payload_nbytes(self, payload: bytes) -> int:
+        return len(payload)
+
+
+_CODECS: dict[str, Codec] = {}
+
+
+def register_codec(codec: Codec) -> Codec:
+    """Add (or replace) a codec in the registry; returns it for chaining."""
+    _CODECS[codec.name] = codec
+    return codec
+
+
+def get_codec(name: str) -> Codec:
+    try:
+        return _CODECS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown columnar codec {name!r} (available: {available_codecs()})"
+        ) from None
+
+
+def is_known_codec(name: str) -> bool:
+    return name in _CODECS
+
+
+def available_codecs() -> list[str]:
+    return sorted(_CODECS)
+
+
+register_codec(NullCodec())
+register_codec(ZlibCodec())
+
+try:  # pragma: no cover - optional dependency, never installed here
+    import blosc  # type: ignore[import-not-found]
+
+    class BloscCodec(Codec):
+        """blosc-compressed chunks (shuffle + lz4), when blosc is present."""
+
+        name = "blosc"
+
+        def encode(self, arr: np.ndarray) -> bytes:
+            arr = np.ascontiguousarray(arr)
+            return blosc.compress(arr.tobytes(), typesize=arr.dtype.itemsize)
+
+        def decode(self, payload: bytes, dtype: np.dtype, n_rows: int) -> np.ndarray:
+            return np.frombuffer(blosc.decompress(payload), dtype=dtype, count=n_rows)
+
+        def payload_nbytes(self, payload: bytes) -> int:
+            return len(payload)
+
+    register_codec(BloscCodec())
+except ImportError:
+    pass

@@ -66,3 +66,44 @@ def test_contains_and_len():
 def test_invalid_capacity():
     with pytest.raises(StorageError):
         BlockStore(0, "test")
+
+
+def test_float_accounting_survives_churn():
+    """Regression: long put/remove churn with awkward float sizes must not
+    drift ``used_bytes`` away from the exact sum of resident blocks.
+
+    Naive ``+=``/``-=`` accumulation loses low-order bits once sizes span
+    magnitudes (0.1-byte blocks next to multi-MiB ones), eventually leaving
+    phantom occupancy in an empty store or a small negative total.  The
+    store keeps a compensated running sum and reconciles periodically, so
+    after tens of thousands of mutations the total must still match
+    ``math.fsum`` over the live blocks to float equality.
+    """
+    import math
+    import random
+
+    rng = random.Random(0xB10C)
+    store = BlockStore(1e12, "churn")
+    resident: dict[tuple[int, int], float] = {}
+    for step in range(30_000):
+        if resident and rng.random() < 0.5:
+            bid = rng.choice(list(resident))
+            store.remove(bid)
+            del resident[bid]
+        else:
+            bid = (rng.randrange(1 << 20), rng.randrange(1 << 10))
+            if bid in resident:
+                continue
+            size = rng.choice([0.1, 1.7, 3.3333, 1e-3, 123456.789, 7.5e6]) * (
+                1.0 + rng.random()
+            )
+            store.put(Block(block_id=bid, data=[1], size_bytes=size))
+            resident[bid] = size
+        if step % 997 == 0:
+            assert store.used_bytes >= 0.0
+            assert store.used_bytes == pytest.approx(
+                math.fsum(resident.values()), rel=1e-12, abs=1e-9
+            )
+    for bid in list(resident):
+        store.remove(bid)
+    assert store.used_bytes == 0.0  # exact, not approximate

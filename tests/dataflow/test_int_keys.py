@@ -1,0 +1,88 @@
+"""``int_keys_of`` eligibility: exact Python-type gating for the bulk paths.
+
+The vectorized shuffle bucketing and the columnar kernels both lean on
+this helper, so a false positive here silently changes partitioning
+semantics (``_stable_hash`` sees the *Python* value, numpy would coerce).
+Every ineligible shape must land on ``None`` — the exact per-record path —
+rather than a lossily-cast array.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dataflow.fusion import int_keys_of
+from repro.storage.columnar import ColumnarBatch
+
+
+def test_plain_int_keys_vectorize():
+    keys = int_keys_of([(3, "a"), (-7, "b"), (0, "c")])
+    assert keys is not None
+    assert keys.dtype == np.int64
+    assert keys.tolist() == [3, -7, 0]
+
+
+def test_negative_and_large_int64_keys_are_exact():
+    lo, hi = -(2**63), 2**63 - 1
+    keys = int_keys_of([(lo, 1), (hi, 2), (-1, 3)])
+    assert keys is not None
+    assert keys.tolist() == [lo, hi, -1]
+
+
+def test_bool_keys_fall_back():
+    # bool is an int subclass; numpy would cast True -> 1 while
+    # _stable_hash hashes the bool itself.  Must not vectorize.
+    assert int_keys_of([(True, 1), (False, 2)]) is None
+
+
+def test_mixed_bool_and_int_keys_fall_back():
+    assert int_keys_of([(1, "a"), (True, "b")]) is None
+
+
+def test_mixed_int_float_keys_fall_back():
+    # inference would promote the ints to float64 (lossy above 2**53)
+    assert int_keys_of([(1, "a"), (2.0, "b")]) is None
+
+
+def test_out_of_int64_range_keys_fall_back():
+    assert int_keys_of([(2**63, "a"), (1, "b")]) is None
+    assert int_keys_of([(-(2**63) - 1, "a")]) is None
+    assert int_keys_of([(10**30, "a")]) is None
+
+
+def test_float_keys_fall_back():
+    assert int_keys_of([(1.5, "a"), (2.5, "b")]) is None
+
+
+def test_string_keys_fall_back():
+    assert int_keys_of([("k", 1), ("j", 2)]) is None
+
+
+def test_non_subscriptable_records_fall_back():
+    assert int_keys_of([1, 2, 3]) is None
+
+
+def test_empty_records_fall_back():
+    assert int_keys_of([]) is None
+
+
+def test_columnar_batch_int_keys_short_circuit():
+    batch = ColumnarBatch.from_records([(5, 1.0), (6, 2.0), (-9, 3.0)])
+    assert batch is not None
+    keys = int_keys_of(batch)
+    assert keys is not None
+    assert keys.dtype == np.int64
+    assert keys.tolist() == [5, 6, -9]
+
+
+def test_columnar_batch_float_keys_fall_back():
+    batch = ColumnarBatch.from_records([(1.5, 1), (2.5, 2)])
+    assert batch is not None
+    assert int_keys_of(batch) is None
+
+
+def test_columnar_batch_scalar_layout_falls_back():
+    # scalar (non-tuple) batches have no key column at all
+    batch = ColumnarBatch.from_records([1, 2, 3])
+    assert batch is not None
+    assert int_keys_of(batch) is None

@@ -18,7 +18,13 @@ layers are actually engaged:
 - obs suite: the recording layer (audit log + sampler) is engaged on the
   obs-on side, fully dead on the obs-off side, leaves every observable
   (evictions, ILP nodes, virtual makespan) untouched, and costs < 10%
-  wall-clock overhead.
+  wall-clock overhead;
+- columnar suite: the columnar side encodes record batches and runs
+  fused chains through the vectorized kernels, the list side reports
+  every columnar counter at zero, and evictions/ILP nodes are identical
+  between the planes.  (No speedup bar at smoke scale — tiny partitions
+  sit below the regime the kernels target; ``BENCH_pr8.json`` carries
+  the paper-scale numbers.)
 """
 
 import json
@@ -159,6 +165,30 @@ def test_bench_smoke_obs(tmp_path):
         retried = [c["overhead_pct"] for c in doc["obs"]["cells"]]
         overheads = [min(a, b) for a, b in zip(overheads, retried)]
     assert max(overheads) < 10.0, f"obs overhead {overheads}% exceeds the 10% bar"
+
+
+def test_bench_smoke_columnar(tmp_path):
+    doc = _run_smoke(tmp_path, "--suite", "columnar")
+    columnar = doc["columnar"]
+    assert columnar["scale"] == "tiny"
+    assert columnar["cells"], "smoke must produce at least one columnar cell"
+    for cell in columnar["cells"]:
+        lst, col = cell["list"], cell["columnar"]
+        # Every measurement self-identifies its data plane.
+        assert lst["backend"] == "list" and col["backend"] == "columnar"
+        assert col["codec"] in ("none", "zlib") and col["spill_codec"]
+        lc, cc = lst["counters"], col["counters"]
+        # The columnar plane is engaged ...
+        assert cc["columnar_batches_encoded"] > 0
+        assert cc["kernel_chains_compiled"] > 0
+        assert cc["kernel_partitions"] > 0
+        # ... and fully dead under the kill switch.
+        assert lc["columnar_batches_encoded"] == lc["kernel_partitions"] == 0
+        assert lc["kernel_chains_compiled"] == lc["codec_transitions"] == 0
+        # Observables the decision layers see are identical.
+        assert lst["evictions"] == col["evictions"]
+        assert lc["ilp_nodes"] == cc["ilp_nodes"]
+        assert cell["observables_identical"] is True
 
 
 def test_bench_smoke_profile_mode(tmp_path):

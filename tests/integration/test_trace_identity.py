@@ -36,8 +36,15 @@ def _pressure_cluster() -> ClusterConfig:
 
 def _trace(system: str, incremental: bool = True, fused: bool = True,
            workload: str = "pr", schedule: FaultSchedule | None = None,
-           obs: bool = False) -> str:
-    wl = replace_params(make_workload(workload, "tiny"), num_partitions=24)
+           obs: bool = False, columnar: bool = True,
+           workload_overrides: dict | None = None,
+           require_evictions: bool = True,
+           min_kernel_partitions: int = 0) -> str:
+    wl = replace_params(
+        make_workload(workload, "tiny"),
+        num_partitions=24,
+        **(workload_overrides or {}),
+    )
     tracer = InMemoryTracer()
     result = run_experiment(
         system,
@@ -49,11 +56,15 @@ def _trace(system: str, incremental: bool = True, fused: bool = True,
             incremental_decisions=incremental, fused_execution=fused,
             fault_injection=schedule is not None,
             obs=ObsConfig(enabled=obs),
+            columnar_backend=columnar,
         ),
         tracer=tracer,
         fault_schedule=schedule,
     )
-    assert result.eviction_count > 0, "config must generate memory pressure"
+    if require_evictions:
+        assert result.eviction_count > 0, "config must generate memory pressure"
+    kernel_partitions = result.report.decision_counters["kernel_partitions"]
+    assert kernel_partitions >= min_kernel_partitions, "kernels must engage"
     if schedule is not None:
         assert result.report.fault_counters["faults_injected"] > 0
     return to_jsonl(tracer.events)
@@ -120,3 +131,41 @@ from repro.systems.presets import SYSTEMS  # noqa: E402
 @pytest.mark.parametrize("system", sorted(SYSTEMS))
 def test_obs_trace_is_byte_identical(system):
     assert _trace(system, obs=False) == _trace(system, obs=True)
+
+
+# The columnar backend (PR 8) stores analyzable partitions as numpy record
+# batches and runs fused chains through vectorized kernels, yet every
+# preset must emit the byte-exact trace with ``columnar_backend`` on vs.
+# off: encode happens after sizing-relevant weights are fixed, kernels
+# replay the iterator pipeline's charges with identical float math, and
+# tier movement only transcodes codecs.
+@pytest.mark.parametrize("system", sorted(SYSTEMS))
+def test_columnar_trace_is_byte_identical(system):
+    assert _trace(system, columnar=False) == _trace(system, columnar=True)
+
+
+# PageRank's adjacency partitions exercise fallback; the chain workload's
+# (int, float) pairs exercise the kernels themselves, so cover both.  The
+# inflated record bytes overflow the squeezed store, driving the cached
+# source through reject/admit-to-disk/disk-read transitions — i.e. the
+# spill-codec path — while the action results pin value identity; the
+# non-vacuity condition here is kernel engagement on the columnar side.
+@pytest.mark.parametrize("system", ["blaze", "costaware", "spark_mem_disk"])
+def test_columnar_chain_trace_is_byte_identical(system):
+    overrides = {"record_bytes": 0.3 * MiB}
+    assert _trace(
+        system, workload="chain", columnar=False,
+        workload_overrides=overrides, require_evictions=False,
+    ) == _trace(
+        system, workload="chain", columnar=True,
+        workload_overrides=overrides, require_evictions=False,
+        min_kernel_partitions=1,
+    )
+
+
+@pytest.mark.parametrize("system", ["blaze", "spark_mem_disk"])
+def test_columnar_faulted_trace_is_byte_identical(system):
+    schedule = _fault_schedule()
+    assert _trace(system, schedule=schedule, columnar=False) == _trace(
+        system, schedule=schedule, columnar=True
+    )
