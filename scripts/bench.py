@@ -42,7 +42,21 @@ Six suites, one script:
   batches + vectorized fused kernels).  Kernel engagement, encode
   counts, and codec transitions ride the counters; evictions and ILP
   node counts must match between the modes
-  (``observables_identical``).  Writes ``BENCH_pr8.json`` by default.
+  (``observables_identical``).  Writes ``BENCH_pr8.json`` by default;
+- **scale** — the sharded-engine sweep (PR 9): executors x partitions
+  cells (up to 1024 executors / 1M partitions) on a synthetic iterative
+  chain and a synthetic PageRank, each run single-process, sharded with
+  the in-process :class:`LocalShardTransport`, and sharded across
+  ``multiprocessing`` workers.  The cached working set is modeled past
+  the memory store, so each iteration re-derives churned partitions —
+  compute the single-process engine pays every time and shard workers'
+  retained stores pay once.  Full mode runs every measurement in its own
+  subprocess under a wall-clock budget; a mode that exceeds it is
+  recorded as ``dnf`` with speedups computed against the budget floor.
+  Eviction and ILP-node counts must match across all three modes
+  (``observables_identical`` — the sharded engine is observationally
+  invisible, enforced byte-for-byte by the trace-identity suite).
+  Writes ``BENCH_pr9.json`` by default.
 
 Every measurement also records its data-plane identity — ``backend``
 ("columnar" or "list"), ``codec``, and ``spill_codec`` — so cells from
@@ -174,6 +188,27 @@ OBS_WORKLOADS = ["pr"]
 #: columnar suite (PR 8): kernel-eligible chains, list vs columnar plane
 COLUMNAR_SYSTEMS = ["blaze", "costaware", "spark_mem_disk"]
 COLUMNAR_WORKLOADS = ["chain"]
+#: scale suite (PR 9): executors x partitions sweep, single vs sharded.
+#: Each cell is (workload, executors, partitions, iterations); the
+#: chain/pagerank shapes are synthetic (built in this module) so the
+#: heavy per-element closures ship to multiprocessing shard workers.
+SCALE_MODES = ["single", "sharded_local", "sharded_process"]
+SCALE_CELLS = [
+    ("chain", 16, 512, 5),
+    ("chain", 64, 1024, 5),
+    ("chain", 256, 2048, 5),
+    ("pagerank", 64, 1024, 4),
+    ("pagerank", 256, 2048, 4),
+    # The single-process engine is expected to blow the budget (dnf) or
+    # finish >=2x slower here; the sharded modes must complete.
+    ("chain", 1024, 8192, 6),
+    # Width probe: a million partitions through one superstep.  No reuse
+    # to exploit, so this measures pure dispatch overhead at full width.
+    ("chain", 1024, 1_048_576, 1),
+]
+SCALE_NUM_SHARDS = 4
+#: per-measurement wall-clock budget (full mode, subprocess-enforced)
+SCALE_TIME_BUDGET_S = 240.0
 #: service suite (PR 6): the multi-tenant application stream per preset
 SERVICE_SYSTEMS = ["blaze", "spark_mem_disk", "spark_mem_only", "spark_lrc"]
 SERVICE_WORKLOAD = "pr"
@@ -458,6 +493,183 @@ def run_cell_subprocess(**spec) -> dict:
     return json.loads(proc.stdout)
 
 
+# ----------------------------------------------------------------------
+# Scale suite (PR 9): the sharded engine vs the single-process event loop
+# ----------------------------------------------------------------------
+def _scale_chain(ctx, partitions: int, iterations: int, rows: int, heavy: int):
+    """Iterative chain: an expensive cached base re-read every iteration.
+
+    The base is modeled at ~80 KB/partition against a 120 KB/executor
+    store, so only a sliver of it stays resident — every iteration
+    re-derives the churned remainder through the heavy map.  That
+    recompute is exactly what shard workers' retained stores amortize.
+    """
+    src = ctx.source(
+        lambda s, rng, R=rows: [(s * R + j, (s + j) % 97) for j in range(R)],
+        partitions,
+    )
+    base = src.map(
+        lambda kv, H=heavy: (kv[0] % 211, sum((kv[1] * i) % 7 for i in range(H)))
+    ).with_weigher(lambda data: len(data) * 2048.0).cache()
+    total = 0
+    for _ in range(iterations):
+        total += base.map(lambda kv: (kv[0], kv[1] + 1)).reduce_by_key(
+            lambda a, b: a + b, num_partitions=max(partitions // 8, 1)
+        ).count()
+    return total
+
+
+def _scale_pagerank(ctx, partitions: int, iterations: int, rows: int, heavy: int):
+    """Synthetic PageRank: churned adjacency joined with evolving ranks."""
+    num_nodes = partitions * rows
+    src = ctx.source(
+        lambda s, rng, R=rows: [s * R + j for j in range(R)], partitions
+    )
+    links = src.map(
+        lambda n, N=num_nodes, H=heavy: (
+            n, [(n + sum((n * i) % 7 for i in range(H)) + k * 31) % N
+                for k in range(3)],
+        )
+    ).with_weigher(lambda data: len(data) * 2048.0).cache()
+    ranks = src.map(lambda n: (n, 1.0))
+    for _ in range(iterations):
+        contribs = links.join(ranks, num_partitions=partitions).flat_map(
+            lambda kv: [(d, kv[1][1] / len(kv[1][0])) for d in kv[1][0]]
+        )
+        ranks = contribs.reduce_by_key(
+            lambda a, b: a + b, num_partitions=partitions
+        ).map_values(lambda r: 0.15 + 0.85 * r)
+    return round(sum(r for _, r in ranks.collect()), 6)
+
+
+def run_scale_cell(
+    workload: str, executors: int, partitions: int, iterations: int, mode: str
+) -> dict:
+    """One scale measurement: a sweep cell in one engine mode."""
+    from repro.dataflow.context import BlazeContext
+
+    # The width probe (a single pass over a million partitions) carries
+    # tiny rows and a cheap map — it measures dispatch, not compute.
+    # Elsewhere the map weight scales with executor count so the cell
+    # stays compute-bound: the event-loop floor grows with the task
+    # count and is paid identically by every mode, so a fixed weight
+    # would let it dilute the recompute signal at the widest cells.
+    wide = partitions >= 100_000
+    if wide:
+        rows, heavy = 2, 8
+    else:
+        rows, heavy = 40, (800 if executors >= 1024 else 400)
+    cluster = ClusterConfig(
+        num_executors=executors,
+        slots_per_executor=2,
+        memory_store_bytes=120_000,
+        tracing_enabled=False,
+        disk=DiskConfig(capacity_bytes=5 * GiB),
+    )
+    bcfg = BlazeConfig(
+        sharded_engine=mode != "single",
+        num_shards=SCALE_NUM_SHARDS,
+        shard_transport="process" if mode == "sharded_process" else "local",
+    )
+    ctx = BlazeContext(cluster_config=cluster, blaze_config=bcfg, seed=SEED)
+    run = _scale_pagerank if workload == "pagerank" else _scale_chain
+    t0 = time.perf_counter()
+    final_value = run(ctx, partitions, iterations, rows, heavy)
+    wall = time.perf_counter() - t0
+    report = ctx.report()
+    ctx.stop()
+    return {
+        "wall_seconds": round(wall, 3),
+        "peak_rss_kib": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+        "final_value": final_value,
+        "evictions": report.eviction_count,
+        "ilp_nodes": report.decision_counters["ilp_nodes"],
+        "shard_counters": report.shard_counters,
+    }
+
+
+def run_scale_cell_subprocess(spec: dict, budget_s: float) -> dict:
+    """Budgeted subprocess run; exceeding the budget records a ``dnf``."""
+    try:
+        proc = subprocess.run(
+            [sys.executable, __file__, "--cell", json.dumps(spec)],
+            capture_output=True,
+            text=True,
+            check=True,
+            timeout=budget_s,
+        )
+    except subprocess.TimeoutExpired:
+        return {"dnf": True, "wall_seconds": round(budget_s, 3)}
+    return json.loads(proc.stdout)
+
+
+def run_scale_matrix(
+    cells: list[tuple], in_process: bool, budget_s: float = SCALE_TIME_BUDGET_S
+) -> dict:
+    out_cells = []
+    for workload, executors, partitions, iterations in cells:
+        measurements = {}
+        for mode in SCALE_MODES:
+            print(
+                f"[bench] scale: {workload} x {executors} executors x "
+                f"{partitions} partitions ({mode}) ...",
+                flush=True,
+            )
+            spec = dict(
+                suite="scale", workload=workload, executors=executors,
+                partitions=partitions, iterations=iterations, mode=mode,
+            )
+            if in_process:
+                spec.pop("suite")
+                measurements[mode] = run_scale_cell(**spec)
+            else:
+                measurements[mode] = run_scale_cell_subprocess(spec, budget_s)
+            m = measurements[mode]
+            label = "DNF" if m.get("dnf") else f"{m['wall_seconds']:.1f}s"
+            print(f"[bench]   {label}", flush=True)
+        single = measurements["single"]
+        finished = {
+            mode: m for mode, m in measurements.items() if not m.get("dnf")
+        }
+        values = {m["final_value"] for m in finished.values()}
+        observables = {
+            (m["evictions"], m["ilp_nodes"]) for m in finished.values()
+        }
+        cell = {
+            "workload": workload,
+            "executors": executors,
+            "partitions": partitions,
+            "iterations": iterations,
+            "seed": SEED,
+            "num_shards": SCALE_NUM_SHARDS,
+            "single_dnf": bool(single.get("dnf")),
+            "results_identical": len(values) <= 1,
+            "observables_identical": len(observables) <= 1,
+            **measurements,
+        }
+        # Speedups against the single-process engine; a dnf single run is
+        # floored at the budget, so these are lower bounds.
+        single_wall = single["wall_seconds"]
+        for mode in ("sharded_local", "sharded_process"):
+            m = measurements[mode]
+            if m.get("dnf"):
+                continue
+            cell[f"{mode}_speedup"] = round(
+                single_wall / max(m["wall_seconds"], 1e-9), 2
+            )
+        out_cells.append(cell)
+    return {
+        "seed": SEED,
+        "num_shards": SCALE_NUM_SHARDS,
+        "time_budget_seconds": None if in_process else budget_s,
+        "cells": out_cells,
+        "all_results_identical": all(c["results_identical"] for c in out_cells),
+        "all_observables_identical": all(
+            c["observables_identical"] for c in out_cells
+        ),
+    }
+
+
 def run_matrix(
     suite: str,
     scale: str,
@@ -553,7 +765,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--suite",
         choices=["decision", "dataplane", "faults", "service", "obs",
-                 "columnar", "all"],
+                 "columnar", "scale", "all"],
         default="all",
     )
     parser.add_argument("--cell", help="(internal) run one cell from a JSON spec")
@@ -561,7 +773,11 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.cell:
         spec = json.loads(args.cell)
-        print(json.dumps(run_cell(**spec)))
+        if spec.get("suite") == "scale":
+            spec.pop("suite")
+            print(json.dumps(run_scale_cell(**spec)))
+        else:
+            print(json.dumps(run_cell(**spec)))
         return 0
 
     doc: dict = {"seed": SEED}
@@ -595,6 +811,11 @@ def main(argv: list[str] | None = None) -> int:
                 "columnar", "tiny", ["blaze", "spark_mem_disk"], ["chain"],
                 in_process=True, profile=args.profile,
             )
+        if args.suite in ("scale", "all"):
+            doc["scale"] = run_scale_matrix(
+                [("chain", 8, 128, 3), ("pagerank", 8, 64, 2)],
+                in_process=True,
+            )
     else:
         if args.suite in ("decision", "all"):
             doc["decision"] = run_matrix(
@@ -626,11 +847,14 @@ def main(argv: list[str] | None = None) -> int:
                 "columnar", "paper", COLUMNAR_SYSTEMS, COLUMNAR_WORKLOADS,
                 in_process=False, profile=args.profile,
             )
+        if args.suite in ("scale", "all"):
+            doc["scale"] = run_scale_matrix(SCALE_CELLS, in_process=False)
 
     out = args.out or {
         "service": "BENCH_pr6.json",
         "obs": "BENCH_pr7.json",
         "columnar": "BENCH_pr8.json",
+        "scale": "BENCH_pr9.json",
     }.get(args.suite, "BENCH_pr4.json")
     Path(out).write_text(json.dumps(doc, indent=2) + "\n", encoding="utf-8")
     for suite in ("decision", "dataplane", "faults", "columnar"):
@@ -651,6 +875,17 @@ def main(argv: list[str] | None = None) -> int:
         print(
             f"[bench] service: {svc['total_jobs']} jobs across "
             f"{len(svc['cells'])} presets, deterministic={svc['all_deterministic']}"
+        )
+    if "scale" in doc:
+        sc = doc["scale"]
+        local = [c.get("sharded_local_speedup") for c in sc["cells"]]
+        mp = [c.get("sharded_process_speedup") for c in sc["cells"]]
+        print(
+            f"[bench] scale: {len(sc['cells'])} cells, "
+            f"local {min(x for x in local if x)}x-{max(x for x in local if x)}x, "
+            f"mp {min(x for x in mp if x)}x-{max(x for x in mp if x)}x, "
+            f"single_dnf={sum(1 for c in sc['cells'] if c['single_dnf'])}, "
+            f"observables_identical={sc['all_observables_identical']}"
         )
     print(f"[bench] wrote {out}")
     return 0

@@ -36,12 +36,13 @@ class BlockManager:
         self._tracer = tracer
         self.memory = BlockStore(config.memory_store_bytes, f"mem[{executor_id}]")
         self.disk = BlockStore(config.disk.capacity_bytes, f"disk[{executor_id}]")
-        #: optional residency listener (the Blaze decision layer hooks in
-        #: here to invalidate its epoch caches and victim index).  Exactly
-        #: one callback fires per movement primitive:
-        #: ``memory_added`` / ``memory_removed`` for the memory tier,
-        #: ``disk_changed`` for disk-only transitions.
-        self.residency_listener = None
+        #: residency listeners (the cluster's residency directory is always
+        #: one; the Blaze decision layer hooks in to invalidate its epoch
+        #: caches and victim index).  Exactly one callback fires per
+        #: movement primitive: ``memory_added`` / ``memory_removed`` for
+        #: the memory tier, ``disk_changed`` for disk-only transitions,
+        #: and an optional ``released`` hook on store shutdown.
+        self.residency_listeners: list = []
         #: the service's ColumnarBackend (None when disabled).  Crossing
         #: the memory/disk boundary transcodes ColumnarBatch data between
         #: the memory and spill codecs in place — a codec transition, not
@@ -66,6 +67,19 @@ class BlockManager:
             pid=executor_pid(self.executor_id),
             rdd=block.rdd_id, split=block.split, bytes=block.size_bytes,
         )
+
+    # ------------------------------------------------------------------
+    # Residency listeners
+    # ------------------------------------------------------------------
+    def add_residency_listener(self, listener) -> None:
+        """Register a residency listener (fired on every tier transition)."""
+        if listener not in self.residency_listeners:
+            self.residency_listeners.append(listener)
+
+    def remove_residency_listener(self, listener) -> None:
+        """Unregister a listener; unknown listeners are ignored."""
+        if listener in self.residency_listeners:
+            self.residency_listeners.remove(listener)
 
     # ------------------------------------------------------------------
     # Lookup
@@ -118,8 +132,8 @@ class BlockManager:
     def insert_memory(self, block: Block) -> None:
         """Admit a block to the memory tier (space must exist)."""
         self.memory.put(block)
-        if self.residency_listener is not None:
-            self.residency_listener.memory_added(self.executor_id, block)
+        for listener in self.residency_listeners:
+            listener.memory_added(self.executor_id, block)
         if self._tracer.enabled:
             self._trace("cache.admit_mem", block)
 
@@ -130,8 +144,8 @@ class BlockManager:
         self._to_disk_codec(block)
         self.disk.put(block)
         self._metrics.record_disk_put(block.size_bytes)
-        if self.residency_listener is not None:
-            self.residency_listener.disk_changed(self.executor_id, block)
+        for listener in self.residency_listeners:
+            listener.disk_changed(self.executor_id, block)
         if self._tracer.enabled:
             self._trace("cache.admit_disk", block)
 
@@ -144,8 +158,8 @@ class BlockManager:
         self.disk.put(block)
         self._metrics.record_disk_put(block.size_bytes)
         self._metrics.record_eviction_to_disk(self.executor_id, block.size_bytes)
-        if self.residency_listener is not None:
-            self.residency_listener.memory_removed(self.executor_id, block)
+        for listener in self.residency_listeners:
+            listener.memory_removed(self.executor_id, block)
         if self._tracer.enabled:
             self._trace("cache.evict_spill", block)
         return block
@@ -159,13 +173,13 @@ class BlockManager:
         loc = self.location_of(block_id)
         if loc is BlockLocation.MEMORY:
             block = self.memory.remove(block_id)
-            if self.residency_listener is not None:
-                self.residency_listener.memory_removed(self.executor_id, block)
+            for listener in self.residency_listeners:
+                listener.memory_removed(self.executor_id, block)
         elif loc is BlockLocation.DISK:
             block = self.disk.remove(block_id)
             self._metrics.record_disk_remove(block.size_bytes)
-            if self.residency_listener is not None:
-                self.residency_listener.disk_changed(self.executor_id, block)
+            for listener in self.residency_listeners:
+                listener.disk_changed(self.executor_id, block)
         else:
             raise StorageError(f"discard of unknown block {block_id}")
         self._metrics.record_unpersist(self.executor_id, block.size_bytes, evicted=evicted)
@@ -196,8 +210,8 @@ class BlockManager:
         self._metrics.record_disk_remove(block.size_bytes)
         self._to_memory_codec(block)
         self.memory.put(block)
-        if self.residency_listener is not None:
-            self.residency_listener.memory_added(self.executor_id, block)
+        for listener in self.residency_listeners:
+            listener.memory_added(self.executor_id, block)
         if self._tracer.enabled:
             self._trace("cache.promote", block)
         return block
@@ -209,8 +223,8 @@ class BlockManager:
             self.disk.remove(victim.block_id)
             self._metrics.record_disk_remove(victim.size_bytes)
             self._metrics.record_unpersist(self.executor_id, victim.size_bytes, evicted=True)
-            if self.residency_listener is not None:
-                self.residency_listener.disk_changed(self.executor_id, victim)
+            for listener in self.residency_listeners:
+                listener.disk_changed(self.executor_id, victim)
             if self._tracer.enabled:
                 self._trace("cache.disk_evict", victim)
         if not self.disk.fits(size_bytes):
@@ -230,13 +244,13 @@ class BlockManager:
         loc = self.location_of(block_id)
         if loc is BlockLocation.MEMORY:
             block = self.memory.remove(block_id)
-            if self.residency_listener is not None:
-                self.residency_listener.memory_removed(self.executor_id, block)
+            for listener in self.residency_listeners:
+                listener.memory_removed(self.executor_id, block)
         elif loc is BlockLocation.DISK:
             block = self.disk.remove(block_id)
             self._metrics.record_disk_remove(block.size_bytes)
-            if self.residency_listener is not None:
-                self.residency_listener.disk_changed(self.executor_id, block)
+            for listener in self.residency_listeners:
+                listener.disk_changed(self.executor_id, block)
         else:
             raise StorageError(f"loss of unknown block {block_id}")
         self._metrics.record_block_lost(self.executor_id, block.size_bytes)
@@ -262,6 +276,12 @@ class BlockManager:
         """
         self.memory.clear()
         self.disk.clear()
+        # Bulk drop, not per-block movement: listeners that mirror
+        # residency (the cluster directory) get one wipe notification.
+        for listener in self.residency_listeners:
+            released = getattr(listener, "released", None)
+            if released is not None:
+                released(self.executor_id)
 
     def __repr__(self) -> str:
         return f"<BlockManager exec={self.executor_id} {self.memory!r} {self.disk!r}>"

@@ -9,6 +9,7 @@ from ..metrics.collector import MetricsCollector
 from ..sim.clock import VirtualClock
 from ..tracing.tracer import NULL_TRACER, Tracer
 from .blocks import Block, BlockId, BlockLocation
+from .directory import ResidencyDirectory
 from .executor import Executor
 from .shuffle import ShuffleManager
 
@@ -35,6 +36,9 @@ class Cluster:
             for i in range(config.num_executors)
         ]
         self.shuffle = ShuffleManager(config)
+        #: cluster-wide block residency index, maintained through the block
+        #: managers' listener path; replaces the per-lookup executor scan.
+        self.directory = ResidencyDirectory(self.executors)
         #: tenant registry (set by the job service); None for bare clusters.
         self.tenancy = None
         #: observability hub (set by the job service when ``obs.enabled``);
@@ -53,18 +57,18 @@ class Cluster:
 
     # ------------------------------------------------------------------
     def find_block(self, block_id: BlockId) -> tuple[Executor, BlockLocation] | None:
-        """Locate a block anywhere in the cluster (home executor first)."""
-        home = self.executor_for(block_id[1])
-        loc = home.bm.location_of(block_id)
-        if loc is not None:
-            return home, loc
-        for executor in self.executors:
-            if executor is home:
-                continue
-            loc = executor.bm.location_of(block_id)
-            if loc is not None:
-                return executor, loc
-        return None
+        """Locate a block anywhere in the cluster (home executor first).
+
+        One residency-directory probe instead of the historical
+        every-executor scan; the directory's tie-break (home executor,
+        then lowest executor id) reproduces the scan's answer exactly.
+        """
+        home_eid = block_id[1] % len(self.executors)
+        eid = self.directory.locate(block_id, home_eid)
+        if eid is None:
+            return None
+        executor = self.executors[eid]
+        return executor, executor.bm.location_of(block_id)
 
     def charge_remote_read(self, block: Block, tm: "TaskMetrics") -> None:
         """Network transfer of a remotely cached block (rare under locality)."""

@@ -1,0 +1,134 @@
+"""Cluster-wide block residency directory (O(1) ``find_block``).
+
+Historically ``Cluster.find_block`` probed every executor's block manager
+in order — an O(num_executors) scan per lookup that the driver performs on
+every materialization (remote-hit check plus the post-compute "already
+cached anywhere?" guard).  At paper scale that was noise; at the sharded
+engine's 1000-executor scale it dominates.
+
+The directory mirrors residency through the block managers' listener path:
+every tier transition already fires ``memory_added`` / ``memory_removed``
+/ ``disk_changed``, so membership stays exact without touching the
+movement primitives.  Lookups resolve to the *same* executor the linear
+scan would have returned — home executor first, then lowest executor id —
+so traces are byte-identical to the scan.
+
+The directory is also the shard coordinator's residency feed: when a
+:class:`~repro.shard.coordinator.ShardCoordinator` attaches, every
+membership change is journaled as a ``(executor_id, block_id, present)``
+delta and drained at superstep barriers to keep shard workers' retained
+data bounded by what the coordinator actually keeps.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from .blocks import Block, BlockId
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .executor import Executor
+
+
+class ResidencyDirectory:
+    """Block id -> executor ids holding it (either tier), listener-fed."""
+
+    def __init__(self, executors: "list[Executor]") -> None:
+        self._executors = executors
+        #: block_id -> set of executor ids with the block in memory or disk
+        self._where: dict[BlockId, set[int]] = {}
+        #: lookups served (unit-test observability for the O(1) claim)
+        self.lookups = 0
+        #: journal of (executor_id, block_id, present) membership changes;
+        #: only populated while a coordinator has called ``enable_journal``
+        self._journal: list[tuple[int, BlockId, bool]] | None = None
+        for executor in executors:
+            executor.bm.add_residency_listener(self)
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def locate(self, block_id: BlockId, home_eid: int) -> int | None:
+        """Executor id holding ``block_id``, home-first then lowest id."""
+        self.lookups += 1
+        holders = self._where.get(block_id)
+        if not holders:
+            return None
+        if home_eid in holders:
+            return home_eid
+        return min(holders)
+
+    def holders_of(self, block_id: BlockId) -> frozenset[int]:
+        return frozenset(self._where.get(block_id, ()))
+
+    def resident_blocks(self) -> list[BlockId]:
+        """Every block id resident somewhere (the shard workers' pin set)."""
+        return list(self._where)
+
+    # ------------------------------------------------------------------
+    # Residency-listener callbacks
+    # ------------------------------------------------------------------
+    def _sync(self, executor_id: int, block_id: BlockId) -> None:
+        """Reconcile one (executor, block) membership bit with the store."""
+        present = self._executors[executor_id].bm.location_of(block_id) is not None
+        holders = self._where.get(block_id)
+        if present:
+            if holders is None:
+                self._where[block_id] = {executor_id}
+            elif executor_id in holders:
+                return  # tier move within the executor; membership unchanged
+            else:
+                holders.add(executor_id)
+        else:
+            if holders is None or executor_id not in holders:
+                return
+            holders.discard(executor_id)
+            if not holders:
+                del self._where[block_id]
+        if self._journal is not None:
+            self._journal.append((executor_id, block_id, present))
+
+    def memory_added(self, executor_id: int, block: Block) -> None:
+        self._sync(executor_id, block.block_id)
+
+    def memory_removed(self, executor_id: int, block: Block) -> None:
+        # A spill fires memory_removed while the block lands on disk of the
+        # same executor; _sync consults the store, so membership survives.
+        self._sync(executor_id, block.block_id)
+
+    def disk_changed(self, executor_id: int, block: Block) -> None:
+        # Ambiguous add-or-remove by design; resolved against the store.
+        self._sync(executor_id, block.block_id)
+
+    def released(self, executor_id: int) -> None:
+        """Store wipe (shutdown): drop every membership bit of the executor."""
+        emptied = []
+        for block_id, holders in self._where.items():
+            if executor_id in holders:
+                holders.discard(executor_id)
+                if self._journal is not None:
+                    self._journal.append((executor_id, block_id, False))
+                if not holders:
+                    emptied.append(block_id)
+        for block_id in emptied:
+            del self._where[block_id]
+
+    # ------------------------------------------------------------------
+    # Shard-coordinator feed
+    # ------------------------------------------------------------------
+    def enable_journal(self) -> None:
+        if self._journal is None:
+            self._journal = []
+
+    def disable_journal(self) -> None:
+        self._journal = None
+
+    def drain_journal(self) -> list[tuple[int, BlockId, bool]]:
+        """Return and clear the accumulated residency deltas."""
+        if not self._journal:
+            return []
+        deltas, self._journal = self._journal, []
+        return deltas
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ResidencyDirectory blocks={len(self._where)} lookups={self.lookups}>"

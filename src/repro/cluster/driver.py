@@ -75,6 +75,10 @@ class Driver:
         self._recovery_depth = 0
         self.fused_execution = bool(fused_execution)
         self._fusion = FusionPlanner(self) if self.fused_execution else None
+        #: the shard coordinator (``repro.shard``) when the sharded engine
+        #: is on, else None: stages dispatch as supersteps before running,
+        #: and ``_compute`` substitutes worker-speculated results.
+        self.shard = None
         #: hooks run after every completed job (profiler timeout budget)
         self.post_job_hooks: list[Callable[[Job], None]] = []
         cache_manager.attach(cluster)
@@ -109,6 +113,8 @@ class Driver:
             self.cache_manager.on_stage_start(stage)
             if self._fusion is not None:
                 self._fusion.begin_stage()
+            if self.shard is not None:
+                self.shard.prepare_stage(stage)
             self._run_stage(stage, job, results)
             self.cache_manager.on_stage_complete(stage)
             self.tracer.end(stage_span)
@@ -430,6 +436,23 @@ class Driver:
             self.materialize(parent, ps, executor, tm)
             for parent, ps in rdd.narrow_inputs(split)
         ]
+        if self.shard is not None:
+            speculated = self.shard.speculated(rdd, split)
+            if speculated is not None:
+                # Worker-computed output: inputs above were still resolved
+                # through the cache path (hits, misses, and admissions fire
+                # exactly as unsharded), and the fetches below charge the
+                # real shuffle stats — only the operator body is skipped.
+                out, merge_counts = speculated
+                n_in = sum(len(d) for d in narrow_data)
+                for dep, count in zip(rdd.shuffle_deps, merge_counts):
+                    if self.faults is not None:
+                        self.faults.on_fetch(dep)
+                    if not self.cluster.shuffle.is_complete(dep):
+                        self._recompute_shuffle(dep, executor, tm)
+                    self.cluster.shuffle.charge_fetch(dep, split, tm)
+                    n_in += count
+                return self._charge_computed(rdd, split, n_in, out, tm)
         shuffle_data = []
         for dep in rdd.shuffle_deps:
             if self.faults is not None:

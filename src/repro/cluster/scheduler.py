@@ -67,6 +67,11 @@ class SlotScheduler:
         """
         if not tasks:
             return 0.0
+        if self._tracer.shard_routing:
+            # New merge epoch: coordinator-side emissions so far (fusion
+            # planning, cache decisions) must sort before this stage's task
+            # events even when they share the stage-start vtime.
+            self._tracer.shard_barrier()
         stage_start = self._clock.now
         queues: dict[int, deque[TaskSlot]] = {}
         executors: dict[int, "Executor"] = {}
@@ -94,6 +99,11 @@ class SlotScheduler:
             task = queue.popleft()
             remaining -= 1
             self._clock.advance_to(free_at)
+            if self._tracer.shard_routing:
+                # Everything from here to the execute() return — fault
+                # injections included — belongs to the shard hosting the
+                # task's executor.
+                self._tracer.set_shard_for_executor(eid)
             if self._faults is not None:
                 # Task start is the schedule's processing point: every
                 # fault due by now fires before the task's side effects,
@@ -108,6 +118,10 @@ class SlotScheduler:
             heapq.heappush(heap, (done_at, eid, slot))
 
         self._clock.advance_to(stage_end)
+        if self._tracer.shard_routing:
+            # Back to coordinator context: the stage span below (and every
+            # post-stage decision) closes *after* all task events.
+            self._tracer.shard_barrier()
         if self._tracer.enabled:
             self._tracer.complete(
                 "scheduler.stage", "scheduler",

@@ -29,6 +29,37 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 _MISSING = object()
 
 
+def merge_bucket_lists(bucket_lists, combiner) -> list[tuple[Any, Any]]:
+    """Merge per-map bucket lists into ``(k, combined)`` / ``(k, [values])``.
+
+    The buckets are consumed in place (no concatenated intermediate copy)
+    by one single-lookup dict pass.  An argsort-based vectorized grouping
+    was tried here and measured 3-5x *slower* than this loop at every batch
+    size — building the many small per-key value lists is the dominant cost
+    and numpy cannot help with it.
+
+    Shared by :meth:`ShuffleManager.fetch` and the shard workers'
+    speculative evaluator, which must reproduce the fetch's merge order
+    bit-for-bit for the coordinator's replay to substitute its results.
+    """
+    merged: dict[Any, Any] = {}
+    get = merged.get
+    if combiner is not None:
+        for bucket in bucket_lists:
+            for k, v in bucket:
+                cur = get(k, _MISSING)
+                merged[k] = v if cur is _MISSING else combiner(cur, v)
+    else:
+        for bucket in bucket_lists:
+            for k, v in bucket:
+                values = get(k)
+                if values is None:
+                    merged[k] = [v]
+                else:
+                    values.append(v)
+    return list(merged.items())
+
+
 def _modeled_bytes(size_model, records, n_records: int) -> float:
     """Shuffle-side modeled bytes, mirroring ``RDD.size_weight`` semantics.
 
@@ -183,49 +214,58 @@ class ShuffleManager:
         otherwise ``(k, [values])`` groups.  Charges network fetch time plus
         deserialization.
         """
+        bucket_lists = self.bucket_lists_for(dep, reduce_split)
+        merged_items = merge_bucket_lists(bucket_lists, dep.combiner)
+        n_records = sum(len(bucket) for bucket in bucket_lists)
+        self._charge_fetch_costs(dep, n_records, tm)
+        return merged_items
+
+    def bucket_lists_for(
+        self, dep: ShuffleDependency, reduce_split: int
+    ) -> list[list]:
+        """This reduce split's raw buckets, one per map split, in map order.
+
+        Raises when the shuffle is incomplete (same guard as ``fetch``).
+        The shard coordinator peeks these zero-copy to ship reduce inputs
+        to workers, so the returned lists must not be mutated.
+        """
         if not self.is_complete(dep):
             raise ShuffleError(
                 f"shuffle {dep.shuffle_id} fetch with missing map outputs: "
                 f"{self.missing_map_splits(dep)}"
             )
         per_map = self._outputs[dep.shuffle_id]
-        combiner = dep.combiner
-        bucket_lists = [
+        return [
             per_map[map_split].get(reduce_split, ())
             for map_split in range(dep.parent.num_partitions)
         ]
+
+    def charge_fetch(
+        self,
+        dep: ShuffleDependency,
+        reduce_split: int,
+        tm: "TaskMetrics",
+    ) -> None:
+        """Charge exactly what ``fetch`` would, without building the merge.
+
+        The sharded engine's replay path uses this when a worker already
+        merged the reduce input: the virtual costs (and the completeness
+        guard) are identical to a real fetch, only the Python-level merge
+        work is skipped.
+        """
+        bucket_lists = self.bucket_lists_for(dep, reduce_split)
         n_records = sum(len(bucket) for bucket in bucket_lists)
+        self._charge_fetch_costs(dep, n_records, tm)
 
-        # Merge the per-map bucket lists wholesale: the buckets are consumed
-        # in place (no concatenated intermediate copy) by one single-lookup
-        # dict pass.  An argsort-based vectorized grouping was tried here
-        # and measured 3-5x *slower* than this loop at every batch size —
-        # building the many small per-key value lists is the dominant cost
-        # and numpy cannot help with it.
-        merged: dict[Any, Any] = {}
-        get = merged.get
-        if combiner is not None:
-            for bucket in bucket_lists:
-                for k, v in bucket:
-                    cur = get(k, _MISSING)
-                    merged[k] = v if cur is _MISSING else combiner(cur, v)
-        else:
-            for bucket in bucket_lists:
-                for k, v in bucket:
-                    values = get(k)
-                    if values is None:
-                        merged[k] = [v]
-                    else:
-                        values.append(v)
-        merged_items = list(merged.items())
-
+    def _charge_fetch_costs(
+        self, dep: ShuffleDependency, n_records: int, tm: "TaskMetrics"
+    ) -> None:
         bytes_in = _modeled_bytes(dep.parent.size_model, None, n_records)
         deser = self._config.disk.deser_seconds_per_byte * dep.parent.size_model.ser_factor
         tm.shuffle_read_seconds += self._config.network.latency_seconds
         tm.shuffle_read_seconds += bytes_in / self._config.network.bytes_per_sec
         tm.shuffle_read_seconds += bytes_in * deser
         tm.shuffle_bytes += bytes_in
-        return merged_items
 
     # ------------------------------------------------------------------
     def cleanup_older_than(self, min_job_id: int) -> list[int]:

@@ -226,7 +226,10 @@ class BlazeConfig:
     - ``service.dedup_enabled`` — cross-application lineage dedup on the
       :class:`~repro.service.JobService` path (see :class:`ServiceConfig`);
     - ``obs.enabled`` — decision audit log + virtual-clock sampler (pure
-      readers; traces byte-identical either way, see :class:`ObsConfig`).
+      readers; traces byte-identical either way, see :class:`ObsConfig`);
+    - ``sharded_engine`` — fan task execution out across shard workers
+      (``repro.shard``) while the coordinator replays the engine
+      sequentially; traces byte-identical either way (docs/scaling.md).
     """
 
     # Dependency-extraction phase (section 5.1 / 7.5).
@@ -298,6 +301,20 @@ class BlazeConfig:
     fault_max_task_retries: int = 4
     fault_retry_backoff_seconds: float = 0.25
 
+    # Sharded simulation engine (the ``repro.shard`` package).  Executors
+    # are split into ``num_shards`` contiguous groups; shard workers
+    # speculatively compute partition data one stage ahead (supersteps:
+    # bulk task dispatch, barrier exchange of shuffle buckets + residency
+    # deltas), while the coordinator keeps the authoritative VirtualClock,
+    # cache decisions, metrics, and trace — so JSONL traces stay
+    # byte-identical to the single-process engine.  ``shard_transport``
+    # picks the in-process zero-copy transport ("local", the default and
+    # the trace-identity reference) or spawned worker processes
+    # ("process"), where the parallelism actually pays.
+    sharded_engine: bool = False
+    num_shards: int = 2
+    shard_transport: str = "local"
+
     # Multi-tenant job-service knobs (arrival stream, inter-job policy,
     # tenant quotas, cross-application dedup).  See :class:`ServiceConfig`.
     service: ServiceConfig = field(default_factory=ServiceConfig)
@@ -332,6 +349,13 @@ class BlazeConfig:
             raise ConfigError("fault_max_task_retries must be >= 1")
         if self.fault_retry_backoff_seconds < 0:
             raise ConfigError("fault_retry_backoff_seconds must be >= 0")
+        if self.num_shards < 1:
+            raise ConfigError("num_shards must be >= 1")
+        if self.shard_transport not in ("local", "process"):
+            raise ConfigError(
+                f"unknown shard_transport: {self.shard_transport!r} "
+                "(expected 'local' or 'process')"
+            )
 
 
 def small_cluster() -> ClusterConfig:

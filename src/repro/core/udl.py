@@ -105,13 +105,12 @@ class BlazeCacheManager(CacheManager):
                 index = VictimIndex(key_fn, cluster.metrics, sensitivity)
                 self._indexes[executor.executor_id] = index
                 self._cache.indexes[executor.executor_id] = index
-                executor.bm.residency_listener = self
+                executor.bm.add_residency_listener(self)
 
     def detach(self) -> None:
         if self.cluster is not None:
             for executor in self.cluster.executors:
-                if executor.bm.residency_listener is self:
-                    executor.bm.residency_listener = None
+                executor.bm.remove_residency_listener(self)
         self._cache = None
         self._indexes = {}
         super().detach()

@@ -236,6 +236,15 @@ class FusionPlanner:
                     out = produced if type(produced) is list else list(produced)
                 self.metrics.kernel_partitions += 1
 
+        if out is None and driver.shard is not None:
+            # Sharded engine: substitute the worker's speculated top output
+            # and per-stage cardinalities.  Checked only after the kernel
+            # path declines so the kernel-vs-pipeline choice (and its
+            # counters/batch outputs) is identical to the unsharded run.
+            speculated = driver.shard.speculated_fused(chain, split)
+            if speculated is not None:
+                out, stage_n_outs = speculated
+
         if out is None:
             # Iterator pipeline.  Output counts are only measured where
             # they are not derivable (filter / flat_map); plain maps use

@@ -218,6 +218,16 @@ class MetricsCollector:
         # without replaying a trace.
         self.cache_hits: int = 0
         self.cache_misses: int = 0
+        # Sharded-engine counters (``repro.shard``): stage tasks handed to
+        # shard workers in bulk, virtual-time barrier synchronizations
+        # (one per dispatched superstep), block-residency deltas drained
+        # to workers at those barriers, and reduce-split bucket fetches
+        # the coordinator served to workers from registered map outputs.
+        # All zero with ``BlazeConfig.sharded_engine`` off.
+        self.tasks_dispatched: int = 0
+        self.barrier_syncs: int = 0
+        self.residency_deltas: int = 0
+        self.shuffle_fetch_rpcs: int = 0
 
     # ------------------------------------------------------------------
     def record_task(self, job_id: int, executor_id: int, tm: TaskMetrics) -> None:
@@ -333,6 +343,15 @@ class MetricsCollector:
         return {
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
+        }
+
+    def shard_counters(self) -> dict[str, int]:
+        """Sharded-engine counters (``repro.shard``)."""
+        return {
+            "tasks_dispatched": self.tasks_dispatched,
+            "barrier_syncs": self.barrier_syncs,
+            "residency_deltas": self.residency_deltas,
+            "shuffle_fetch_rpcs": self.shuffle_fetch_rpcs,
         }
 
     def breakdown(self) -> dict[str, float]:

@@ -169,6 +169,15 @@ class JobService:
             columnar=self.columnar,
         )
         self.cache_manager = cache_manager
+        #: the sharded simulation engine (``repro.shard``): stages run as
+        #: supersteps with worker-speculated partition results while this
+        #: process keeps the authoritative clock/cache/trace.  Kill switch
+        #: ``BlazeConfig.sharded_engine`` defaults off.
+        self.shard_coordinator = None
+        if blaze_config is not None and blaze_config.sharded_engine:
+            from ..shard.coordinator import ShardCoordinator
+
+            self.shard_coordinator = ShardCoordinator(self.driver, blaze_config)
 
         self.job_records: list[JobRecord] = []
         self._apps: list[_AppRuntime] = []
@@ -410,6 +419,8 @@ class JobService:
         if self._shutdown:
             return
         self._shutdown = True
+        if self.shard_coordinator is not None:
+            self.shard_coordinator.shutdown()
         for executor in self.cluster.executors:
             executor.bm.release()
         self.cluster.shuffle.release()

@@ -1,0 +1,14 @@
+"""Sharded simulation engine (``BlazeConfig.sharded_engine``).
+
+Fans the data plane out across shard workers while the coordinator keeps
+the authoritative VirtualClock, cache decisions, metrics, and trace —
+stages run as supersteps with bulk task dispatch and barrier exchange of
+shuffle buckets and block-residency deltas.  JSONL traces are
+byte-identical to the single-process engine.  See docs/scaling.md.
+"""
+
+from .coordinator import ShardCoordinator
+from .oracle import ComputeOracle
+from .plan import ShardPlan
+
+__all__ = ["ComputeOracle", "ShardCoordinator", "ShardPlan"]

@@ -1,0 +1,164 @@
+"""Speculative data-plane evaluation of partitions (shared by transports).
+
+This is the shard worker's compute engine: pure ``rdd.compute`` bodies
+over memoized inputs, with none of the coordinator's cost charging, cache
+decisions, or tracing.  Both transports run the same evaluator — the
+local transport over the real RDD objects (zero-copy), the process
+transport over rebuilt :mod:`repro.shard.graph` mirrors — so the results
+the coordinator's replay substitutes are identical either way.
+
+Two properties make the evaluator's retained store sound:
+
+- partition computes are *pure* (``SourceRDD`` derives its RNG from the
+  context seed, the rdd id, and the split), so a retained value always
+  equals what a recompute would produce;
+- rdd ids are process-unique per service, so a key never aliases two
+  datasets.
+
+The retained store is what makes sharding *fast*: the simulated cache's
+capacity limit is a modeling constraint, not a physical one, so workers
+keep partition data the simulated cluster evicted and the replay never
+re-runs the user compute the single-process engine pays for again on
+every recovery.  Shuffle merges reuse :func:`merge_bucket_lists`, so the
+merge order matches ``ShuffleManager.fetch`` bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from ..cluster.shuffle import _MISSING, merge_bucket_lists
+
+#: retained-store entry budget; non-pinned entries beyond it are dropped
+#: oldest-first at superstep boundaries (pinned = resident in the
+#: simulated cluster, which the residency-delta feed keeps exact)
+RETAIN_ENTRIES = 1 << 21
+
+
+class SpeculativeEvaluator:
+    """Evaluates ``(node, split)`` partitions with cross-step retention."""
+
+    def __init__(
+        self,
+        peek_block: Callable[[tuple[int, int]], Any] | None = None,
+        peek_buckets: Callable[[Any, int], list | None] | None = None,
+    ) -> None:
+        #: computed plain-list partitions, retained across supersteps
+        self._store: dict[tuple[int, int], list] = {}
+        #: per-step memo; also holds peeked (possibly columnar) values,
+        #: which must never enter the retained store — the replay expects
+        #: substituted data to be exactly what ``compute`` returns
+        self._step_memo: dict[tuple[int, int], Any] = {}
+        self._merged: dict[tuple[int, int], list] = {}
+        self._map_buckets: dict[tuple[int, int], dict[int, list]] = {}
+        self._shipped_buckets: dict[tuple[int, int], list] = {}
+        #: (shuffle_id, reduce_split) -> merged record count, per step
+        self.merge_counts: dict[tuple[int, int], int] = {}
+        #: reduce-split bucket sets served by the coordinator this step
+        self.fetches_served = 0
+        self._peek_block = peek_block
+        self._peek_buckets = peek_buckets
+
+    # ------------------------------------------------------------------
+    def begin_step(
+        self,
+        pinned: set[tuple[int, int]],
+        shipped_buckets: dict[tuple[int, int], list] | None = None,
+    ) -> None:
+        """Reset per-step state and prune retention to the entry budget."""
+        self._step_memo.clear()
+        self._merged.clear()
+        self._map_buckets.clear()
+        self.merge_counts = {}
+        self.fetches_served = 0
+        self._shipped_buckets = shipped_buckets or {}
+        excess = len(self._store) - RETAIN_ENTRIES
+        if excess > 0:
+            for key in list(self._store):
+                if excess <= 0:
+                    break
+                if key not in pinned:
+                    del self._store[key]
+                    excess -= 1
+
+    # ------------------------------------------------------------------
+    def partition(self, node, split: int):
+        """This partition's elements (memoized; peeked, retained, or computed)."""
+        key = (node.rdd_id, split)
+        val = self._step_memo.get(key)
+        if val is not None:
+            return val
+        val = self._store.get(key)
+        if val is None and self._peek_block is not None:
+            val = self._peek_block(key)
+        if val is None:
+            narrow = [self.partition(p, ps) for p, ps in node.narrow_inputs(split)]
+            shuffle = [self._shuffle_input(dep, split) for dep in node.shuffle_deps]
+            val = node.compute(split, narrow, shuffle)
+            if type(val) is list:
+                self._store[key] = val
+        self._step_memo[key] = val
+        return val
+
+    # ------------------------------------------------------------------
+    def _shuffle_input(self, dep, reduce_split: int) -> list:
+        """The merged reduce input for ``(dep, reduce_split)``."""
+        key = (dep.shuffle_id, reduce_split)
+        merged = self._merged.get(key)
+        if merged is not None:
+            return merged
+        bucket_lists = self._shipped_buckets.get(key)
+        if bucket_lists is None and self._peek_buckets is not None:
+            bucket_lists = self._peek_buckets(dep, reduce_split)
+        if bucket_lists is not None:
+            self.fetches_served += 1
+        else:
+            # Map side not registered with the coordinator yet: run the
+            # map-side bucketing locally (memoized per map split, since
+            # every reduce split of this shard walks the same maps).
+            bucket_lists = [
+                self._map_bucket(dep, map_split).get(reduce_split, ())
+                for map_split in range(dep.parent.num_partitions)
+            ]
+        merged = merge_bucket_lists(bucket_lists, dep.combiner)
+        self._merged[key] = merged
+        self.merge_counts[key] = len(merged)
+        return merged
+
+    def _map_bucket(self, dep, map_split: int) -> dict[int, list]:
+        """One map split's buckets, replicating ``ShuffleManager.write``.
+
+        Same combine-then-bucket order as the write path (the bulk path
+        is element- and order-identical, so the per-record loop here is
+        the reference semantics for both).
+        """
+        key = (dep.shuffle_id, map_split)
+        buckets = self._map_buckets.get(key)
+        if buckets is not None:
+            return buckets
+        elements = self.partition(dep.parent, map_split)
+        combiner = dep.combiner
+        if combiner is not None:
+            combined: dict[Any, Any] = {}
+            get = combined.get
+            for k, v in elements:
+                cur = get(k, _MISSING)
+                combined[k] = v if cur is _MISSING else combiner(cur, v)
+            records = list(combined.items())
+        else:
+            records = elements
+        buckets = {}
+        get_bucket = buckets.get
+        partition_for = dep.partitioner.partition_for
+        for kv in records:
+            pid = partition_for(kv[0])
+            bucket = get_bucket(pid)
+            if bucket is None:
+                buckets[pid] = [kv]
+            else:
+                bucket.append(kv)
+        self._map_buckets[key] = buckets
+        return buckets
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<SpeculativeEvaluator retained={len(self._store)}>"

@@ -1,0 +1,210 @@
+"""Picklable lineage descriptors + best-effort user-function shipping.
+
+The process transport cannot pickle RDD objects (they hold the context,
+block managers leak in through closures, and reconstructing a
+``ShuffledRDD`` would mint a *fresh* process-global shuffle id).  Instead
+each node ships as a plain-dict descriptor — type tag, explicit shuffle
+ids, partitioner parameters — and the worker rebuilds lightweight
+mirrors (:mod:`repro.shard.worker`).
+
+User functions ship by pickle when possible (module-level functions
+pickle by reference) and otherwise by marshaling their code object plus
+recursively-shipped closure cells, defaults, and the referenced globals.
+Anything that resists both raises :class:`UnshippableError`; the
+transport then skips speculation for stages touching that node — the
+coordinator's replay computes locally, so shipping is strictly a
+performance optimization.
+"""
+
+from __future__ import annotations
+
+import builtins
+import importlib
+import marshal
+import pickle
+import types
+from typing import Any
+
+from ..dataflow.partitioner import HashPartitioner, RangePartitioner
+from ..dataflow.rdd import (
+    CoalesceRDD,
+    CoGroupedRDD,
+    MapPartitionsRDD,
+    ParallelCollectionRDD,
+    ShuffledRDD,
+    SourceRDD,
+    UnionRDD,
+    ZipPartitionsRDD,
+)
+from ..dataflow.dependencies import (
+    CoalesceDependency,
+    OneToOneDependency,
+    RangeDependency,
+    ShuffleDependency,
+)
+
+
+class UnshippableError(Exception):
+    """The value cannot be transferred to a shard worker process."""
+
+
+_MAX_SHIP_DEPTH = 8
+
+
+# ----------------------------------------------------------------------
+# Values and functions
+# ----------------------------------------------------------------------
+def ship_value(value: Any, depth: int = 0) -> tuple:
+    """Encode an arbitrary closure/global value for the worker."""
+    if depth > _MAX_SHIP_DEPTH:
+        raise UnshippableError("value nesting too deep to ship")
+    if isinstance(value, types.ModuleType):
+        return ("mod", value.__name__)
+    if isinstance(value, types.FunctionType):
+        return ("fn", ship_function(value, depth + 1))
+    try:
+        return ("val", pickle.dumps(value))
+    except Exception as exc:
+        raise UnshippableError(f"unpicklable value {type(value).__name__}") from exc
+
+
+def load_value(payload: tuple) -> Any:
+    tag, body = payload
+    if tag == "mod":
+        return importlib.import_module(body)
+    if tag == "fn":
+        return load_function(body)
+    return pickle.loads(body)
+
+
+def _referenced_names(code) -> set[str]:
+    """Global names referenced by ``code`` and its nested code objects."""
+    names = set(code.co_names)
+    for const in code.co_consts:
+        if isinstance(const, types.CodeType):
+            names |= _referenced_names(const)
+    return names
+
+
+def ship_function(fn, depth: int = 0) -> tuple:
+    """Encode a callable: pickle by reference, else marshal its code."""
+    if depth > _MAX_SHIP_DEPTH:
+        raise UnshippableError("function nesting too deep to ship")
+    try:
+        return ("pickle", pickle.dumps(fn))
+    except Exception:
+        pass
+    if not isinstance(fn, types.FunctionType):
+        raise UnshippableError(f"unshippable callable {type(fn).__name__}")
+    code = fn.__code__
+    fn_globals = fn.__globals__
+    shipped_globals: dict[str, tuple] = {}
+    for name in _referenced_names(code):
+        if name in fn_globals:
+            # A global that resists shipping is *omitted*: if the body
+            # never actually reaches it the worker still succeeds, and if
+            # it does, the worker's NameError degrades to an oracle miss.
+            try:
+                shipped_globals[name] = ship_value(fn_globals[name], depth + 1)
+            except UnshippableError:
+                pass
+    closure = tuple(
+        ship_value(cell.cell_contents, depth + 1) for cell in fn.__closure__ or ()
+    )
+    defaults = (
+        tuple(ship_value(d, depth + 1) for d in fn.__defaults__)
+        if fn.__defaults__
+        else None
+    )
+    return ("code", marshal.dumps(code), fn.__name__, shipped_globals, closure, defaults)
+
+
+def load_function(payload: tuple):
+    if payload[0] == "pickle":
+        return pickle.loads(payload[1])
+    _, code_bytes, name, shipped_globals, closure, defaults = payload
+    glb = {name: load_value(v) for name, v in shipped_globals.items()}
+    glb["__builtins__"] = builtins
+    cells = tuple(types.CellType(load_value(c)) for c in closure)
+    fn = types.FunctionType(marshal.loads(code_bytes), glb, name, None, cells or None)
+    if defaults is not None:
+        fn.__defaults__ = tuple(load_value(d) for d in defaults)
+    return fn
+
+
+# ----------------------------------------------------------------------
+# RDD descriptors
+# ----------------------------------------------------------------------
+def _describe_partitioner(partitioner) -> tuple:
+    if type(partitioner) is HashPartitioner:
+        return ("hash", partitioner.num_partitions)
+    if type(partitioner) is RangePartitioner:
+        return ("range", partitioner.num_partitions, partitioner.key_space)
+    raise UnshippableError(f"unknown partitioner {type(partitioner).__name__}")
+
+
+def load_partitioner(desc: tuple):
+    if desc[0] == "hash":
+        return HashPartitioner(desc[1])
+    return RangePartitioner(desc[1], desc[2])
+
+
+def _describe_dep(dep) -> tuple:
+    if type(dep) is OneToOneDependency:
+        return ("one", dep.parent.rdd_id)
+    if type(dep) is RangeDependency:
+        return ("span", dep.parent.rdd_id, dep.in_start, dep.out_start, dep.length)
+    if type(dep) is CoalesceDependency:
+        return ("pack", dep.parent.rdd_id, dep.num_child)
+    if type(dep) is ShuffleDependency:
+        combiner = ship_function(dep.combiner) if dep.combiner is not None else None
+        return (
+            "shuffle",
+            dep.parent.rdd_id,
+            dep.shuffle_id,
+            _describe_partitioner(dep.partitioner),
+            combiner,
+        )
+    raise UnshippableError(f"unknown dependency {type(dep).__name__}")
+
+
+def describe_rdd(rdd) -> dict:
+    """A picklable descriptor the worker rebuilds a compute mirror from.
+
+    Type checks are exact: a user-defined RDD subclass has a compute body
+    this module cannot replicate, so it is unshippable by construction.
+    """
+    kind_extra: dict[str, Any]
+    rtype = type(rdd)
+    if rtype is SourceRDD:
+        kind_extra = {
+            "kind": "source",
+            "fn": ship_function(rdd._gen_fn),
+            "seed": getattr(rdd.ctx, "seed", 0),
+        }
+    elif rtype is ParallelCollectionRDD:
+        try:
+            slices = pickle.dumps([list(s) for s in rdd._slices])
+        except Exception as exc:
+            raise UnshippableError("unpicklable parallelized collection") from exc
+        kind_extra = {"kind": "parallel", "slices": slices}
+    elif rtype is MapPartitionsRDD:
+        kind_extra = {"kind": "map", "fn": ship_function(rdd._fn)}
+    elif rtype is UnionRDD:
+        kind_extra = {"kind": "union"}
+    elif rtype is CoalesceRDD:
+        kind_extra = {"kind": "coalesce"}
+    elif rtype is ZipPartitionsRDD:
+        kind_extra = {"kind": "zip", "fn": ship_function(rdd._fn)}
+    elif rtype is ShuffledRDD:
+        kind_extra = {"kind": "shuffled", "group": rdd._group}
+    elif rtype is CoGroupedRDD:
+        kind_extra = {"kind": "cogroup", "sides": list(rdd._sides)}
+    else:
+        raise UnshippableError(f"unshippable RDD type {rtype.__name__}")
+    return {
+        "rdd_id": rdd.rdd_id,
+        "num_partitions": rdd.num_partitions,
+        "deps": [_describe_dep(dep) for dep in rdd.deps],
+        **kind_extra,
+    }

@@ -1,0 +1,46 @@
+"""The compute oracle: worker-speculated partition results for one superstep.
+
+Workers run the *data plane only* — no clock, no metrics, no cache
+decisions.  Their results are collected here at the superstep barrier and
+substituted by the coordinator's sequential replay at the innermost
+compute points (``Driver._compute`` / ``FusionPlanner.execute``), so every
+observable — virtual time, cache events, traces — is produced by exactly
+the same code path as the single-process engine, minus the redundant
+re-execution of user operator bodies.
+
+A lookup that misses simply falls back to local computation: correctness
+never depends on speculation coverage.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+class ComputeOracle:
+    """One superstep's speculated results, keyed like the block namespace."""
+
+    __slots__ = ("data", "lens", "merge_counts")
+
+    def __init__(self) -> None:
+        #: (rdd_id, split) -> computed partition (a plain list)
+        self.data: dict[tuple[int, int], list] = {}
+        #: (rdd_id, split) -> element count (fusion-elided intermediates
+        #: ship only their cardinality — that is all the charge loop needs)
+        self.lens: dict[tuple[int, int], int] = {}
+        #: (shuffle_id, reduce_split) -> merged reduce-input record count
+        self.merge_counts: dict[tuple[int, int], int] = {}
+
+    def record(self, rdd_id: int, split: int, value: Any, *, want_data: bool) -> None:
+        self.lens[(rdd_id, split)] = len(value)
+        if want_data:
+            self.data[(rdd_id, split)] = value
+
+    def __len__(self) -> int:
+        return len(self.lens)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<ComputeOracle data={len(self.data)} lens={len(self.lens)} "
+            f"merges={len(self.merge_counts)}>"
+        )

@@ -1,0 +1,61 @@
+"""Executor -> shard assignment for the sharded simulation engine.
+
+Shards own *contiguous* executor ranges.  Locality-aware scheduling pins
+partition ``s`` to executor ``s % num_executors``, so contiguous ranges
+keep a dataset's co-indexed partitions spread across shards in a fixed,
+deterministic striping — and make ``shard_of_executor`` pure arithmetic,
+which the tracer's deterministic merge relies on (ascending executor id
+implies non-descending shard, see ``merge_routed_entries``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """Partition ``num_executors`` executors into contiguous shard ranges.
+
+    The first ``num_executors % num_shards`` shards get one extra
+    executor, so ranges differ in size by at most one.  A plan never has
+    more shards than executors — the coordinator clamps rather than
+    erroring so small test clusters can reuse large-run configs.
+    """
+
+    num_executors: int
+    num_shards: int
+
+    def __post_init__(self) -> None:
+        if self.num_executors < 1:
+            raise ConfigError("ShardPlan needs at least one executor")
+        if self.num_shards < 1:
+            raise ConfigError("ShardPlan needs at least one shard")
+        if self.num_shards > self.num_executors:
+            object.__setattr__(self, "num_shards", self.num_executors)
+
+    # ------------------------------------------------------------------
+    def shard_of_executor(self, executor_id: int) -> int:
+        """Shard owning ``executor_id`` (O(1) arithmetic inverse)."""
+        base = self.num_executors // self.num_shards
+        extra = self.num_executors % self.num_shards
+        boundary = extra * (base + 1)
+        if executor_id < boundary:
+            return executor_id // (base + 1)
+        return extra + (executor_id - boundary) // base
+
+    def shard_of_split(self, split: int) -> int:
+        """Shard owning a partition index (via its home executor)."""
+        return self.shard_of_executor(split % self.num_executors)
+
+    def executors_of(self, shard: int) -> range:
+        """The contiguous executor-id range hosted by ``shard``."""
+        base = self.num_executors // self.num_shards
+        extra = self.num_executors % self.num_shards
+        start = shard * base + min(shard, extra)
+        return range(start, start + base + (1 if shard < extra else 0))
+
+    def __repr__(self) -> str:
+        return f"<ShardPlan {self.num_executors} executors / {self.num_shards} shards>"

@@ -1,0 +1,171 @@
+"""Shard transports: in-process (zero-copy) and spawned worker processes.
+
+Both transports fill the superstep's :class:`ComputeOracle` from the same
+:class:`SpeculativeEvaluator` semantics; they differ only in where the
+evaluator runs and how data crosses the boundary:
+
+- :class:`LocalShardTransport` (default) runs the evaluator in-process
+  over the real RDD objects.  It peeks cached blocks and registered
+  shuffle buckets zero-copy, records full data for every requested key,
+  and is the reference for the trace-identity guarantee.
+- :class:`ProcessShardTransport` spawns one worker process per shard
+  (lazily, on the first dispatched superstep) and ships lineage
+  descriptors, residency deltas, and reduce-input buckets over pipes.
+  Unshippable nodes (exotic closures, user RDD subclasses) taint their
+  stage: dispatch is skipped and the replay computes locally.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+from typing import TYPE_CHECKING
+
+from .evaluator import SpeculativeEvaluator
+from .graph import UnshippableError, describe_rdd
+from .worker import worker_main
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .coordinator import ShardCoordinator
+    from .oracle import ComputeOracle
+
+
+class LocalShardTransport:
+    """In-process superstep execution over the real dataflow graph."""
+
+    def __init__(self, coordinator: "ShardCoordinator") -> None:
+        self._cluster = coordinator.cluster
+        self._evaluator = SpeculativeEvaluator(
+            peek_block=self._peek_block, peek_buckets=self._peek_buckets
+        )
+
+    # -- zero-copy peeks (must not touch blocks or charge anything) ----
+    def _peek_block(self, key: tuple[int, int]):
+        holders = self._cluster.directory.holders_of(key)
+        if not holders:
+            return None
+        block = self._cluster.executors[min(holders)].bm.get(key)
+        return block.data if block is not None else None
+
+    def _peek_buckets(self, dep, reduce_split: int):
+        if not self._cluster.shuffle.is_complete(dep):
+            return None
+        return self._cluster.shuffle.bucket_lists_for(dep, reduce_split)
+
+    # ------------------------------------------------------------------
+    def run_superstep(self, stage, need, nodes, deltas, oracle: "ComputeOracle") -> bool:
+        evaluator = self._evaluator
+        evaluator.begin_step(set(self._cluster.directory.resident_blocks()))
+        for (rdd_id, split), _want_data in need.items():
+            try:
+                val = evaluator.partition(nodes[rdd_id], split)
+            except Exception:
+                continue
+            if type(val) is list:
+                # In-process data is zero-copy: record it even for keys
+                # classified len-only, maximizing replay coverage.
+                oracle.record(rdd_id, split, val, want_data=True)
+        oracle.merge_counts.update(evaluator.merge_counts)
+        self._cluster.metrics.shuffle_fetch_rpcs += evaluator.fetches_served
+        return True
+
+    def shutdown(self) -> None:  # noqa: B027 - nothing to tear down
+        pass
+
+
+class ProcessShardTransport:
+    """Spawned worker processes, one per shard, fed over pipes."""
+
+    def __init__(self, coordinator: "ShardCoordinator") -> None:
+        self._coordinator = coordinator
+        self._cluster = coordinator.cluster
+        self._plan = coordinator.plan
+        self._workers: list[tuple] | None = None
+        #: rdd ids whose descriptors every live worker already holds
+        self._shipped: set[int] = set()
+        #: rdd ids that failed to describe (skip their stages forever)
+        self._tainted: set[int] = set()
+        #: residency deltas accumulated while no dispatch happened, so a
+        #: later superstep still delivers an exact pin set to workers
+        self._pending_deltas: list = []
+
+    # ------------------------------------------------------------------
+    def _ensure_workers(self) -> list[tuple]:
+        if self._workers is None:
+            ctx = mp.get_context("spawn")
+            self._workers = []
+            for shard_id in range(self._plan.num_shards):
+                parent_conn, child_conn = ctx.Pipe()
+                process = ctx.Process(
+                    target=worker_main, args=(shard_id, child_conn), daemon=True
+                )
+                process.start()
+                child_conn.close()
+                self._workers.append((process, parent_conn))
+        return self._workers
+
+    # ------------------------------------------------------------------
+    def run_superstep(self, stage, need, nodes, deltas, oracle: "ComputeOracle") -> bool:
+        self._pending_deltas.extend(deltas)
+        if self._tainted.intersection(nodes):
+            return False
+        graph_delta = []
+        for rdd_id in sorted(set(nodes) - self._shipped):
+            try:
+                graph_delta.append(describe_rdd(nodes[rdd_id]))
+            except UnshippableError:
+                self._tainted.add(rdd_id)
+        if self._tainted.intersection(nodes):
+            return False
+
+        shard_need: dict[int, list[tuple[int, int, bool]]] = {}
+        shard_buckets: dict[int, dict[tuple[int, int], list]] = {}
+        shuffle = self._cluster.shuffle
+        for (rdd_id, split), want_data in need.items():
+            shard_id = self._plan.shard_of_split(split)
+            shard_need.setdefault(shard_id, []).append((rdd_id, split, want_data))
+            for dep in nodes[rdd_id].shuffle_deps:
+                if shuffle.is_complete(dep):
+                    shard_buckets.setdefault(shard_id, {})[
+                        (dep.shuffle_id, split)
+                    ] = shuffle.bucket_lists_for(dep, split)
+
+        workers = self._ensure_workers()
+        deltas_out = self._pending_deltas
+        self._pending_deltas = []
+        for shard_id, (_process, conn) in enumerate(workers):
+            conn.send((
+                "step",
+                graph_delta,
+                shard_need.get(shard_id, []),
+                deltas_out,
+                shard_buckets.get(shard_id, {}),
+            ))
+        self._shipped.update(desc["rdd_id"] for desc in graph_delta)
+        self._cluster.metrics.shuffle_fetch_rpcs += sum(
+            len(buckets) for buckets in shard_buckets.values()
+        )
+        for _process, conn in workers:
+            _tag, entries, merge_counts = conn.recv()
+            for rdd_id, split, data, length in entries:
+                oracle.lens[(rdd_id, split)] = length
+                if data is not None:
+                    oracle.data[(rdd_id, split)] = data
+            oracle.merge_counts.update(merge_counts)
+        return True
+
+    # ------------------------------------------------------------------
+    def shutdown(self) -> None:
+        if self._workers is None:
+            return
+        for process, conn in self._workers:
+            try:
+                conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+            conn.close()
+        for process, _conn in self._workers:
+            process.join(timeout=5.0)
+            if process.is_alive():  # pragma: no cover - hung worker
+                process.terminate()
+                process.join(timeout=1.0)
+        self._workers = None

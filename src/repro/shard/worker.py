@@ -1,0 +1,284 @@
+"""Shard worker process: rebuilds lineage mirrors and evaluates partitions.
+
+``worker_main`` is the spawn entry point of the process transport.  Each
+worker hosts a contiguous executor group (see :class:`ShardPlan`) and
+speaks a tiny message protocol over a ``multiprocessing`` pipe:
+
+- ``("step", graph_delta, need, deltas, buckets)`` — extend the mirrored
+  lineage with new node descriptors, apply block-residency deltas (which
+  pin retained entries), then evaluate the requested ``(rdd_id, split,
+  want_data)`` keys and reply ``("ok", entries, merge_counts)``;
+- ``("stop",)`` — exit the loop.
+
+Mirror nodes replicate each RDD subclass's ``compute`` body exactly; the
+shipped ``shuffle_id`` (never re-minted — the real ``ShuffleDependency``
+constructor draws from a process-global counter) keys the coordinator's
+bucket shipments.  Everything here is data-plane only: failures degrade
+to omitted entries, i.e. oracle misses on the coordinator.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Any
+
+from ..sim.rng import make_rng
+from .evaluator import SpeculativeEvaluator
+from .graph import load_function, load_partitioner
+
+
+# ----------------------------------------------------------------------
+# Dependency mirrors (same ``parent_splits`` arithmetic as the real ones)
+# ----------------------------------------------------------------------
+class _OneToOne:
+    __slots__ = ("parent",)
+
+    def __init__(self, parent) -> None:
+        self.parent = parent
+
+    def parent_splits(self, child_split: int) -> list[int]:
+        return [child_split]
+
+
+class _Span:
+    __slots__ = ("parent", "in_start", "out_start", "length")
+
+    def __init__(self, parent, in_start: int, out_start: int, length: int) -> None:
+        self.parent = parent
+        self.in_start = in_start
+        self.out_start = out_start
+        self.length = length
+
+    def parent_splits(self, child_split: int) -> list[int]:
+        if self.out_start <= child_split < self.out_start + self.length:
+            return [child_split - self.out_start + self.in_start]
+        return []
+
+
+class _Pack:
+    __slots__ = ("parent", "num_child")
+
+    def __init__(self, parent, num_child: int) -> None:
+        self.parent = parent
+        self.num_child = num_child
+
+    def parent_splits(self, child_split: int) -> list[int]:
+        n_parent = self.parent.num_partitions
+        start = n_parent * child_split // self.num_child
+        end = n_parent * (child_split + 1) // self.num_child
+        return list(range(start, end))
+
+
+class _ShuffleDep:
+    __slots__ = ("parent", "shuffle_id", "partitioner", "combiner")
+
+    def __init__(self, parent, shuffle_id: int, partitioner, combiner) -> None:
+        self.parent = parent
+        self.shuffle_id = shuffle_id
+        self.partitioner = partitioner
+        self.combiner = combiner
+
+
+class _WorkerNode:
+    """Compute mirror of one RDD: structure + a compute closure."""
+
+    __slots__ = ("rdd_id", "num_partitions", "narrow", "shuffle_deps", "_compute")
+
+    def __init__(self, rdd_id: int, num_partitions: int) -> None:
+        self.rdd_id = rdd_id
+        self.num_partitions = num_partitions
+        self.narrow: list = []
+        self.shuffle_deps: list[_ShuffleDep] = []
+        self._compute = None
+
+    def narrow_inputs(self, split: int) -> list[tuple["_WorkerNode", int]]:
+        pairs = []
+        for dep in self.narrow:
+            pairs.extend((dep.parent, ps) for ps in dep.parent_splits(split))
+        return pairs
+
+    def compute(self, split: int, narrow_data: list, shuffle_data: list) -> list:
+        return self._compute(self, split, narrow_data, shuffle_data)
+
+
+# ----------------------------------------------------------------------
+# Compute bodies (element- and order-identical to ``repro.dataflow.rdd``)
+# ----------------------------------------------------------------------
+def _make_compute(desc: dict):
+    kind = desc["kind"]
+    if kind == "source":
+        fn = load_function(desc["fn"])
+        seed = desc["seed"]
+
+        def compute(node, split, narrow_data, shuffle_data):
+            return list(fn(split, make_rng(seed, node.rdd_id, split)))
+
+    elif kind == "parallel":
+        slices = pickle.loads(desc["slices"])
+
+        def compute(node, split, narrow_data, shuffle_data):
+            return list(slices[split])
+
+    elif kind == "map":
+        fn = load_function(desc["fn"])
+
+        def compute(node, split, narrow_data, shuffle_data):
+            (parent_part,) = narrow_data
+            out = fn(split, parent_part)
+            return out if type(out) is list else list(out)
+
+    elif kind == "union":
+
+        def compute(node, split, narrow_data, shuffle_data):
+            (parent_part,) = narrow_data
+            return parent_part
+
+    elif kind == "coalesce":
+
+        def compute(node, split, narrow_data, shuffle_data):
+            if len(narrow_data) == 1:
+                return narrow_data[0]
+            out: list = []
+            for part in narrow_data:
+                out.extend(part)
+            return out
+
+    elif kind == "zip":
+        fn = load_function(desc["fn"])
+
+        def compute(node, split, narrow_data, shuffle_data):
+            out = fn(split, *narrow_data)
+            return out if type(out) is list else list(out)
+
+    elif kind == "shuffled":
+        group = desc["group"]
+
+        def compute(node, split, narrow_data, shuffle_data):
+            (records,) = shuffle_data
+            if node.shuffle_deps[0].combiner is not None or group:
+                return records
+            return [(k, v) for k, vs in records for v in vs]
+
+    elif kind == "cogroup":
+        sides = desc["sides"]
+
+        def compute(node, split, narrow_data, shuffle_data):
+            narrow_iter = iter(narrow_data)
+            shuffle_iter = iter(shuffle_data)
+            merged: dict = {}
+            get = merged.get
+            for side_idx, side in enumerate(sides):
+                if side == "shuffle":
+                    for k, vs in next(shuffle_iter):
+                        entry = get(k)
+                        if entry is None:
+                            merged[k] = entry = ([], [])
+                        entry[side_idx].extend(vs)
+                else:
+                    for k, v in next(narrow_iter):
+                        entry = get(k)
+                        if entry is None:
+                            merged[k] = entry = ([], [])
+                        entry[side_idx].append(v)
+            return list(merged.items())
+
+    else:  # pragma: no cover - descriptors are produced by describe_rdd
+        raise ValueError(f"unknown node kind {kind!r}")
+    return compute
+
+
+def build_node(desc: dict, nodes: dict[int, _WorkerNode]) -> _WorkerNode:
+    """Rebuild one descriptor into a mirror (parents must exist already)."""
+    node = _WorkerNode(desc["rdd_id"], desc["num_partitions"])
+    for dep in desc["deps"]:
+        tag = dep[0]
+        parent = nodes[dep[1]]
+        if tag == "one":
+            node.narrow.append(_OneToOne(parent))
+        elif tag == "span":
+            node.narrow.append(_Span(parent, dep[2], dep[3], dep[4]))
+        elif tag == "pack":
+            node.narrow.append(_Pack(parent, dep[2]))
+        else:  # shuffle
+            combiner = load_function(dep[4]) if dep[4] is not None else None
+            node.shuffle_deps.append(
+                _ShuffleDep(parent, dep[2], load_partitioner(dep[3]), combiner)
+            )
+    node._compute = _make_compute(desc)
+    nodes[desc["rdd_id"]] = node
+    return node
+
+
+# ----------------------------------------------------------------------
+# Worker main loop
+# ----------------------------------------------------------------------
+def evaluate_need(
+    evaluator: SpeculativeEvaluator,
+    nodes: dict[int, _WorkerNode],
+    need: list[tuple[int, int, bool]],
+) -> list[tuple[int, int, Any, int]]:
+    """Evaluate requested keys; per-key failures are silently omitted."""
+    entries: list[tuple[int, int, Any, int]] = []
+    for rdd_id, split, want_data in need:
+        node = nodes.get(rdd_id)
+        if node is None:
+            continue
+        try:
+            val = evaluator.partition(node, split)
+        except Exception:
+            continue
+        if type(val) is not list:
+            continue
+        entries.append((rdd_id, split, val if want_data else None, len(val)))
+    return entries
+
+
+def worker_main(shard_id: int, conn) -> None:
+    """Process entry point (must be importable under the spawn method)."""
+    nodes: dict[int, _WorkerNode] = {}
+    evaluator = SpeculativeEvaluator()
+    #: block_id -> executor ids holding it in the simulated cluster; fed
+    #: by the coordinator's residency deltas, pins the retained store
+    holders: dict[tuple[int, int], set[int]] = {}
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):
+            break
+        if msg[0] == "stop":
+            break
+        _, graph_delta, need, deltas, buckets = msg
+        for executor_id, block_id, present in deltas:
+            block_id = tuple(block_id)
+            if present:
+                holders.setdefault(block_id, set()).add(executor_id)
+            else:
+                owners = holders.get(block_id)
+                if owners is not None:
+                    owners.discard(executor_id)
+                    if not owners:
+                        del holders[block_id]
+        for desc in graph_delta:
+            try:
+                build_node(desc, nodes)
+            except Exception:
+                nodes.pop(desc["rdd_id"], None)
+        evaluator.begin_step(set(holders), buckets)
+        entries = evaluate_need(evaluator, nodes, need)
+        reply = ("ok", entries, evaluator.merge_counts)
+        try:
+            conn.send(reply)
+        except Exception:
+            # An entry's data resisted pickling: drop offenders and retry.
+            kept = []
+            for entry in entries:
+                try:
+                    pickle.dumps(entry[2])
+                except Exception:
+                    continue
+                kept.append(entry)
+            try:
+                conn.send(("ok", kept, evaluator.merge_counts))
+            except Exception:
+                conn.send(("ok", [], {}))
+    conn.close()

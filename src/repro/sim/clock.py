@@ -48,7 +48,11 @@ class VirtualClock:
         if new != self._now:
             self._now = new
             if self._listeners:
-                for fn in self._listeners:
+                # Snapshot: a listener may remove itself (or a sibling)
+                # mid-sweep — shard barrier listeners unregister dynamically
+                # — and mutating the list under iteration would silently
+                # skip the next listener.
+                for fn in tuple(self._listeners):
                     fn(new)
 
     def advance_by(self, dt: float) -> float:
@@ -59,7 +63,7 @@ class VirtualClock:
             self._now += float(dt)
             if self._listeners:
                 now = self._now
-                for fn in self._listeners:
+                for fn in tuple(self._listeners):  # tolerate mid-sweep removal
                     fn(now)
         return self._now
 

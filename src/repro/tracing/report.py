@@ -130,6 +130,10 @@ class RunReport:
     #: cache-access counters (hits/misses on candidate datasets) — always
     #: populated, trace not required
     access_counters: dict[str, int] = field(default_factory=dict)
+    #: sharded-engine counters (supersteps, residency deltas, bucket
+    #: fetches) — see ``MetricsCollector.shard_counters``; all zero with
+    #: ``BlazeConfig.sharded_engine`` off
+    shard_counters: dict[str, int] = field(default_factory=dict)
     #: decision audit log (``repro.obs``); empty unless ``obs.enabled``
     audit_entries: tuple["AuditEntry", ...] = field(default_factory=tuple)
     #: occupancy time-series (``repro.obs``); empty unless ``obs.enabled``
@@ -169,6 +173,7 @@ class RunReport:
             },
             events=ctx.tracer.events,
             access_counters=m.access_counters(),
+            shard_counters=m.shard_counters(),
             audit_entries=hub.audit.entries if hub is not None else (),
             samples=hub.sampler.samples if hub is not None else (),
             job_records=tuple(service.job_records) if service is not None else (),

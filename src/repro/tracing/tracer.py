@@ -21,8 +21,8 @@ into ``pid``/``tid``.
 from __future__ import annotations
 
 from contextlib import contextmanager
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Iterator
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Any, Callable, Iterator
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..sim.clock import VirtualClock
@@ -31,6 +31,10 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 DRIVER_PID = 0
 #: process id of the dependency-extraction sandbox
 PROFILER_PID = 1000
+#: pseudo-shard of coordinator-side emissions under shard routing; sorts
+#: before every real shard so barrier-time coordinator events (stage spans,
+#: cache decisions) precede same-vtime task events of the next epoch.
+COORDINATOR_SHARD = -1
 
 
 def executor_pid(executor_id: int) -> int:
@@ -71,6 +75,28 @@ class TraceEvent:
         }
 
 
+def merge_routed_entries(buffers) -> list[TraceEvent]:
+    """Deterministically merge per-shard routed buffers into event order.
+
+    Each buffer holds ``(epoch, vtime, shard, local_seq, event)`` tuples.
+    The merge key reproduces single-process emission order exactly:
+
+    - *epoch* separates superstep phases, so coordinator events emitted at
+      a barrier never interleave with task events sharing the vtime;
+    - *vtime* is the virtual clock at emission (tasks at different times
+      never tie — the clock is frozen inside a task);
+    - *shard* breaks equal-vtime ties: the scheduler pops equal-ready
+      executors in ascending id, and shard ranges are contiguous, so
+      ascending shard is ascending first-executor order;
+    - *local_seq* preserves each shard's intra-buffer emission order.
+
+    The order of ``buffers`` themselves is irrelevant — the key is total.
+    """
+    entries = [entry for buffer in buffers for entry in buffer]
+    entries.sort(key=lambda entry: entry[:4])
+    return [entry[4] for entry in entries]
+
+
 class Tracer:
     """No-op tracer: the interface, with every hook stubbed out.
 
@@ -80,9 +106,20 @@ class Tracer:
     """
 
     enabled: bool = False
+    #: True while the sharded engine routes events into per-shard buffers
+    #: (see :meth:`InMemoryTracer.enable_shard_routing`); the scheduler
+    #: checks this before driving the routing hooks below.
+    shard_routing: bool = False
 
     def bind_clock(self, clock: "VirtualClock") -> None:  # noqa: B027
         """Attach the virtual clock that stamps default timestamps."""
+
+    # -- shard routing hooks (no-ops unless routing is enabled) ---------
+    def set_shard_for_executor(self, executor_id: int) -> None:  # noqa: B027
+        """Route subsequent emissions to the shard hosting ``executor_id``."""
+
+    def shard_barrier(self) -> None:  # noqa: B027
+        """Virtual-time barrier: start a new merge epoch, coordinator context."""
 
     # ------------------------------------------------------------------
     def instant(
@@ -154,9 +191,47 @@ class InMemoryTracer(Tracer):
         self._seq = 0
         self._next_span_id = 0
         self._open: list[_OpenSpan] = []
+        # Shard-routing state (inert until ``enable_shard_routing``).
+        # Events emitted while routing land in per-shard buffers keyed by
+        # ``(epoch, emission vtime, shard, local seq)``; ``events`` merges
+        # them deterministically (see ``merge_routed_entries``).  Events
+        # recorded before routing was enabled (the profiling phase) form a
+        # fixed prefix and keep their original sequence numbers.
+        self._routing = False
+        self._shard_of: Callable[[int], int] | None = None
+        self._shard = COORDINATOR_SHARD
+        self._epoch = 0
+        self._routed: dict[int, list] = {}
+        self._merge_memo: tuple | None = None
 
     def bind_clock(self, clock: "VirtualClock") -> None:
         self._clock = clock
+
+    # ------------------------------------------------------------------
+    # Shard routing (the sharded engine's per-shard event buffers)
+    # ------------------------------------------------------------------
+    @property
+    def shard_routing(self) -> bool:  # type: ignore[override]
+        return self._routing
+
+    def enable_shard_routing(self, shard_of_executor: Callable[[int], int]) -> None:
+        """Start routing emissions into per-shard buffers.
+
+        ``shard_of_executor`` maps an executor id to its shard.  Until the
+        scheduler assigns a task context, emissions belong to the
+        coordinator (shard :data:`COORDINATOR_SHARD`).
+        """
+        self._routing = True
+        self._shard_of = shard_of_executor
+        self._shard = COORDINATOR_SHARD
+
+    def set_shard_for_executor(self, executor_id: int) -> None:
+        self._shard = self._shard_of(executor_id)
+
+    def shard_barrier(self) -> None:
+        """Close the current merge epoch (task phase <-> coordinator phase)."""
+        self._epoch += 1
+        self._shard = COORDINATOR_SHARD
 
     # ------------------------------------------------------------------
     def _now(self, ts: float | None) -> float:
@@ -169,6 +244,20 @@ class InMemoryTracer(Tracer):
         pid: int, tid: int, span_id: int | None, parent_id: int | None,
         args: dict[str, Any],
     ) -> None:
+        if self._routing:
+            # Sequence numbers are assigned at merge time; the buffer key
+            # records everything the deterministic merge needs.  The
+            # emission vtime is the *clock* now, not the event's ``ts``
+            # (a span's ts is its begin time, but ordering is by close).
+            buffer = self._routed.setdefault(self._shard, [])
+            buffer.append((
+                self._epoch, self._clock.now if self._clock is not None else 0.0,
+                self._shard, len(buffer),
+                TraceEvent(-1, kind, name, cat, ts, dur, pid, tid,
+                           span_id, parent_id, args),
+            ))
+            self._merge_memo = None
+            return
         self._events.append(
             TraceEvent(self._seq, kind, name, cat, ts, dur, pid, tid, span_id, parent_id, args)
         )
@@ -224,7 +313,15 @@ class InMemoryTracer(Tracer):
     # ------------------------------------------------------------------
     @property
     def events(self) -> tuple[TraceEvent, ...]:
-        return tuple(self._events)
+        if not self._routed:
+            return tuple(self._events)
+        if self._merge_memo is None:
+            merged = merge_routed_entries(self._routed.values())
+            prefix = len(self._events)
+            self._merge_memo = tuple(self._events) + tuple(
+                replace(event, seq=prefix + i) for i, event in enumerate(merged)
+            )
+        return self._merge_memo
 
     # NOTE: no __len__ — an empty tracer must never be falsy (callers use
     # ``tracer is None`` checks, and ``tracer or NULL_TRACER`` would

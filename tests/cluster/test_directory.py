@@ -1,0 +1,100 @@
+"""ResidencyDirectory: listener-fed membership, O(1) lookups, journal."""
+
+from __future__ import annotations
+
+from repro.cluster.blocks import Block
+from repro.cluster.cluster import Cluster
+from repro.config import ClusterConfig, MiB
+
+
+def _cluster(num_executors: int = 4) -> Cluster:
+    return Cluster(
+        ClusterConfig(num_executors=num_executors, memory_store_bytes=4 * MiB)
+    )
+
+
+def _block(cluster: Cluster, rdd_id: int, split: int, size: float = 1024.0):
+    executor = cluster.executor_for(split)
+    block = Block(block_id=(rdd_id, split), data=[split], size_bytes=size)
+    return executor, block
+
+
+def test_membership_tracks_insert_and_discard():
+    cluster = _cluster()
+    executor, block = _block(cluster, 1, 0)
+    assert cluster.directory.holders_of(block.block_id) == frozenset()
+    executor.bm.insert_memory(block)
+    assert cluster.directory.holders_of(block.block_id) == {executor.executor_id}
+    executor.bm.discard(block.block_id, evicted=False)
+    assert cluster.directory.holders_of(block.block_id) == frozenset()
+
+
+def test_membership_survives_spill_to_disk():
+    from repro.metrics.collector import TaskMetrics
+
+    cluster = _cluster()
+    executor, block = _block(cluster, 1, 1)
+    executor.bm.insert_memory(block)
+    executor.bm.spill_to_disk(block.block_id, TaskMetrics())
+    # Tier move within the executor: still resident, membership unchanged.
+    assert cluster.directory.holders_of(block.block_id) == {executor.executor_id}
+    executor.bm.discard(block.block_id, evicted=False)
+    assert cluster.directory.holders_of(block.block_id) == frozenset()
+
+
+def test_find_block_matches_linear_scan_and_counts_lookups():
+    cluster = _cluster(num_executors=4)
+    blocks = []
+    for split in range(8):
+        executor, block = _block(cluster, 2, split)
+        executor.bm.insert_memory(block)
+        blocks.append(block)
+
+    def linear_scan(block_id):
+        home = cluster.executors[block_id[1] % len(cluster.executors)]
+        order = [home] + [e for e in cluster.executors if e is not home]
+        for executor in order:
+            loc = executor.bm.location_of(block_id)
+            if loc is not None:
+                return executor, loc
+        return None
+
+    before = cluster.directory.lookups
+    probes = 0
+    for block in blocks:
+        assert cluster.find_block(block.block_id) == linear_scan(block.block_id)
+        probes += 1
+    assert cluster.find_block((99, 0)) is None
+    probes += 1
+    # Exactly one directory probe per find_block — the O(n) executor scan
+    # is gone, which is the point of the directory at 1000-executor scale.
+    assert cluster.directory.lookups - before == probes
+
+
+def test_journal_records_deltas_only_while_enabled():
+    cluster = _cluster()
+    e0, b0 = _block(cluster, 3, 0)
+    e0.bm.insert_memory(b0)  # before enable: not journaled
+    directory = cluster.directory
+    directory.enable_journal()
+    assert directory.drain_journal() == []
+    e1, b1 = _block(cluster, 3, 1)
+    e1.bm.insert_memory(b1)
+    e0.bm.discard(b0.block_id, evicted=False)
+    deltas = directory.drain_journal()
+    assert (e1.executor_id, b1.block_id, True) in deltas
+    assert (e0.executor_id, b0.block_id, False) in deltas
+    assert directory.drain_journal() == []
+    directory.disable_journal()
+    e1.bm.discard(b1.block_id, evicted=False)
+    assert directory.drain_journal() == []
+
+
+def test_resident_blocks_lists_every_block_somewhere():
+    cluster = _cluster()
+    ids = set()
+    for split in range(5):
+        executor, block = _block(cluster, 4, split)
+        executor.bm.insert_memory(block)
+        ids.add(block.block_id)
+    assert set(cluster.directory.resident_blocks()) == ids

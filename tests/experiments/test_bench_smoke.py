@@ -191,6 +191,29 @@ def test_bench_smoke_columnar(tmp_path):
         assert cell["observables_identical"] is True
 
 
+def test_bench_smoke_scale(tmp_path):
+    doc = _run_smoke(tmp_path, "--suite", "scale")
+    scale = doc["scale"]
+    assert scale["cells"], "smoke must produce at least one scale cell"
+    assert scale["all_results_identical"] is True
+    assert scale["all_observables_identical"] is True
+    for cell in scale["cells"]:
+        single = cell["single"]
+        # The kill switch really is off on the single-process side ...
+        assert all(v == 0 for v in single["shard_counters"].values())
+        for mode in ("sharded_local", "sharded_process"):
+            m = cell[mode]
+            assert m["final_value"] == single["final_value"]
+            # ... and the superstep plane is engaged on the sharded sides.
+            sc = m["shard_counters"]
+            assert sc["tasks_dispatched"] > 0
+            assert sc["barrier_syncs"] > 0
+            assert sc["shuffle_fetch_rpcs"] > 0
+        assert cell["single_dnf"] is False
+        # No speedup bar at smoke scale (process spawn dominates tiny
+        # cells); BENCH_pr9.json carries the 256/1024-executor numbers.
+
+
 def test_bench_smoke_profile_mode(tmp_path):
     doc = _run_smoke(tmp_path, "--profile", "--suite", "dataplane")
     for cell in doc["dataplane"]["cells"]:

@@ -39,7 +39,8 @@ def _trace(system: str, incremental: bool = True, fused: bool = True,
            obs: bool = False, columnar: bool = True,
            workload_overrides: dict | None = None,
            require_evictions: bool = True,
-           min_kernel_partitions: int = 0) -> str:
+           min_kernel_partitions: int = 0,
+           sharded: bool = False) -> str:
     wl = replace_params(
         make_workload(workload, "tiny"),
         num_partitions=24,
@@ -57,6 +58,7 @@ def _trace(system: str, incremental: bool = True, fused: bool = True,
             fault_injection=schedule is not None,
             obs=ObsConfig(enabled=obs),
             columnar_backend=columnar,
+            sharded_engine=sharded, num_shards=2,
         ),
         tracer=tracer,
         fault_schedule=schedule,
@@ -168,4 +170,41 @@ def test_columnar_faulted_trace_is_byte_identical(system):
     schedule = _fault_schedule()
     assert _trace(system, schedule=schedule, columnar=False) == _trace(
         system, schedule=schedule, columnar=True
+    )
+
+
+# The sharded engine (PR 9) fans the data plane out across shard workers
+# but keeps the clock, the cache-decision path, and the trace on the
+# coordinator — so the kill switch must be invisible in the JSONL: every
+# preset, fused and unfused, faulted or not, emits the byte-exact trace
+# with ``sharded_engine`` on (LocalShardTransport) vs. off under the same
+# memory-pressure workload.
+@pytest.mark.parametrize("system", sorted(SYSTEMS))
+def test_sharded_trace_is_byte_identical(system):
+    assert _trace(system, sharded=False) == _trace(system, sharded=True)
+
+
+@pytest.mark.parametrize("system", ["blaze", "costaware", "spark_mem_disk"])
+def test_sharded_unfused_trace_is_byte_identical(system):
+    assert _trace(system, fused=False, sharded=False) == _trace(
+        system, fused=False, sharded=True
+    )
+
+
+@pytest.mark.parametrize("system", ["blaze", "costaware", "spark_mem_disk", "spark_lrc"])
+def test_sharded_faulted_trace_is_byte_identical(system):
+    assert _trace(system, schedule=_fault_schedule(), sharded=False) == _trace(
+        system, schedule=_fault_schedule(), sharded=True
+    )
+
+
+@pytest.mark.parametrize("system", ["blaze", "spark_mem_disk"])
+def test_sharded_chain_trace_is_byte_identical(system):
+    overrides = {"record_bytes": 0.3 * MiB}
+    assert _trace(
+        system, workload="chain", workload_overrides=overrides,
+        require_evictions=False, sharded=False,
+    ) == _trace(
+        system, workload="chain", workload_overrides=overrides,
+        require_evictions=False, sharded=True,
     )

@@ -1,0 +1,52 @@
+"""ShardPlan arithmetic: contiguous groups, locality, clamping."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.shard.plan import ShardPlan
+
+
+def test_groups_are_contiguous_and_cover_every_executor():
+    plan = ShardPlan(10, 3)
+    seen = []
+    for shard in range(plan.num_shards):
+        group = list(plan.executors_of(shard))
+        assert group == sorted(group)
+        if seen:
+            assert group[0] == seen[-1] + 1
+        seen.extend(group)
+    assert seen == list(range(10))
+
+
+@pytest.mark.parametrize("executors,shards", [(1, 1), (7, 3), (8, 8), (1000, 16)])
+def test_shard_of_executor_matches_group_membership(executors, shards):
+    plan = ShardPlan(executors, shards)
+    for shard in range(plan.num_shards):
+        for eid in plan.executors_of(shard):
+            assert plan.shard_of_executor(eid) == shard
+
+
+def test_group_sizes_differ_by_at_most_one():
+    plan = ShardPlan(1000, 7)
+    sizes = [len(plan.executors_of(s)) for s in range(plan.num_shards)]
+    assert max(sizes) - min(sizes) <= 1
+    assert sum(sizes) == 1000
+
+
+def test_split_locality_follows_home_executor():
+    # The scheduler homes split s on executor s % num_executors; the plan
+    # must route the split to whichever shard hosts that executor.
+    plan = ShardPlan(6, 4)
+    for split in range(50):
+        assert plan.shard_of_split(split) == plan.shard_of_executor(split % 6)
+
+
+def test_num_shards_clamped_to_executors():
+    plan = ShardPlan(3, 16)
+    assert plan.num_shards == 3
+
+
+@pytest.mark.parametrize("executors,shards", [(0, 1), (4, 0), (-1, 2)])
+def test_invalid_counts_rejected(executors, shards):
+    with pytest.raises(ConfigError):
+        ShardPlan(executors, shards)

@@ -51,3 +51,50 @@ def test_advance_by_negative_raises():
 
 def test_advance_by_returns_new_time():
     assert VirtualClock(1.0).advance_by(2.0) == pytest.approx(3.0)
+
+
+# ----------------------------------------------------------------------
+# Listener sweep: removal during notification must not skip siblings.
+# (Regression: the sweep used to iterate the live list, so a listener
+# removing itself shifted its successor out of the iteration — the shard
+# coordinator unregisters its barrier listener dynamically.)
+# ----------------------------------------------------------------------
+def test_listener_removing_itself_does_not_skip_siblings():
+    clock = VirtualClock()
+    fired = []
+
+    def first(now):
+        fired.append("first")
+        clock.remove_listener(first)
+
+    def second(now):
+        fired.append("second")
+
+    clock.add_listener(first)
+    clock.add_listener(second)
+    clock.advance_to(1.0)
+    assert fired == ["first", "second"]
+    clock.advance_by(1.0)
+    assert fired == ["first", "second", "second"]
+
+
+def test_listener_removing_a_sibling_mid_sweep():
+    clock = VirtualClock()
+    fired = []
+
+    def second(now):
+        fired.append("second")
+
+    def first(now):
+        fired.append("first")
+        if second in clock._listeners:
+            clock.remove_listener(second)
+
+    clock.add_listener(first)
+    clock.add_listener(second)
+    # The sweep snapshots the list, so the already-scheduled sibling still
+    # fires this move and only drops out of subsequent moves.
+    clock.advance_by(1.0)
+    assert fired == ["first", "second"]
+    clock.advance_to(2.0)
+    assert fired == ["first", "second", "first"]
