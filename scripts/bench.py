@@ -1,8 +1,9 @@
 """Engine benchmarks: decision-layer (PR 3), data-plane (PR 4),
 fault-recovery (PR 5), multi-tenant job-service (PR 6), observability
-(PR 7) and columnar-backend (PR 8) hot paths.
+(PR 7), columnar-backend (PR 8), sharded-engine (PR 9) and
+elastic-fleet (PR 10) hot paths.
 
-Six suites, one script:
+Eight suites, one script:
 
 - **decision** — pressure-heavy cells (working set overflows the memory
   store, eviction/admission decisions dominate) run with
@@ -56,7 +57,22 @@ Six suites, one script:
   Eviction and ILP-node counts must match across all three modes
   (``observables_identical`` — the sharded engine is observationally
   invisible, enforced byte-for-byte by the trace-identity suite).
-  Writes ``BENCH_pr9.json`` by default.
+  Writes ``BENCH_pr9.json`` by default;
+- **elastic** — the elastic-fleet suite (PR 10): each cell first sweeps
+  the workload over every fixed fleet size (the cost-per-job vs
+  fleet-size Pareto, cost = provisioned executor-seconds = fleet size
+  integrated over the virtual run), then replays it on an elastic fleet
+  driven by a forced diurnal :class:`ScaleSchedule` (morning/evening
+  scale-ups, midday/overnight scale-downs, one spot preemption) sized
+  to the base fleet's virtual makespan.  The elastic run executes twice
+  under an :class:`InMemoryTracer`; the JSONL traces must be
+  byte-identical (``deterministic``), the final value must equal the
+  fixed-base-fleet oracle's (``converged``), every fixed fleet size
+  must compute the same answer (``results_identical``), and the
+  schedule's counters must show every event class actually fired
+  (``schedule_engaged``).  The diurnal fleet-seconds integral walks the
+  ``fleet.scale`` trace instants.  Writes ``BENCH_pr10.json`` by
+  default.
 
 Every measurement also records its data-plane identity — ``backend``
 ("columnar" or "list"), ``codec``, and ``spill_codec`` — so cells from
@@ -154,12 +170,14 @@ from repro.config import (
     BlazeConfig,
     ClusterConfig,
     DiskConfig,
+    ElasticConfig,
     GiB,
     MiB,
     ObsConfig,
     ServiceConfig,
 )
 from repro.core.profiler import run_dependency_extraction
+from repro.elastic import ScaleSchedule, ScaleSpec
 from repro.experiments.runner import run_experiment
 from repro.faults import FaultSchedule
 from repro.service import JobService
@@ -209,6 +227,18 @@ SCALE_CELLS = [
 SCALE_NUM_SHARDS = 4
 #: per-measurement wall-clock budget (full mode, subprocess-enforced)
 SCALE_TIME_BUDGET_S = 240.0
+#: elastic suite (PR 10): diurnal autoscaling cells plus the cost-per-job
+#: vs fleet-size Pareto.  Each cell runs the workload on every fixed
+#: fleet size (the Pareto points), then on an elastic fleet driven by a
+#: forced diurnal schedule (two scale-ups, two scale-downs, one spot
+#: preemption) sized to the base fleet's virtual makespan.  Cost is
+#: provisioned executor-seconds (fleet size integrated over the virtual
+#: run); the cross-checks pin results identical across every fleet size
+#: and both elastic repeats byte-deterministic.
+ELASTIC_SYSTEMS = ["blaze", "spark_mem_disk"]
+ELASTIC_WORKLOADS = ["pr"]
+ELASTIC_FLEET_SIZES = [2, 4, 8]
+ELASTIC_BASE_FLEET = 4
 #: service suite (PR 6): the multi-tenant application stream per preset
 SERVICE_SYSTEMS = ["blaze", "spark_mem_disk", "spark_mem_only", "spark_lrc"]
 SERVICE_WORKLOAD = "pr"
@@ -670,6 +700,198 @@ def run_scale_matrix(
     }
 
 
+# ----------------------------------------------------------------------
+# Elastic suite (PR 10): diurnal autoscaling vs the fixed-fleet Pareto
+# ----------------------------------------------------------------------
+def _diurnal_schedule(horizon: float) -> ScaleSchedule:
+    """A forced diurnal day compressed into ``horizon`` virtual seconds.
+
+    Morning ramp (scale-up), midday trough (graceful scale-down), an
+    afternoon spot reclaim (preemption — lineage recovery pays later),
+    an evening peak (scale-up) and the overnight wind-down.  Five
+    events, at least one of each kind, all fleet-size changes nonzero.
+    """
+    h = max(horizon, 1e-3)
+    return ScaleSchedule((
+        ScaleSpec(0.05 * h, "scale_up", count=2),
+        ScaleSpec(0.35 * h, "scale_down", count=2, executor_id=1),
+        ScaleSpec(0.50 * h, "preemption", executor_id=0),
+        ScaleSpec(0.60 * h, "scale_up", count=2),
+        ScaleSpec(0.85 * h, "scale_down", count=1, executor_id=2),
+    ))
+
+
+def _fleet_seconds(events, initial_fleet: int, act_seconds: float) -> float:
+    """Integrate provisioned fleet size over the virtual run.
+
+    ``fleet.scale`` instants carry the post-event fleet size and fire on
+    the same raw virtual clock as ``act_seconds``, so the integral is a
+    left-closed step function from t=0 to the end of the run.
+    """
+    total, last_t, fleet = 0.0, 0.0, initial_fleet
+    for event in events:
+        if event.name != "fleet.scale":
+            continue
+        total += fleet * max(event.ts - last_t, 0.0)
+        last_t, fleet = event.ts, int(event.args["fleet"])
+    return total + fleet * max(act_seconds - last_t, 0.0)
+
+
+def _elastic_cluster(num_executors: int, scale: str) -> ClusterConfig:
+    per_executor = 8.5 * GiB if scale == "paper" else 24 * MiB
+    return ClusterConfig(
+        num_executors=num_executors,
+        slots_per_executor=2,
+        memory_store_bytes=per_executor,
+        tracing_enabled=False,
+        disk=DiskConfig(capacity_bytes=100 * GiB),
+    )
+
+
+def run_elastic_cell(system: str, workload: str, scale: str) -> dict:
+    """One elastic measurement: the fixed-fleet Pareto plus a diurnal run.
+
+    Every fixed fleet size in :data:`ELASTIC_FLEET_SIZES` runs the
+    workload once (the Pareto points: cost = provisioned
+    executor-seconds, so bigger fleets finish sooner but bill more
+    executors for all of it).  The base-fleet point doubles as the
+    convergence oracle for the elastic run, which replays the same
+    workload under the forced diurnal schedule — twice, traced, so the
+    merged JSONL traces must match byte for byte.
+    """
+    wl = make_workload(workload, scale)
+
+    def fixed_run(n: int, tracer=None, schedule=None):
+        bcfg = BlazeConfig(
+            elastic=ElasticConfig(enabled=schedule is not None)
+        )
+        t0 = time.perf_counter()
+        result = run_experiment(
+            system, wl, scale=scale, seed=SEED,
+            cluster_config=_elastic_cluster(n, scale),
+            blaze_config=bcfg, tracer=tracer, scale_schedule=schedule,
+        )
+        return result, time.perf_counter() - t0
+
+    pareto = []
+    by_size = {}
+    for n in ELASTIC_FLEET_SIZES:
+        result, wall = fixed_run(n)
+        by_size[n] = result
+        fleet_seconds = n * result.act_seconds
+        jobs = max(result.report.job_count, 1)
+        pareto.append({
+            "fleet_size": n,
+            "act_seconds": round(result.act_seconds, 6),
+            "fleet_seconds": round(fleet_seconds, 6),
+            "jobs": result.report.job_count,
+            "cost_per_job": round(fleet_seconds / jobs, 6),
+            "evictions": result.eviction_count,
+            "wall_seconds": round(wall, 3),
+            "final_value": result.workload_result.final_value,
+        })
+    reference = by_size[ELASTIC_BASE_FLEET]
+    schedule = _diurnal_schedule(reference.act_seconds)
+
+    def diurnal_once():
+        tracer = InMemoryTracer()
+        result, wall = fixed_run(ELASTIC_BASE_FLEET, tracer=tracer, schedule=schedule)
+        return result, wall, to_jsonl(tracer.events)
+
+    elastic_result, elastic_wall, trace_a = diurnal_once()
+    _result_b, _wall_b, trace_b = diurnal_once()
+    counters = elastic_result.report.elastic_counters
+    fleet_seconds = _fleet_seconds(
+        elastic_result.report.events, ELASTIC_BASE_FLEET,
+        elastic_result.report.act_seconds,
+    )
+    jobs = max(elastic_result.report.job_count, 1)
+    base_cost = ELASTIC_BASE_FLEET * reference.act_seconds
+    diurnal = {
+        "base_fleet": ELASTIC_BASE_FLEET,
+        "schedule_events": len(schedule),
+        "act_seconds": round(elastic_result.act_seconds, 6),
+        "fleet_seconds": round(fleet_seconds, 6),
+        "jobs": elastic_result.report.job_count,
+        "cost_per_job": round(fleet_seconds / jobs, 6),
+        "cost_delta_vs_base_pct": round(
+            (fleet_seconds - base_cost) / max(base_cost, 1e-9) * 100.0, 1
+        ),
+        "wall_seconds": round(elastic_wall, 3),
+        "elastic_counters": counters,
+        "deterministic": trace_a == trace_b,
+        "converged": (
+            elastic_result.workload_result.final_value
+            == reference.workload_result.final_value
+        ),
+        "final_value": elastic_result.workload_result.final_value,
+    }
+    values = {p["final_value"] for p in pareto} | {diurnal["final_value"]}
+    cell = {
+        "system": system,
+        "workload": workload,
+        "scale": scale,
+        "seed": SEED,
+        "num_partitions": wl.num_partitions,
+        "pareto": pareto,
+        "diurnal": diurnal,
+        # Observables cross-checks: fleet size (fixed or elastic) must
+        # never move the computed answer, the schedule must actually
+        # fire every event class, and both traced repeats must match.
+        "results_identical": len(values) == 1,
+        "schedule_engaged": (
+            counters["scale_events"] == len(schedule)
+            and counters["preemptions"] >= 1
+            and counters["scale_ups"] >= 1
+            and counters["scale_downs"] >= 1
+        ),
+        "peak_rss_kib": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+    }
+    return cell
+
+
+def run_elastic_matrix(
+    systems: list[str], workloads: list[str], scale: str, in_process: bool
+) -> dict:
+    cells = []
+    for workload in workloads:
+        for system in systems:
+            print(
+                f"[bench] elastic: {workload} x {system} "
+                f"(fleets {ELASTIC_FLEET_SIZES}, scale={scale}) ...",
+                flush=True,
+            )
+            spec = dict(
+                suite="elastic", system=system, workload=workload, scale=scale
+            )
+            if in_process:
+                spec.pop("suite")
+                cell = run_elastic_cell(**spec)
+            else:
+                cell = run_cell_subprocess(**spec)
+            cells.append(cell)
+            costs = {p["fleet_size"]: p["cost_per_job"] for p in cell["pareto"]}
+            d = cell["diurnal"]
+            print(
+                f"[bench]   pareto cost/job {costs}, "
+                f"elastic {d['cost_per_job']} "
+                f"({d['cost_delta_vs_base_pct']:+.1f}% vs fixed base), "
+                f"converged={d['converged']} deterministic={d['deterministic']}",
+                flush=True,
+            )
+    return {
+        "scale": scale,
+        "seed": SEED,
+        "base_fleet": ELASTIC_BASE_FLEET,
+        "fleet_sizes": ELASTIC_FLEET_SIZES,
+        "cells": cells,
+        "all_converged": all(c["diurnal"]["converged"] for c in cells),
+        "all_deterministic": all(c["diurnal"]["deterministic"] for c in cells),
+        "all_results_identical": all(c["results_identical"] for c in cells),
+        "all_schedules_engaged": all(c["schedule_engaged"] for c in cells),
+    }
+
+
 def run_matrix(
     suite: str,
     scale: str,
@@ -765,7 +987,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--suite",
         choices=["decision", "dataplane", "faults", "service", "obs",
-                 "columnar", "scale", "all"],
+                 "columnar", "scale", "elastic", "all"],
         default="all",
     )
     parser.add_argument("--cell", help="(internal) run one cell from a JSON spec")
@@ -776,6 +998,9 @@ def main(argv: list[str] | None = None) -> int:
         if spec.get("suite") == "scale":
             spec.pop("suite")
             print(json.dumps(run_scale_cell(**spec)))
+        elif spec.get("suite") == "elastic":
+            spec.pop("suite")
+            print(json.dumps(run_elastic_cell(**spec)))
         else:
             print(json.dumps(run_cell(**spec)))
         return 0
@@ -816,6 +1041,10 @@ def main(argv: list[str] | None = None) -> int:
                 [("chain", 8, 128, 3), ("pagerank", 8, 64, 2)],
                 in_process=True,
             )
+        if args.suite in ("elastic", "all"):
+            doc["elastic"] = run_elastic_matrix(
+                ["blaze"], ["pr"], "tiny", in_process=True,
+            )
     else:
         if args.suite in ("decision", "all"):
             doc["decision"] = run_matrix(
@@ -849,12 +1078,17 @@ def main(argv: list[str] | None = None) -> int:
             )
         if args.suite in ("scale", "all"):
             doc["scale"] = run_scale_matrix(SCALE_CELLS, in_process=False)
+        if args.suite in ("elastic", "all"):
+            doc["elastic"] = run_elastic_matrix(
+                ELASTIC_SYSTEMS, ELASTIC_WORKLOADS, "paper", in_process=False,
+            )
 
     out = args.out or {
         "service": "BENCH_pr6.json",
         "obs": "BENCH_pr7.json",
         "columnar": "BENCH_pr8.json",
         "scale": "BENCH_pr9.json",
+        "elastic": "BENCH_pr10.json",
     }.get(args.suite, "BENCH_pr4.json")
     Path(out).write_text(json.dumps(doc, indent=2) + "\n", encoding="utf-8")
     for suite in ("decision", "dataplane", "faults", "columnar"):
@@ -875,6 +1109,14 @@ def main(argv: list[str] | None = None) -> int:
         print(
             f"[bench] service: {svc['total_jobs']} jobs across "
             f"{len(svc['cells'])} presets, deterministic={svc['all_deterministic']}"
+        )
+    if "elastic" in doc:
+        el = doc["elastic"]
+        print(
+            f"[bench] elastic: {len(el['cells'])} cells, fleets "
+            f"{el['fleet_sizes']}, converged={el['all_converged']}, "
+            f"deterministic={el['all_deterministic']}, "
+            f"schedules_engaged={el['all_schedules_engaged']}"
         )
     if "scale" in doc:
         sc = doc["scale"]

@@ -66,6 +66,16 @@ class SparkCacheManager(CacheManager):
     def policy_for(self, executor: "Executor") -> EvictionPolicy:
         return self._policies[executor.executor_id]
 
+    def on_executor_added(self, executor: "Executor") -> None:
+        # Elastic scale-up: a parked executor rejoining keeps its policy
+        # (histories persist across park/rejoin); a fresh one starts cold —
+        # it missed earlier job-reference broadcasts, which is exactly the
+        # cold-start a real late-joining node would have.
+        self._policies.setdefault(
+            executor.executor_id,
+            make_policy(self.policy_name, **self.policy_kwargs),
+        )
+
     # ------------------------------------------------------------------
     def is_cache_candidate(self, rdd: "RDD") -> bool:
         return rdd.is_annotated_cached

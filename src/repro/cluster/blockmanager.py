@@ -43,6 +43,12 @@ class BlockManager:
         #: the memory tier, ``disk_changed`` for disk-only transitions,
         #: and an optional ``released`` hook on store shutdown.
         self.residency_listeners: list = []
+        #: the cluster-wide remote-memory pool + its performance model
+        #: (``repro.elastic``); None unless the elastic subsystem enabled
+        #: the tier.  The pool is shared by every block manager — a block
+        #: demoted here is readable fleet-wide and survives preemption.
+        self.remote = None
+        self.remote_config = None
         #: the service's ColumnarBackend (None when disabled).  Crossing
         #: the memory/disk boundary transcodes ColumnarBatch data between
         #: the memory and spill codecs in place — a codec transition, not
@@ -51,6 +57,11 @@ class BlockManager:
         #: admission-time measured size), so traces and decisions are
         #: independent of the wall-clock transcode.
         self.columnar = None
+
+    def bind_remote(self, store, config) -> None:
+        """Attach the shared remote pool (elastic tier enablement)."""
+        self.remote = store
+        self.remote_config = config
 
     def _to_disk_codec(self, block: Block) -> None:
         if self.columnar is not None and self.columnar.to_disk_tier(block.data):
@@ -125,6 +136,30 @@ class BlockManager:
         """Deserialization charged on memory reads (Alluxio-style stores)."""
         disk = self._config.disk
         tm.deser_seconds += block.size_bytes * disk.deser_seconds_per_byte * block.ser_factor
+
+    def charge_remote_write(self, block: Block, tm: "TaskMetrics") -> None:
+        """Serialize + push ``block`` to the remote-memory tier (time only).
+
+        Mirrors :meth:`~repro.core.cost_model.CostModel.remote_write_cost`
+        operand for operand so recovery-cost calibration stays exact.
+        """
+        remote = self.remote_config
+        tm.ser_seconds += block.size_bytes * remote.ser_seconds_per_byte * block.ser_factor
+        tm.remote_tier_write_seconds += (
+            remote.latency_seconds + block.size_bytes / remote.write_bytes_per_sec
+        )
+
+    def charge_remote_tier_read(self, block: Block, tm: "TaskMetrics") -> None:
+        """Pull + deserialize ``block`` from the remote-memory tier.
+
+        Mirrors :meth:`~repro.core.cost_model.CostModel.cost_remote`
+        operand for operand so recovery-cost calibration stays exact.
+        """
+        remote = self.remote_config
+        tm.remote_tier_read_seconds += (
+            remote.latency_seconds + block.size_bytes / remote.read_bytes_per_sec
+        )
+        tm.deser_seconds += block.size_bytes * remote.deser_seconds_per_byte * block.ser_factor
 
     # ------------------------------------------------------------------
     # Movement primitives (callers decide *when*)
@@ -215,6 +250,105 @@ class BlockManager:
         if self._tracer.enabled:
             self._trace("cache.promote", block)
         return block
+
+    # ------------------------------------------------------------------
+    # Remote-memory tier (``repro.elastic``; primitives are no-ops /
+    # errors unless the cluster bound the shared pool via ``bind_remote``)
+    # ------------------------------------------------------------------
+    def demote_to_remote(self, block_id: BlockId, tm: "TaskMetrics") -> Block | None:
+        """Evict a memory block into the cluster-wide remote tier.
+
+        Returns ``None`` (caller falls back to the disk decision) when the
+        tier is absent or the pool cannot fit the block; the pool is never
+        evicted to make room — remote occupancy is a placement outcome,
+        not a second eviction ladder.  Crossing into the tier is a codec
+        transition to the spill codec, exactly like a disk spill.
+        """
+        if self.remote is None:
+            return None
+        block = self.memory.get(block_id)
+        if block is None or not self.remote.fits(block.size_bytes):
+            return None
+        self.memory.remove(block_id)
+        self.charge_remote_write(block, tm)
+        self._to_disk_codec(block)
+        self.remote.put(block)
+        self._metrics.remote_demotions += 1
+        self._metrics.remote_bytes_written += block.size_bytes
+        for listener in self.residency_listeners:
+            listener.memory_removed(self.executor_id, block)
+        if self._tracer.enabled:
+            self._trace("block.demoted_remote", block)
+        return block
+
+    def insert_remote(self, block: Block, tm: "TaskMetrics") -> bool:
+        """Push a block straight into the remote pool (drain migration)."""
+        if self.remote is None or not self.remote.fits(block.size_bytes):
+            return False
+        self.charge_remote_write(block, tm)
+        self._to_disk_codec(block)
+        self.remote.put(block)
+        self._metrics.remote_bytes_written += block.size_bytes
+        if self._tracer.enabled:
+            self._trace("block.demoted_remote", block)
+        return True
+
+    def read_from_remote(self, block_id: BlockId, tm: "TaskMetrics") -> Block:
+        """Charge a remote-tier read of ``block_id`` and return the block."""
+        block = self.remote.get(block_id) if self.remote is not None else None
+        if block is None:
+            raise StorageError(f"remote read of missing block {block_id}")
+        self.charge_remote_tier_read(block, tm)
+        self._metrics.remote_tier_hits += 1
+        self._metrics.remote_bytes_read += block.size_bytes
+        if self._tracer.enabled:
+            self._trace("cache.remote_read", block)
+        return block
+
+    def promote_from_remote(self, block_id: BlockId) -> Block | None:
+        """Move a remote block into this executor's memory if it fits.
+
+        No charge: the reading task already paid the transfer in
+        :meth:`read_from_remote` and holds the deserialized data.
+        Promotion transcodes back to the memory codec.
+        """
+        block = self.remote.get(block_id) if self.remote is not None else None
+        if block is None:
+            raise StorageError(f"promote of missing remote block {block_id}")
+        if not self.memory.fits(block.size_bytes):
+            return None
+        self.remote.remove(block_id)
+        self._to_memory_codec(block)
+        self.memory.put(block)
+        self._metrics.remote_promotions += 1
+        for listener in self.residency_listeners:
+            listener.memory_added(self.executor_id, block)
+        if self._tracer.enabled:
+            self._trace("cache.promote", block)
+        return block
+
+    # ------------------------------------------------------------------
+    def extract(self, block_id: BlockId) -> tuple[Block, BlockLocation]:
+        """Remove a block for migration (elastic drain).
+
+        Neither an eviction nor a loss: no unpersist/loss accounting and
+        no eviction trace, but the residency listeners still fire so the
+        directory, victim indexes, and cost memos stay exact.  The caller
+        re-inserts the block elsewhere and charges the movement.
+        """
+        loc = self.location_of(block_id)
+        if loc is BlockLocation.MEMORY:
+            block = self.memory.remove(block_id)
+            for listener in self.residency_listeners:
+                listener.memory_removed(self.executor_id, block)
+        elif loc is BlockLocation.DISK:
+            block = self.disk.remove(block_id)
+            self._metrics.record_disk_remove(block.size_bytes)
+            for listener in self.residency_listeners:
+                listener.disk_changed(self.executor_id, block)
+        else:
+            raise StorageError(f"extract of unknown block {block_id}")
+        return block, loc
 
     def _ensure_disk_space(self, size_bytes: float) -> None:
         """Free disk space FIFO when the disk tier itself is full."""

@@ -24,10 +24,16 @@ BlockId = tuple[int, int]
 
 
 class BlockLocation(Enum):
-    """Where a block currently lives."""
+    """Where a block currently lives.
+
+    ``MEMORY`` and ``DISK`` are per-executor tiers; ``REMOTE`` is the
+    cluster-wide remote-memory pool (``repro.elastic``), which no single
+    executor owns — ``BlockManager.location_of`` never returns it.
+    """
 
     MEMORY = "memory"
     DISK = "disk"
+    REMOTE = "remote"
 
 
 @dataclass

@@ -141,6 +141,27 @@ class CacheManager(ABC):
     def on_disk_hit(self, executor: "Executor", block: "Block", tm: "TaskMetrics") -> None:  # noqa: B027
         """A task read ``block`` from executor disk (after charging I/O)."""
 
+    def on_remote_hit(self, executor: "Executor", block: "Block", tm: "TaskMetrics") -> None:  # noqa: B027
+        """A task read ``block`` from the remote-memory tier (I/O charged).
+
+        Only fired when the elastic subsystem's remote tier is enabled;
+        managers may promote the block toward executor memory.
+        """
+
+    # ------------------------------------------------------------------
+    # Fleet-membership hooks (the elastic controller, ``repro.elastic``)
+    # ------------------------------------------------------------------
+    def on_executor_added(self, executor: "Executor") -> None:  # noqa: B027
+        """A new executor joined the fleet (elastic scale-up)."""
+
+    def on_fleet_changed(self) -> None:  # noqa: B027
+        """Fleet membership changed; home-executor mappings moved.
+
+        Fired after every applied scale event (up, down, or preemption) so
+        managers can drop residency-derived memoized state.  Never fired
+        on fixed-fleet runs.
+        """
+
     def on_block_removed(self, executor: "Executor", block: "Block") -> None:  # noqa: B027
         """A block left the executor entirely (driver unpersist etc.)."""
 
@@ -159,9 +180,10 @@ class CacheManager(ABC):
     ) -> float | None:
         """Model-predicted cost to recover ``(rdd, split)`` from ``state``.
 
-        ``state`` is ``"disk"`` (read-back) or ``"gone"`` (lineage
-        recomputation).  The fault layer's calibration hook compares this
-        against the measured virtual-time recovery; managers without a
-        cost model return ``None`` and produce no samples.
+        ``state`` is ``"disk"`` (read-back), ``"remote"`` (remote-tier
+        pull), or ``"gone"`` (lineage recomputation).  The fault layer's
+        calibration hook compares this against the measured virtual-time
+        recovery; managers without a cost model return ``None`` and
+        produce no samples.
         """
         return None

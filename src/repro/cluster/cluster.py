@@ -14,7 +14,9 @@ from .executor import Executor
 from .shuffle import ShuffleManager
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..config import RemoteMemoryConfig
     from ..metrics.collector import TaskMetrics
+    from .stores import BlockStore
 
 
 class Cluster:
@@ -44,6 +46,63 @@ class Cluster:
         #: observability hub (set by the job service when ``obs.enabled``);
         #: None keeps every hot path on a single attribute check.
         self.obs = None
+        #: sorted executor ids currently in the fleet.  The fixed-fleet
+        #: engine never touches this (active == all, so every mapping below
+        #: reduces to the historical ``split % num_executors``); the elastic
+        #: fleet controller activates/parks ids at stage boundaries.
+        self._active_ids: list[int] = list(range(config.num_executors))
+        #: cluster-wide remote-memory pool (``repro.elastic``); None unless
+        #: the elastic subsystem enabled the tier.  The pool belongs to the
+        #: cluster, not to any executor — blocks in it survive preemption.
+        self.remote_store: "BlockStore | None" = None
+        self.remote_config: "RemoteMemoryConfig | None" = None
+
+    # ------------------------------------------------------------------
+    # Fleet membership
+    # ------------------------------------------------------------------
+    @property
+    def active_ids(self) -> list[int]:
+        """Ids of the executors currently in the fleet, ascending."""
+        return self._active_ids
+
+    def active_executors(self) -> list[Executor]:
+        return [self.executors[eid] for eid in self._active_ids]
+
+    def home_executor_id(self, split: int) -> int:
+        """Home executor id of a partition under the *current* fleet."""
+        return self._active_ids[split % len(self._active_ids)]
+
+    def activate_executor(self) -> Executor:
+        """Bring one executor into the fleet (elastic scale-up).
+
+        Parked executors rejoin lowest id first (their listener wiring and
+        empty stores survived the park); past that, a fresh executor is
+        provisioned and appended, and the caller is responsible for the
+        subsystem wiring (directory registration, cache-manager state,
+        columnar backend) via the fleet controller.
+        """
+        active = set(self._active_ids)
+        for eid in range(len(self.executors)):
+            if eid not in active:
+                self._active_ids.append(eid)
+                self._active_ids.sort()
+                return self.executors[eid]
+        executor = Executor(len(self.executors), self.config, self.metrics, self.tracer)
+        self.executors.append(executor)
+        self.directory.register(executor)
+        if self.remote_store is not None:
+            executor.bm.bind_remote(self.remote_store, self.remote_config)
+        self._active_ids.append(executor.executor_id)
+        self._active_ids.sort()
+        return executor
+
+    def deactivate_executor(self, executor_id: int) -> None:
+        """Remove one executor from the fleet (drain or preemption done)."""
+        self._active_ids.remove(executor_id)
+
+    def active_memory_capacity_bytes(self) -> float:
+        """Aggregate memory-store capacity of the current fleet."""
+        return self.config.memory_store_bytes * len(self._active_ids)
 
     # ------------------------------------------------------------------
     def executor_for(self, split: int) -> Executor:
@@ -51,9 +110,11 @@ class Cluster:
 
         Co-indexed partitions of co-partitioned datasets land on the same
         executor, which is how locality-aware scheduling keeps cache reads
-        local across iterations (section 6 of the paper).
+        local across iterations (section 6 of the paper).  The mapping is
+        over the *active* fleet; with elasticity off that is the full
+        executor list and the mapping never changes.
         """
-        return self.executors[split % len(self.executors)]
+        return self.executors[self._active_ids[split % len(self._active_ids)]]
 
     # ------------------------------------------------------------------
     def find_block(self, block_id: BlockId) -> tuple[Executor, BlockLocation] | None:
@@ -62,13 +123,30 @@ class Cluster:
         One residency-directory probe instead of the historical
         every-executor scan; the directory's tie-break (home executor,
         then lowest executor id) reproduces the scan's answer exactly.
+        The remote-memory pool is not an executor and is looked up
+        separately (:meth:`remote_block`).
         """
-        home_eid = block_id[1] % len(self.executors)
+        home_eid = self.home_executor_id(block_id[1])
         eid = self.directory.locate(block_id, home_eid)
         if eid is None:
             return None
         executor = self.executors[eid]
         return executor, executor.bm.location_of(block_id)
+
+    def remote_block(self, block_id: BlockId) -> Block | None:
+        """The block in the cluster-wide remote pool, if the tier holds it."""
+        if self.remote_store is None:
+            return None
+        return self.remote_store.get(block_id)
+
+    def enable_remote_tier(self, remote: "RemoteMemoryConfig") -> None:
+        """Build the shared remote-memory pool and hand it to every BM."""
+        from .stores import BlockStore
+
+        self.remote_store = BlockStore(remote.capacity_bytes, "remote")
+        self.remote_config = remote
+        for executor in self.executors:
+            executor.bm.bind_remote(self.remote_store, remote)
 
     def charge_remote_read(self, block: Block, tm: "TaskMetrics") -> None:
         """Network transfer of a remotely cached block (rare under locality)."""

@@ -45,6 +45,17 @@ class ResidencyDirectory:
         for executor in executors:
             executor.bm.add_residency_listener(self)
 
+    def register(self, executor: "Executor") -> None:
+        """Start mirroring a newly provisioned executor (elastic scale-up).
+
+        The directory shares the cluster's executor list, so a freshly
+        appended executor is already indexable; this hooks its block
+        manager's listener feed.  Idempotent — re-activating a parked
+        executor (whose listener registration survived the park) is a
+        no-op.
+        """
+        executor.bm.add_residency_listener(self)
+
     # ------------------------------------------------------------------
     # Lookup
     # ------------------------------------------------------------------

@@ -79,6 +79,10 @@ class Driver:
         #: is on, else None: stages dispatch as supersteps before running,
         #: and ``_compute`` substitutes worker-speculated results.
         self.shard = None
+        #: the elastic fleet controller (``repro.elastic``) when a scale
+        #: schedule is armed, else None: polled at every stage boundary,
+        #: *before* tasks bind to executors for the stage.
+        self.fleet = None
         #: hooks run after every completed job (profiler timeout budget)
         self.post_job_hooks: list[Callable[[Job], None]] = []
         cache_manager.attach(cluster)
@@ -101,6 +105,10 @@ class Driver:
         for stage in job.stages_to_run:
             if not stage.is_result and self.cluster.shuffle.is_complete(stage.shuffle_dep):
                 continue  # skipped stage: shuffle outputs already exist
+            if self.fleet is not None:
+                # Fleet membership may only change at stage boundaries:
+                # _run_stage binds every task to its home executor up front.
+                self.fleet.poll(self.cluster.clock.now, job.job_id)
             # Stages are identified by their job-relative sequence: raw
             # stage ids come from a process-global counter and would break
             # byte-identical traces across runs in one process.
@@ -296,7 +304,11 @@ class Driver:
                 tm.total_seconds - before,
             )
 
-        if candidate and self.cluster.find_block(block_id) is None:
+        if (
+            candidate
+            and self.cluster.find_block(block_id) is None
+            and self.cluster.remote_block(block_id) is None
+        ):
             if self.columnar is not None:
                 # Encode type-analyzable partitions before they are sized
                 # and offered: memoized even when admission declines, so a
@@ -314,7 +326,10 @@ class Driver:
                 # real nbytes, which the pre-encode memo cannot know.
                 size = rdd.size_model.bytes_for(rdd.size_weight(data))
             self.cache_manager.handle_cache(executor, rdd, split, data, size, tm)
-            if self.cluster.find_block(block_id) is not None:
+            if (
+                self.cluster.find_block(block_id) is not None
+                or self.cluster.remote_block(block_id) is not None
+            ):
                 self._was_cached.add(block_id)
         self._task_memo[block_id] = data
         return data
@@ -354,6 +369,28 @@ class Driver:
             block.touch(now)
             self._trace_hit("cache.hit_disk", executor, block)
             self.cache_manager.on_disk_hit(executor, block, tm)
+            return block.data
+        if self.cluster.remote_block(block_id) is not None:
+            # The remote-memory tier sits between executor tiers and peer
+            # reads; with the elastic tier off the pool is None and this
+            # branch never fires.  Calibration mirrors the disk read-back:
+            # the sample brackets exactly the charged pull.
+            predicted = None
+            before = 0.0
+            if self.faults is not None:
+                predicted = self.cache_manager.predicted_recovery_cost(
+                    block_id[0], block_id[1], "remote"
+                )
+                before = tm.total_seconds
+            block = executor.bm.read_from_remote(block_id, tm)
+            if predicted is not None:
+                self._record_recovery_sample(
+                    block_id[0], block_id[1], executor, "remote", predicted,
+                    tm.total_seconds - before,
+                )
+            block.touch(now)
+            self._trace_hit("cache.hit_remote", executor, block)
+            self.cache_manager.on_remote_hit(executor, block, tm)
             return block.data
         if not self.cluster.config.allow_remote_cache_reads:
             return None

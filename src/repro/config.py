@@ -104,6 +104,68 @@ class ClusterConfig:
 
 
 @dataclass(frozen=True)
+class RemoteMemoryConfig:
+    """Performance model of the cluster-wide remote-memory tier.
+
+    The tier sits between the per-executor memory stores and their disks
+    (a Sparkle-style disaggregated pool): one shared, capacity-limited
+    store the whole fleet reads and writes over the network.  Blocks
+    demoted here survive executor preemption — the pool belongs to the
+    cluster, not to any executor — which is what makes it interesting
+    under elastic fleets.  Reads and writes are charged a fixed network
+    latency plus throughput time plus (de)serialization scaled by the
+    block's ``ser_factor``, mirroring the disk model so Eq. 3/Eq. 4
+    recovery predictions stay exact for remote-resident partitions.
+    """
+
+    enabled: bool = True
+    capacity_bytes: float = 32.0 * GiB
+    read_bytes_per_sec: float = 1.0 * GiB
+    write_bytes_per_sec: float = 1.0 * GiB
+    ser_seconds_per_byte: float = 1.0 / (400.0 * MiB)
+    deser_seconds_per_byte: float = 1.0 / (500.0 * MiB)
+    latency_seconds: float = 0.0005
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0:
+            raise ConfigError("remote memory capacity must be positive")
+        if self.read_bytes_per_sec <= 0 or self.write_bytes_per_sec <= 0:
+            raise ConfigError("remote memory throughput must be positive")
+        if self.ser_seconds_per_byte < 0 or self.deser_seconds_per_byte < 0:
+            raise ConfigError("remote memory ser/deser costs must be >= 0")
+        if self.latency_seconds < 0:
+            raise ConfigError("remote memory latency must be non-negative")
+
+
+@dataclass(frozen=True)
+class ElasticConfig:
+    """Tunables of the elastic-fleet subsystem (``repro.elastic``).
+
+    ``enabled`` is the master kill switch and defaults to off: with it
+    down, a :class:`~repro.elastic.ScaleSchedule` handed to a context is
+    inert, the remote-memory tier is never built, and every elastic
+    counter stays exactly zero — runs are byte-identical to the
+    fixed-fleet engine.  With it up, scale events fire at stage
+    boundaries on the virtual clock (scale-up activates executors up to
+    ``max_executors``, scale-down drains and deactivates down to
+    ``min_executors``, preemption reuses the fault layer's crash wipe)
+    and the remote tier, if its own ``enabled`` is up, joins the
+    eviction ladder between memory and disk.
+    """
+
+    enabled: bool = False
+    min_executors: int = 1
+    max_executors: int = 64
+    remote_memory: RemoteMemoryConfig = field(default_factory=RemoteMemoryConfig)
+
+    def __post_init__(self) -> None:
+        if self.min_executors < 1:
+            raise ConfigError("min_executors must be >= 1")
+        if self.max_executors < self.min_executors:
+            raise ConfigError("max_executors must be >= min_executors")
+
+
+@dataclass(frozen=True)
 class ServiceConfig:
     """Tunables of the multi-tenant job service (``repro.service``).
 
@@ -229,7 +291,10 @@ class BlazeConfig:
       readers; traces byte-identical either way, see :class:`ObsConfig`);
     - ``sharded_engine`` — fan task execution out across shard workers
       (``repro.shard``) while the coordinator replays the engine
-      sequentially; traces byte-identical either way (docs/scaling.md).
+      sequentially; traces byte-identical either way (docs/scaling.md);
+    - ``elastic.enabled`` — elastic fleets + the remote-memory tier
+      (``repro.elastic``; off by default, a ScaleSchedule is inert
+      without it; see :class:`ElasticConfig` and docs/elasticity.md).
     """
 
     # Dependency-extraction phase (section 5.1 / 7.5).
@@ -322,6 +387,10 @@ class BlazeConfig:
     # Observability layer (decision audit log, occupancy sampler,
     # Prometheus/dashboard exporters).  See :class:`ObsConfig`.
     obs: ObsConfig = field(default_factory=ObsConfig)
+
+    # Elastic fleets + the cluster-wide remote-memory tier (the
+    # ``repro.elastic`` package).  See :class:`ElasticConfig`.
+    elastic: ElasticConfig = field(default_factory=ElasticConfig)
 
     def __post_init__(self) -> None:
         if self.ilp_horizon_jobs < 1:

@@ -23,10 +23,10 @@ from __future__ import annotations
 
 from typing import Callable, Literal
 
-from ..config import DiskConfig
+from ..config import DiskConfig, RemoteMemoryConfig
 from .cost_lineage import CostLineage
 
-PartitionState = Literal["mem", "disk", "gone"]
+PartitionState = Literal["mem", "remote", "disk", "gone"]
 #: returns the current (or hypothesized) state of (rdd_id, split)
 StateFn = Callable[[int, int], PartitionState]
 
@@ -37,9 +37,17 @@ _MAX_DEPTH = 10_000
 class CostModel:
     """Computes potential recovery costs over a :class:`CostLineage`."""
 
-    def __init__(self, lineage: CostLineage, disk: DiskConfig) -> None:
+    def __init__(
+        self,
+        lineage: CostLineage,
+        disk: DiskConfig,
+        remote: RemoteMemoryConfig | None = None,
+    ) -> None:
         self.lineage = lineage
         self.disk = disk
+        #: remote-memory tier model (``repro.elastic``); ``None`` keeps the
+        #: classic two-tier cost structure bit-identical to the fixed fleet.
+        self.remote = remote
 
     # ------------------------------------------------------------------
     # Disk-side costs
@@ -78,6 +86,33 @@ class CostModel:
         """Price of spilling the partition to disk now (serialize + write)."""
         size, ser_factor = self._size_and_ser(rdd_id, split, memo)
         return size / self.disk.write_bytes_per_sec + size * self.disk.ser_seconds_per_byte * ser_factor
+
+    # ------------------------------------------------------------------
+    # Remote-tier costs (Eq. 3 with the pool's throughput/latency model;
+    # only meaningful when a RemoteMemoryConfig is bound)
+    # ------------------------------------------------------------------
+    def cost_remote(self, rdd_id: int, split: int, memo: dict | None = None) -> float:
+        """Recovery-from-remote cost (latency + pull + deserialize).
+
+        Operand-for-operand the charge
+        :meth:`~repro.cluster.blockmanager.BlockManager.charge_remote_tier_read`
+        applies, so remote-parent calibration samples are exact.
+        """
+        size, ser_factor = self._size_and_ser(rdd_id, split, memo)
+        return (
+            self.remote.latency_seconds
+            + size / self.remote.read_bytes_per_sec
+            + size * self.remote.deser_seconds_per_byte * ser_factor
+        )
+
+    def remote_write_cost(self, rdd_id: int, split: int, memo: dict | None = None) -> float:
+        """Price of demoting the partition to the remote tier now."""
+        size, ser_factor = self._size_and_ser(rdd_id, split, memo)
+        return (
+            self.remote.latency_seconds
+            + size / self.remote.write_bytes_per_sec
+            + size * self.remote.ser_seconds_per_byte * ser_factor
+        )
 
     # ------------------------------------------------------------------
     # Recomputation cost (Eq. 4)
@@ -130,6 +165,8 @@ class CostModel:
             value = 0.0
         elif state == "disk":
             value = self.cost_d(rdd_id, split, memo)
+        elif state == "remote":
+            value = self.cost_remote(rdd_id, split, memo)
         else:
             value = self.cost_r(rdd_id, split, state_fn, memo, _depth + 1)
         memo[key] = value
@@ -145,11 +182,18 @@ class CostModel:
         state_fn: StateFn,
         memo: dict | None = None,
     ) -> float:
-        """``min(cost_d, cost_r)``: the cheapest non-memory recovery."""
-        return min(
+        """``min(cost_d, cost_r)``: the cheapest non-memory recovery.
+
+        With the remote tier bound, remote read-back joins the minimum —
+        the cheapest place a non-memory partition could come back from.
+        """
+        best = min(
             self.cost_d(rdd_id, split, memo),
             self.cost_r(rdd_id, split, state_fn, memo),
         )
+        if self.remote is not None:
+            best = min(best, self.cost_remote(rdd_id, split, memo))
+        return best
 
     def preferred_eviction_state(
         self,
@@ -162,9 +206,19 @@ class CostModel:
 
         Spilling pays the write now *and* the read later; discarding pays
         the recomputation later.  Spill only when that total is cheaper.
+        With the remote tier bound, remote demotion (its write now plus
+        its read later) competes on the same terms; ties keep the classic
+        two-tier answer.
         """
         spill_total = self.disk_write_cost(rdd_id, split, memo) + self.cost_d(
             rdd_id, split, memo
         )
         recompute = self.cost_r(rdd_id, split, state_fn, memo)
-        return "disk" if spill_total < recompute else "gone"
+        best: PartitionState = "disk" if spill_total < recompute else "gone"
+        if self.remote is not None:
+            remote_total = self.remote_write_cost(rdd_id, split, memo) + self.cost_remote(
+                rdd_id, split, memo
+            )
+            if remote_total < min(spill_total, recompute):
+                best = "remote"
+        return best

@@ -332,14 +332,22 @@ class DecisionCostCache:
         """Cached twin of ``CostModel.preferred_eviction_state``.
 
         The expression mirrors the naive one operand-for-operand so the
-        comparison sees identical floats.
+        comparison sees identical floats (including the remote-tier
+        strict-less-than override when a remote model is bound).
         """
         scratch = self.scratch()
         spill_total = self.cost_model.disk_write_cost(
             rdd_id, split, scratch
         ) + self.cost_model.cost_d(rdd_id, split, scratch)
         recompute = self.cost_r(rdd_id, split)
-        return "disk" if spill_total < recompute else "gone"
+        best: PartitionState = "disk" if spill_total < recompute else "gone"
+        if self.cost_model.remote is not None:
+            remote_total = self.cost_model.remote_write_cost(
+                rdd_id, split, scratch
+            ) + self.cost_model.cost_remote(rdd_id, split, scratch)
+            if remote_total < min(spill_total, recompute):
+                best = "remote"
+        return best
 
     def explain_costs(self, rdd_id: int, split: int) -> tuple[float, float, float]:
         """Audit probe: ``(cost_d, cost_r, potential_cost)`` via the caches.
@@ -436,6 +444,17 @@ class VictimIndex:
     def mark_block(self, block_id: "BlockId") -> None:
         if block_id in self._blocks:
             self._stale.add(block_id)
+
+    def invalidate(self) -> None:
+        """Force every key to be recomputed at the next selection.
+
+        Fleet-membership changes move the home-executor mapping (and with
+        it every residency-dependent cost) without bumping the lineage
+        version or any dirty counter, so no lazy rule can catch them.
+        """
+        self._version = -1
+        self._touch_count = -1
+        self._stale.update(self._blocks)
 
     # ------------------------------------------------------------------
     # Repair + selection

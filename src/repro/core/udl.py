@@ -64,6 +64,7 @@ class BlazeCacheManager(CacheManager):
         #: incremental decision state; ``None`` runs the naive hot path
         self._cache: DecisionCostCache | None = None
         self._indexes: dict[int, VictimIndex] = {}
+        self._index_sensitivity = "version"
         self.name = self._variant_name()
 
     def _variant_name(self) -> str:
@@ -80,7 +81,13 @@ class BlazeCacheManager(CacheManager):
 
     def attach(self, cluster: "Cluster") -> None:
         super().attach(cluster)
-        self.cost_model = CostModel(self.lineage, cluster.config.disk)
+        elastic = self.config.elastic
+        remote = (
+            elastic.remote_memory
+            if elastic.enabled and elastic.remote_memory.enabled
+            else None
+        )
+        self.cost_model = CostModel(self.lineage, cluster.config.disk, remote)
         if self.profile is not None:
             self.profile.seed(self.lineage)
         if self.config.incremental_decisions:
@@ -100,6 +107,7 @@ class BlazeCacheManager(CacheManager):
                 sensitivity = "touch"  # cost_d keys off observations only
             else:
                 sensitivity = "marks"  # LRU keys move on hits alone
+            self._index_sensitivity = sensitivity
             key_fn = self._index_key_fn()
             for executor in cluster.executors:
                 index = VictimIndex(key_fn, cluster.metrics, sensitivity)
@@ -178,6 +186,10 @@ class BlazeCacheManager(CacheManager):
             return None
         if state == "disk":
             return self.cost_model.cost_d(rdd_id, split, {})
+        if state == "remote":
+            if self.cost_model.remote is None:
+                return None
+            return self.cost_model.cost_remote(rdd_id, split, {})
         return self.cost_model.cost_r(rdd_id, split, self._state_of, {})
 
     def on_memory_hit(self, executor: "Executor", block: Block, tm: TaskMetrics) -> None:
@@ -188,17 +200,80 @@ class BlazeCacheManager(CacheManager):
             if index is not None:
                 index.mark_block(block.block_id)
 
+    def on_remote_hit(self, executor: "Executor", block: Block, tm: TaskMetrics) -> None:
+        """A remote-tier read promotes into free memory (never displaces).
+
+        The block already sits in a fast tier; paying evictions to pull it
+        closer rarely wins, so promotion is opportunistic — mirroring the
+        promote-on-read ablation, for every variant.  The promoted copy
+        lands on the reading executor; the pool copy is consumed.
+        """
+        if self.lineage.future_refs(block.rdd_id, inclusive=True) <= 0:
+            return
+        if executor.bm.memory.fits(block.size_bytes):
+            promoted = executor.bm.promote_from_remote(block.block_id)
+            if promoted is not None:
+                promoted.touch(self.cluster.clock.now)
+
+    # ------------------------------------------------------------------
+    # Fleet membership (elastic scale events)
+    # ------------------------------------------------------------------
+    def on_executor_added(self, executor: "Executor") -> None:
+        """Wire decision state for an executor joining the fleet.
+
+        Parked executors re-activating keep their index and listener from
+        the original attach; only genuinely new executors need wiring.
+        """
+        if self._cache is None or executor.executor_id in self._indexes:
+            return
+        index = VictimIndex(
+            self._index_key_fn(), self.cluster.metrics, self._index_sensitivity
+        )
+        self._indexes[executor.executor_id] = index
+        self._cache.indexes[executor.executor_id] = index
+        executor.bm.add_residency_listener(self)
+
+    def on_fleet_changed(self) -> None:
+        """Rebuild decision state after a fleet-membership change.
+
+        The home-executor mapping (``cluster.executor_for``) feeds
+        ``_state_of`` and therefore every memoized cost, but moves without
+        bumping the lineage version or any dirty counter — so cached
+        entries cannot be revalidated.  A fresh cost cache plus a forced
+        index rebuild keeps the incremental path bit-identical to a naive
+        recomputation under the new fleet.
+        """
+        if self._cache is None:
+            return
+        old = self._cache
+        self._cache = DecisionCostCache(
+            self.lineage, self.cost_model, self._future_state_of,
+            self.cluster.metrics, consulted=old.consulted,
+        )
+        # Same VictimIndex objects: their key closures read ``self._cache``
+        # at call time, so they price against the new cache automatically.
+        self._cache.indexes = old.indexes
+        for index in self._indexes.values():
+            index.invalidate()
+
     # ------------------------------------------------------------------
     # Residency
     # ------------------------------------------------------------------
     def _state_of(self, rdd_id: int, split: int) -> PartitionState:
-        """Current residency of a partition (home-executor lookup)."""
+        """Current residency of a partition (home-executor lookup).
+
+        The remote-memory pool is consulted after the home executor's
+        tiers; with the elastic tier off the pool is ``None`` and the
+        answer is identical to the historical two-tier lookup.
+        """
         executor = self.cluster.executor_for(split)
         loc = executor.bm.location_of((rdd_id, split))
         if loc is BlockLocation.MEMORY:
             return "mem"
         if loc is BlockLocation.DISK:
             return "disk"
+        if self.cluster.remote_block((rdd_id, split)) is not None:
+            return "remote"
         return "gone"
 
     def _future_state_of(self, rdd_id: int, split: int) -> PartitionState:
@@ -697,34 +772,32 @@ class BlazeCacheManager(CacheManager):
         # then execute (each eviction invalidates the caches behind us).
         pre = self._audit_candidates(victims) if audit is not None else ()
         plans = [self._eviction_plan(victim) for victim in victims]
-        for victim, spill in zip(victims, plans):
-            if spill:
-                bm.spill_to_disk(victim.block_id, tm)
-            else:
-                bm.discard(victim.block_id, evicted=True)
+        states = [
+            self._execute_eviction(bm, victim, plan, tm)
+            for victim, plan in zip(victims, plans)
+        ]
         self._place_in_memory(bm, block, from_disk, now)
         if audit is not None:
             self._audit_admission(
                 executor, block, refs, from_disk=from_disk,
                 outcome="memory", reason="displaced",
-                candidates=pre,
-                states=["disk" if spill else "gone" for spill in plans],
+                candidates=pre, states=states,
                 incoming_value=incoming_value, displaced_value=displaced_value,
             )
 
-    def _eviction_plan(self, victim: Block) -> bool:
-        """``True`` to spill, ``False`` to discard — :meth:`_evict`'s ladder."""
+    def _eviction_plan(self, victim: Block) -> PartitionState:
+        """The victim's destination state — :meth:`_evict`'s ladder, predicted."""
         if not self.config.disk_enabled:
-            return False
+            return "gone"
         if not self.config.recompute_option_enabled:
-            return True
+            return "disk"
         if (
             self.config.cost_aware_enabled
             and self.lineage.knowledge_complete
             and self.lineage.future_refs(victim.rdd_id, inclusive=False) == 0
         ):
-            return False
-        return self._cache.preferred_state(victim.rdd_id, victim.split) == "disk"
+            return "gone"
+        return self._cache.preferred_state(victim.rdd_id, victim.split)
 
     def _place_in_memory(self, bm, block: Block, from_disk: bool, now: float) -> None:
         if from_disk:
@@ -868,6 +941,21 @@ class BlazeCacheManager(CacheManager):
         state = self.cost_model.preferred_eviction_state(
             victim.rdd_id, victim.split, self._future_state_of, memo
         )
+        return self._execute_eviction(bm, victim, state, tm)
+
+    def _execute_eviction(
+        self, bm, victim: Block, state: PartitionState, tm: TaskMetrics
+    ) -> str:
+        """Carry out a planned eviction; returns where the victim landed.
+
+        A remote demotion the pool cannot take (capacity) falls back to
+        the classic disk spill, so the decision layer never re-plans
+        mid-admission.
+        """
+        if state == "remote":
+            if bm.demote_to_remote(victim.block_id, tm) is not None:
+                return "remote"
+            state = "disk"
         if state == "disk":
             bm.spill_to_disk(victim.block_id, tm)
             return "disk"
@@ -894,6 +982,10 @@ class BlazeCacheManager(CacheManager):
             )
         if state == "disk":
             executor.bm.insert_disk(block, tm)
+            return True
+        if state == "remote":
+            if not executor.bm.insert_remote(block, tm):
+                executor.bm.insert_disk(block, tm)
             return True
         return False
 

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from ..cluster.cachemanager import CacheManager
 from ..config import BlazeConfig, ClusterConfig, ServiceConfig
+from ..elastic.schedule import ScaleSchedule
 from ..faults.schedule import FaultSchedule
 from ..service.client import JobClient
 from ..service.service import JobService
@@ -34,6 +35,7 @@ class BlazeContext(JobClient):
         tracer: Tracer | None = None,
         blaze_config: "BlazeConfig | None" = None,
         fault_schedule: "FaultSchedule | None" = None,
+        scale_schedule: "ScaleSchedule | None" = None,
     ) -> None:
         # Identity RDD ids (dedup off): with one application there is
         # nothing to share, and sequential ids keep the legacy numbering
@@ -48,6 +50,7 @@ class BlazeContext(JobClient):
             blaze_config=blaze_config,
             fault_schedule=fault_schedule,
             service_config=service_config,
+            scale_schedule=scale_schedule,
         )
         super().__init__(service, tenant=DEFAULT_TENANT, seed=seed)
 

@@ -1,0 +1,136 @@
+"""Scale schedules: declarative, virtual-time-stamped fleet plans.
+
+A schedule is a tuple of :class:`ScaleSpec` records, the elastic twin of
+``repro.faults.FaultSchedule``: plain frozen data declared inline in
+tests, serialized into bench manifests, or generated from a seed
+(:meth:`ScaleSchedule.seeded`) through the same ``SeedSequence``
+spawn-key discipline the rest of the simulator uses — scale randomness
+never perturbs workload (or fault) randomness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..errors import ConfigError
+from ..sim.rng import make_rng
+
+#: the three fleet-change event classes
+SCALE_KINDS = ("scale_up", "scale_down", "preemption")
+
+#: dedicated spawn-key namespace, disjoint from the fault stream
+#: (``0xFA117``) and every per-partition workload generator
+_SCHEDULE_STREAM = 0xE1A57
+
+
+@dataclass(frozen=True)
+class ScaleSpec:
+    """One scheduled fleet change.
+
+    ``at`` is virtual seconds; the fleet controller processes a spec at
+    the first stage boundary at or after ``at`` (task-to-executor
+    binding is per-stage, so fleet membership can only change between
+    stages).  Per-kind fields:
+
+    - ``scale_up``: activate ``count`` executors (reusing the
+      lowest-id parked executors first, then provisioning fresh ones up
+      to ``ElasticConfig.max_executors``);
+    - ``scale_down``: gracefully drain ``count`` executors — every
+      resident block migrates to its new home tier by tier — then park
+      them; ``executor_id`` picks the first victim (mod the active
+      fleet), subsequent victims follow in id order;
+    - ``preemption``: a spot reclaim — the executor is wiped through
+      the fault layer's crash path (cached blocks and shuffle outputs
+      lost, lineage recovery on next access) and parked with no drain.
+      Remote-tier blocks survive: the pool belongs to the cluster.
+
+    Scale-downs and preemptions never shrink the fleet below
+    ``ElasticConfig.min_executors``; excess count is skipped.
+    """
+
+    at: float
+    kind: str
+    count: int = 1
+    executor_id: int | None = None
+    pick: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in SCALE_KINDS:
+            raise ConfigError(f"unknown scale kind {self.kind!r}; known: {SCALE_KINDS}")
+        if self.at < 0:
+            raise ConfigError("scale event time must be >= 0")
+        if self.count < 1:
+            raise ConfigError("scale event count must be >= 1")
+        if self.executor_id is not None and self.executor_id < 0:
+            raise ConfigError("scale event executor_id must be >= 0")
+
+
+@dataclass(frozen=True)
+class ScaleSchedule:
+    """An ordered plan of fleet changes for one application run."""
+
+    specs: tuple[ScaleSpec, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "specs", tuple(self.specs))
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def __bool__(self) -> bool:
+        return bool(self.specs)
+
+    def in_order(self) -> list[ScaleSpec]:
+        """Specs sorted by fire time (stable, so declaration order ties)."""
+        return sorted(self.specs, key=lambda spec: spec.at)
+
+    def clamped_to(self, num_executors: int) -> "ScaleSchedule":
+        """Normalize executor ids into the initial fleet's range."""
+        return ScaleSchedule(
+            tuple(
+                replace(spec, executor_id=spec.executor_id % num_executors)
+                if spec.executor_id is not None
+                else spec
+                for spec in self.specs
+            )
+        )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def seeded(
+        cls,
+        seed: int,
+        *,
+        horizon_seconds: float,
+        num_executors: int,
+        num_events: int = 4,
+        kinds: tuple[str, ...] = SCALE_KINDS,
+    ) -> "ScaleSchedule":
+        """Draw a deterministic schedule of ``num_events`` over the horizon.
+
+        The same ``(seed, horizon, executors, n, kinds)`` always yields
+        the same schedule; fire times are uniform over ``[0, horizon)``
+        and per-kind parameters are drawn from the same stream in a
+        fixed order, so adding a kind never reshuffles earlier draws.
+        """
+        if horizon_seconds <= 0:
+            raise ConfigError("horizon_seconds must be > 0")
+        if num_executors <= 0:
+            raise ConfigError("num_executors must be > 0")
+        if num_events < 0:
+            raise ConfigError("num_events must be >= 0")
+        rng = make_rng(seed, _SCHEDULE_STREAM)
+        times = sorted(float(t) for t in rng.uniform(0.0, horizon_seconds, size=num_events))
+        specs: list[ScaleSpec] = []
+        for at in times:
+            kind = kinds[int(rng.integers(len(kinds)))]
+            executor_id = int(rng.integers(num_executors))
+            pick = int(rng.integers(1 << 30))
+            count = 1 + int(rng.integers(2))
+            if kind == "scale_up":
+                specs.append(ScaleSpec(at, kind, count=count, pick=pick))
+            else:
+                specs.append(
+                    ScaleSpec(at, kind, count=count, executor_id=executor_id, pick=pick)
+                )
+        return cls(tuple(specs))

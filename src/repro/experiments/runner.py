@@ -17,6 +17,7 @@ from typing import Any
 from ..config import BlazeConfig, ClusterConfig, GiB, MiB, DiskConfig, paper_cluster
 from ..core.profiler import run_dependency_extraction
 from ..dataflow.context import BlazeContext
+from ..elastic.schedule import ScaleSchedule
 from ..faults.schedule import FaultSchedule
 from ..systems.presets import make_system
 from ..tracing import InMemoryTracer, NULL_TRACER, RunReport, Tracer
@@ -84,6 +85,7 @@ def run_experiment(
     blaze_config: BlazeConfig | None = None,
     tracer: Tracer | None = None,
     fault_schedule: "FaultSchedule | None" = None,
+    scale_schedule: "ScaleSchedule | None" = None,
 ) -> RunResult:
     """Execute one evaluation cell and return its measurements.
 
@@ -98,6 +100,9 @@ def run_experiment(
     ``fault_schedule`` (with ``blaze_config.fault_injection`` on — the
     double opt-in) runs the cell under deterministic fault injection; the
     fault/recovery counters land in ``report.fault_counters``.
+    ``scale_schedule`` (with ``blaze_config.elastic.enabled`` — the same
+    double opt-in) runs the cell on an elastic fleet; the scale/migration
+    counters land in ``report.elastic_counters``.
     """
     spec = make_system(system)
     wl = workload if isinstance(workload, Workload) else make_workload(workload, scale)
@@ -118,7 +123,7 @@ def run_experiment(
     manager = spec.build(profile=profile, blaze_config=bcfg)
     ctx = BlazeContext(
         config, manager, seed=seed, tracer=tracer, blaze_config=bcfg,
-        fault_schedule=fault_schedule,
+        fault_schedule=fault_schedule, scale_schedule=scale_schedule,
     )
     wl_result = wl.run(ctx)
     ctx.note_profiling_seconds(profiling_seconds)

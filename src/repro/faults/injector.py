@@ -44,6 +44,26 @@ class InjectedTaskFailure(Exception):
         self.wasted_seconds = wasted_seconds
 
 
+def crash_wipe(
+    cluster: "Cluster", cache_manager: "CacheManager", executor: "Executor"
+) -> tuple[list, list]:
+    """Wipe one executor: both storage tiers plus its shuffle map outputs.
+
+    Everything goes through the engine's own loss primitives so residency
+    listeners, victim indexes, and cost memos stay consistent.  Shared by
+    crash faults and the elastic controller's spot preemption (which is a
+    crash by another name — only the counters differ).  Returns the lost
+    blocks and the dropped map outputs.
+    """
+    lost = executor.bm.purge_all_lost()
+    for block in lost:
+        cache_manager.on_block_lost(executor, block)
+    dropped = cluster.shuffle.drop_outputs_for_executor(
+        executor.executor_id, cluster.executor_for
+    )
+    return lost, dropped
+
+
 class FaultInjector:
     """Drives one schedule's faults into a live cluster, deterministically."""
 
@@ -103,12 +123,7 @@ class FaultInjector:
     def _crash(self, spec: FaultSpec) -> None:
         """Wipe an executor: both storage tiers plus its shuffle map outputs."""
         executor = self.cluster.executors[spec.executor_id]
-        lost = executor.bm.purge_all_lost()
-        for block in lost:
-            self.cache_manager.on_block_lost(executor, block)
-        dropped = self.cluster.shuffle.drop_outputs_for_executor(
-            executor.executor_id, self.cluster.executor_for
-        )
+        lost, dropped = crash_wipe(self.cluster, self.cache_manager, executor)
         self.metrics.executor_crashes += 1
         self.metrics.shuffle_outputs_lost += len(dropped)
         if self.tracer.enabled:

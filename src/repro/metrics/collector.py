@@ -35,6 +35,10 @@ class TaskMetrics:
     ser_seconds: float = 0.0
     deser_seconds: float = 0.0
     remote_read_seconds: float = 0.0
+    #: remote-memory *tier* transfers (``repro.elastic``) — distinct from
+    #: ``remote_read_seconds``, which is peer-executor network reads.
+    remote_tier_read_seconds: float = 0.0
+    remote_tier_write_seconds: float = 0.0
 
     cache_bytes_written: float = 0.0
     cache_bytes_read: float = 0.0
@@ -53,6 +57,8 @@ class TaskMetrics:
             + self.cache_disk_write_seconds
             + self.ser_seconds
             + self.deser_seconds
+            + self.remote_tier_read_seconds
+            + self.remote_tier_write_seconds
         )
 
     @property
@@ -86,6 +92,8 @@ class TaskMetrics:
         self.ser_seconds += other.ser_seconds
         self.deser_seconds += other.deser_seconds
         self.remote_read_seconds += other.remote_read_seconds
+        self.remote_tier_read_seconds += other.remote_tier_read_seconds
+        self.remote_tier_write_seconds += other.remote_tier_write_seconds
         self.cache_bytes_written += other.cache_bytes_written
         self.cache_bytes_read += other.cache_bytes_read
         self.shuffle_bytes += other.shuffle_bytes
@@ -99,12 +107,13 @@ class RecoverySample:
     ``state`` says which estimator was exercised — ``"disk"`` compares
     Eq. 3's read-back cost against the charged disk read, ``"gone"``
     compares Eq. 4's recursive recompute against the virtual time the
-    lineage recomputation actually took.
+    lineage recomputation actually took, and ``"remote"`` compares the
+    remote-tier pull model against the charged remote read.
     """
 
     rdd_id: int
     split: int
-    state: str  # "disk" | "gone"
+    state: str  # "disk" | "gone" | "remote"
     predicted_seconds: float
     measured_seconds: float
 
@@ -228,6 +237,24 @@ class MetricsCollector:
         self.barrier_syncs: int = 0
         self.residency_deltas: int = 0
         self.shuffle_fetch_rpcs: int = 0
+        # Elastic-fleet and remote-memory-tier counters (``repro.elastic``):
+        # scale events applied by the fleet controller, executors joining /
+        # leaving the fleet, blocks migrated off draining executors, and
+        # the remote tier's demotion/promotion/hit traffic.  All zero with
+        # ``BlazeConfig.elastic`` off.
+        self.scale_events: int = 0
+        self.scale_ups: int = 0
+        self.scale_downs: int = 0
+        self.preemptions: int = 0
+        self.executors_added: int = 0
+        self.executors_removed: int = 0
+        self.blocks_migrated: int = 0
+        self.migrated_bytes: float = 0.0
+        self.remote_demotions: int = 0
+        self.remote_promotions: int = 0
+        self.remote_tier_hits: int = 0
+        self.remote_bytes_read: float = 0.0
+        self.remote_bytes_written: float = 0.0
 
     # ------------------------------------------------------------------
     def record_task(self, job_id: int, executor_id: int, tm: TaskMetrics) -> None:
@@ -352,6 +379,24 @@ class MetricsCollector:
             "barrier_syncs": self.barrier_syncs,
             "residency_deltas": self.residency_deltas,
             "shuffle_fetch_rpcs": self.shuffle_fetch_rpcs,
+        }
+
+    def elastic_counters(self) -> dict[str, float]:
+        """Elastic-fleet and remote-tier counters (``repro.elastic``)."""
+        return {
+            "scale_events": self.scale_events,
+            "scale_ups": self.scale_ups,
+            "scale_downs": self.scale_downs,
+            "preemptions": self.preemptions,
+            "executors_added": self.executors_added,
+            "executors_removed": self.executors_removed,
+            "blocks_migrated": self.blocks_migrated,
+            "migrated_bytes": self.migrated_bytes,
+            "remote_demotions": self.remote_demotions,
+            "remote_promotions": self.remote_promotions,
+            "remote_tier_hits": self.remote_tier_hits,
+            "remote_bytes_read": self.remote_bytes_read,
+            "remote_bytes_written": self.remote_bytes_written,
         }
 
     def breakdown(self) -> dict[str, float]:

@@ -31,6 +31,7 @@ from ..cluster.cachemanager import CacheManager
 from ..cluster.cluster import Cluster
 from ..cluster.driver import Driver
 from ..config import BlazeConfig, ClusterConfig, ServiceConfig
+from ..elastic.schedule import ScaleSchedule
 from ..errors import ServiceError
 from ..faults.injector import FaultInjector
 from ..faults.schedule import FaultSchedule
@@ -103,6 +104,7 @@ class JobService:
         blaze_config: BlazeConfig | None = None,
         fault_schedule: FaultSchedule | None = None,
         service_config: ServiceConfig | None = None,
+        scale_schedule: ScaleSchedule | None = None,
     ) -> None:
         if cache_manager is None:
             from ..caching.manager import SparkCacheManager
@@ -124,6 +126,7 @@ class JobService:
         self.cluster = Cluster(self.config, tracer=tracer)
         self.cluster.shuffle.fast_path = self.fused_execution
         self.cluster.tenancy = TenantRegistry(service_config.tenant_quotas)
+        self.cluster.tenancy.cluster = self.cluster
         #: columnar data plane (``repro.storage``): one backend shared by
         #: the driver (encode at cache time, vectorized fused kernels) and
         #: every executor's block manager (memory<->disk codec
@@ -162,12 +165,29 @@ class JobService:
                 max_task_retries=blaze_config.fault_max_task_retries,
                 retry_backoff_seconds=blaze_config.fault_retry_backoff_seconds,
             )
+        # Elastic fleets + the remote-memory tier (``repro.elastic``) have
+        # the same double opt-in: a scale schedule must be passed AND
+        # ``BlazeConfig.elastic.enabled`` (default off) flipped on.  The
+        # remote tier rides the flag alone — it also serves fixed fleets.
+        self.fleet_controller = None
+        elastic = blaze_config.elastic if blaze_config is not None else None
+        if elastic is not None and elastic.enabled:
+            if elastic.remote_memory.enabled:
+                self.cluster.enable_remote_tier(elastic.remote_memory)
+            if scale_schedule is not None and len(scale_schedule):
+                from ..elastic.controller import FleetController
+
+                self.fleet_controller = FleetController(
+                    scale_schedule, self.cluster, cache_manager, elastic
+                )
+                self.fleet_controller.columnar = self.columnar
         self.driver = Driver(
             self.cluster, cache_manager,
             fused_execution=self.fused_execution,
             fault_injector=self.fault_injector,
             columnar=self.columnar,
         )
+        self.driver.fleet = self.fleet_controller
         self.cache_manager = cache_manager
         #: the sharded simulation engine (``repro.shard``): stages run as
         #: supersteps with worker-speculated partition results while this

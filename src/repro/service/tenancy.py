@@ -28,16 +28,30 @@ class TenantRegistry:
         #: tenant whose job the driver is currently executing; set by the
         #: service around each granted job, ``DEFAULT_TENANT`` otherwise.
         self.current_tenant: str = DEFAULT_TENANT
+        #: owning cluster, bound by the service; needed only to resolve
+        #: fractional quotas against the live fleet's memory capacity.
+        self.cluster: "Cluster | None" = None
 
     @property
     def quotas_active(self) -> bool:
         return bool(self.quotas)
 
     def quota_of(self, tenant: str | None) -> float | None:
-        """The tenant's aggregate memory quota in bytes, or None (unlimited)."""
+        """The tenant's aggregate memory quota in bytes, or None (unlimited).
+
+        A configured quota in ``(0, 1]`` is *fractional*: it denotes that
+        share of the **active** fleet's total memory capacity, so on an
+        elastic cluster the byte budget grows and shrinks with the fleet.
+        Anything above 1 is absolute bytes, as before.
+        """
         if tenant is None:
             return None
-        return self.quotas.get(tenant)
+        quota = self.quotas.get(tenant)
+        if quota is None:
+            return None
+        if 0 < quota <= 1.0 and self.cluster is not None:
+            return quota * self.cluster.active_memory_capacity_bytes()
+        return quota
 
     def memory_used_by(self, cluster: "Cluster", tenant: str | None) -> float:
         """Aggregate memory-store bytes held by ``tenant`` across executors."""

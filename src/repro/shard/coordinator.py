@@ -85,6 +85,15 @@ class ShardCoordinator:
     # ------------------------------------------------------------------
     def prepare_stage(self, stage) -> None:
         """Barrier sync: exchange deltas, dispatch the stage's need set."""
+        if len(self.cluster.executors) != self.plan.num_executors:
+            # Elastic scale-up provisioned executors since the plan was
+            # built: re-stripe the contiguous ranges (and the tracer's
+            # shard routing) over the grown list.  Parked executors keep
+            # their ids, so the mapping stays pure arithmetic.
+            self.plan = ShardPlan(len(self.cluster.executors), self.plan.num_shards)
+            tracer = self.cluster.tracer
+            if tracer.enabled and hasattr(tracer, "enable_shard_routing"):
+                tracer.enable_shard_routing(self.plan.shard_of_executor)
         self.metrics.barrier_syncs += 1
         self._moves_since_barrier = 0
         deltas = self.cluster.directory.drain_journal()
@@ -110,7 +119,6 @@ class ShardCoordinator:
         cache_manager = self.driver.cache_manager
         directory = cluster.directory
         shuffle = cluster.shuffle
-        num_executors = len(cluster.executors)
         allow_remote = cluster.config.allow_remote_cache_reads
         consumers = self._consumers_of(stage.rdd)
 
@@ -126,8 +134,12 @@ class ShardCoordinator:
             seen.add(key)
             if cache_manager.is_cache_candidate(rdd):
                 holders = directory.holders_of(key)
-                if holders and (allow_remote or (split % num_executors) in holders):
+                if holders and (
+                    allow_remote or cluster.home_executor_id(split) in holders
+                ):
                     continue  # the replay will hit this one
+                if not holders and cluster.remote_block(key) is not None:
+                    continue  # resident in the remote tier: the replay hits
             nodes.setdefault(rdd.rdd_id, rdd)
             if type(rdd) not in _PASSTHROUGH_TYPES:
                 need[key] = not self._len_only(rdd, consumers)

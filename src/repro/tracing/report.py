@@ -134,6 +134,10 @@ class RunReport:
     #: fetches) — see ``MetricsCollector.shard_counters``; all zero with
     #: ``BlazeConfig.sharded_engine`` off
     shard_counters: dict[str, int] = field(default_factory=dict)
+    #: elastic-fleet / remote-tier counters (``repro.elastic``) — see
+    #: ``MetricsCollector.elastic_counters``; all zero with
+    #: ``BlazeConfig.elastic`` off
+    elastic_counters: dict[str, float] = field(default_factory=dict)
     #: decision audit log (``repro.obs``); empty unless ``obs.enabled``
     audit_entries: tuple["AuditEntry", ...] = field(default_factory=tuple)
     #: occupancy time-series (``repro.obs``); empty unless ``obs.enabled``
@@ -174,6 +178,7 @@ class RunReport:
             events=ctx.tracer.events,
             access_counters=m.access_counters(),
             shard_counters=m.shard_counters(),
+            elastic_counters=m.elastic_counters(),
             audit_entries=hub.audit.entries if hub is not None else (),
             samples=hub.sampler.samples if hub is not None else (),
             job_records=tuple(service.job_records) if service is not None else (),

@@ -98,3 +98,73 @@ def test_resident_blocks_lists_every_block_somewhere():
         executor.bm.insert_memory(block)
         ids.add(block.block_id)
     assert set(cluster.directory.resident_blocks()) == ids
+
+
+# ----------------------------------------------------------------------
+# Elastic membership: the journal stays exact when the fleet changes
+# ----------------------------------------------------------------------
+def test_lookup_never_returns_drained_executor():
+    """Regression: an executor departing mid-stage (elastic scale-down)
+    must vanish from the directory the moment its blocks are extracted —
+    a lookup that still routes to the drained executor would read from a
+    terminated node."""
+    from repro.metrics.collector import TaskMetrics
+
+    from repro.config import RemoteMemoryConfig
+
+    cluster = _cluster(num_executors=4)
+    cluster.enable_remote_tier(RemoteMemoryConfig())
+    blocks = []
+    for split in range(8):
+        executor, block = _block(cluster, 5, split)
+        executor.bm.insert_memory(block)
+        blocks.append(block)
+
+    victim = cluster.executors[1]
+    victim_blocks = [b.block_id for b in victim.bm.cached_blocks()]
+    assert victim_blocks, "victim must hold blocks for the drain to matter"
+
+    # Mirror FleetController._drain: deactivate first, then migrate.
+    cluster.deactivate_executor(victim.executor_id)
+    tm = TaskMetrics()
+    for block_id in victim_blocks:
+        extracted, _loc = victim.bm.extract(block_id)
+        target = cluster.executor_for(extracted.split)
+        assert target.executor_id != victim.executor_id
+        if not target.bm.memory.fits(extracted.size_bytes):
+            assert target.bm.insert_remote(extracted, tm)
+        else:
+            target.bm.insert_memory(extracted)
+
+    # Mid-drain invariant held throughout; after the drain no lookup may
+    # name the departed executor, and every block stays reachable.
+    for block in blocks:
+        holders = cluster.directory.holders_of(block.block_id)
+        assert victim.executor_id not in holders
+        found = cluster.find_block(block.block_id)
+        if found is None:
+            assert cluster.remote_block(block.block_id) is not None
+        else:
+            assert found[0].executor_id != victim.executor_id
+
+
+def test_journal_records_drain_deltas_for_barrier_sync():
+    """The shard coordinator's barrier reads membership deltas from the
+    journal: a drain must journal the remove on the victim and the add on
+    the target, in that order per block."""
+    cluster = _cluster(num_executors=2)
+    e0, b0 = _block(cluster, 6, 0)
+    e0.bm.insert_memory(b0)
+    directory = cluster.directory
+    directory.enable_journal()
+
+    cluster.deactivate_executor(e0.executor_id)
+    extracted, _loc = e0.bm.extract(b0.block_id)
+    target = cluster.executor_for(extracted.split)
+    target.bm.insert_memory(extracted)
+
+    deltas = directory.drain_journal()
+    assert deltas.index((e0.executor_id, b0.block_id, False)) < deltas.index(
+        (target.executor_id, b0.block_id, True)
+    )
+    assert directory.holders_of(b0.block_id) == {target.executor_id}

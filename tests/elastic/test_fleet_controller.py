@@ -1,0 +1,174 @@
+"""FleetController: scale-up wiring, drain migration, preemption wipes."""
+
+from __future__ import annotations
+
+from repro.config import (
+    BlazeConfig,
+    ClusterConfig,
+    DiskConfig,
+    ElasticConfig,
+    GiB,
+    MiB,
+)
+from repro.core.udl import BlazeCacheManager
+from repro.dataflow.context import BlazeContext
+from repro.dataflow.operators import OpCost, SizeModel
+from repro.elastic import FleetController, ScaleSchedule, ScaleSpec
+
+
+def _ctx(num_executors=3, memory_mb=256, **elastic_kwargs):
+    elastic = ElasticConfig(enabled=True, **elastic_kwargs)
+    bcfg = BlazeConfig(
+        autocache_enabled=False, ilp_enabled=False, elastic=elastic
+    )
+    ctx = BlazeContext(
+        ClusterConfig(
+            num_executors=num_executors,
+            slots_per_executor=2,
+            memory_store_bytes=memory_mb * MiB,
+            disk=DiskConfig(capacity_bytes=10 * GiB),
+        ),
+        BlazeCacheManager(config=bcfg),
+        blaze_config=bcfg,
+    )
+    ctx._elastic = elastic
+    return ctx
+
+
+def _make(ctx, specs):
+    controller = FleetController(
+        ScaleSchedule(tuple(specs)), ctx.cluster, ctx.cache_manager,
+        ctx._elastic,
+    )
+    ctx.driver.fleet = controller
+    return controller
+
+
+def _cache_some(ctx, n=6):
+    data = ctx.parallelize(
+        list(range(n * 10)), n,
+        op_cost=OpCost(per_element_out=1e-3),
+        size_model=SizeModel(bytes_per_element=0.02 * MiB),
+    )
+    data.cache()
+    expected = sorted(data.collect())
+    return data, expected
+
+
+def test_scale_up_provisions_and_wires_new_executors():
+    ctx = _ctx(num_executors=2)
+    controller = _make(ctx, [ScaleSpec(0.0, "scale_up", count=2)])
+    controller.poll(ctx.cluster.clock.now, job_id=0)
+    assert ctx.cluster.active_ids == [0, 1, 2, 3]
+    new = ctx.cluster.executors[3]
+    # Fresh executors join the shared remote pool and the directory.
+    assert new.bm.remote is ctx.cluster.remote_store
+    data, expected = _cache_some(ctx)
+    # Post-growth placement maps splits over four executors.
+    held = {
+        ex.executor_id
+        for ex in ctx.cluster.active_executors()
+        if len(ex.bm.memory)
+    }
+    assert len(held) == 4
+    assert sorted(data.collect()) == expected
+    assert ctx.metrics.scale_ups == 1
+    assert ctx.metrics.executors_added == 2
+    ctx.stop()
+
+
+def test_scale_up_respects_max_executors():
+    ctx = _ctx(num_executors=2, max_executors=3)
+    controller = _make(ctx, [ScaleSpec(0.0, "scale_up", count=5)])
+    controller.poll(0.0, job_id=0)
+    assert len(ctx.cluster.active_ids) == 3
+    assert ctx.metrics.executors_added == 1
+    ctx.stop()
+
+
+def test_scale_down_drains_blocks_to_surviving_homes():
+    ctx = _ctx(num_executors=3)
+    data, expected = _cache_some(ctx)
+    victim = ctx.cluster.executors[1]
+    resident = len(victim.bm.memory) + len(victim.bm.disk)
+    assert resident > 0
+    controller = _make(ctx, [ScaleSpec(0.0, "scale_down", executor_id=1)])
+    controller.poll(ctx.cluster.clock.now, job_id=0)
+    assert ctx.cluster.active_ids == [0, 2]
+    assert len(victim.bm.memory) == 0 and len(victim.bm.disk) == 0
+    # Every drained block is still reachable somewhere in the cluster.
+    for split in range(data.num_partitions):
+        key = (data.rdd_id, split)
+        assert (
+            ctx.cluster.find_block(key) is not None
+            or ctx.cluster.remote_block(key) is not None
+        ), key
+    assert ctx.metrics.blocks_migrated >= resident
+    assert ctx.metrics.total_recompute_seconds == 0.0
+    assert sorted(data.collect()) == expected
+    assert ctx.metrics.total_recompute_seconds == 0.0  # all reads were hits
+    ctx.stop()
+
+
+def test_scale_down_never_goes_below_min_executors():
+    ctx = _ctx(num_executors=2, min_executors=2)
+    controller = _make(ctx, [ScaleSpec(0.0, "scale_down", executor_id=0, count=2)])
+    controller.poll(0.0, job_id=0)
+    assert ctx.cluster.active_ids == [0, 1]
+    assert ctx.metrics.executors_removed == 0
+    ctx.stop()
+
+
+def test_preemption_wipes_local_state_but_remote_tier_survives():
+    from repro.metrics.collector import TaskMetrics
+
+    ctx = _ctx(num_executors=2)
+    data, expected = _cache_some(ctx, n=4)
+    victim = ctx.cluster.executors[0]
+    # Park one partition in the cluster-owned pool before the reclaim.
+    spared = next(iter(victim.bm.memory.blocks()))
+    victim.bm.demote_to_remote(spared.block_id, TaskMetrics())
+    lost = [b.block_id for b in victim.bm.cached_blocks()]
+    assert lost
+    controller = _make(ctx, [ScaleSpec(0.0, "preemption", executor_id=0)])
+    controller.poll(ctx.cluster.clock.now, job_id=0)
+    assert ctx.cluster.active_ids == [1]
+    for key in lost:
+        assert ctx.cluster.find_block(key) is None
+    assert ctx.cluster.remote_block(spared.block_id) is spared
+    assert ctx.metrics.preemptions == 1
+    # Lineage recovery restores the lost partitions; results converge.
+    assert sorted(data.collect()) == expected
+    assert ctx.metrics.total_recompute_seconds > 0.0
+    ctx.stop()
+
+
+def test_events_fire_in_time_order_at_stage_boundaries():
+    ctx = _ctx(num_executors=2)
+    controller = _make(ctx, [
+        ScaleSpec(10.0, "scale_up", count=1),   # future: must not fire yet
+        ScaleSpec(0.0, "scale_up", count=1),
+    ])
+    assert controller.pending_count == 2
+    controller.poll(0.0, job_id=0)
+    assert controller.pending_count == 1
+    assert ctx.cluster.active_ids == [0, 1, 2]
+    controller.poll(11.0, job_id=0)
+    assert controller.pending_count == 0
+    assert ctx.cluster.active_ids == [0, 1, 2, 3]
+    ctx.stop()
+
+
+def test_parked_executor_is_reused_before_fresh_provisioning():
+    ctx = _ctx(num_executors=3)
+    controller = _make(ctx, [
+        ScaleSpec(0.0, "scale_down", executor_id=1),
+        ScaleSpec(1.0, "scale_up", count=1),
+    ])
+    controller.poll(0.0, job_id=0)
+    assert ctx.cluster.active_ids == [0, 2]
+    controller.poll(1.0, job_id=0)
+    # The parked id rejoins; no fresh executor is provisioned.
+    assert ctx.cluster.active_ids == [0, 1, 2]
+    assert len(ctx.cluster.executors) == 3
+    ctx.stop()

@@ -1,0 +1,82 @@
+"""ScaleSchedule: validation, ordering, clamping, seeded determinism."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.elastic import SCALE_KINDS, ScaleSchedule, ScaleSpec
+from repro.errors import ConfigError
+
+
+def test_spec_validation_rejects_bad_fields():
+    with pytest.raises(ConfigError):
+        ScaleSpec(-0.1, "scale_up")
+    with pytest.raises(ConfigError):
+        ScaleSpec(1.0, "reboot")
+    with pytest.raises(ConfigError):
+        ScaleSpec(1.0, "scale_up", count=0)
+    with pytest.raises(ConfigError):
+        ScaleSpec(1.0, "scale_down", executor_id=-1)
+
+
+def test_in_order_sorts_by_time_stably():
+    schedule = ScaleSchedule(
+        (
+            ScaleSpec(2.0, "scale_down", executor_id=0),
+            ScaleSpec(1.0, "scale_up"),
+            ScaleSpec(2.0, "preemption", executor_id=1),
+        )
+    )
+    ordered = schedule.in_order()
+    assert [s.at for s in ordered] == [1.0, 2.0, 2.0]
+    # Equal fire times keep declaration order (stable sort).
+    assert ordered[1].kind == "scale_down"
+    assert ordered[2].kind == "preemption"
+
+
+def test_len_and_clamping():
+    schedule = ScaleSchedule(
+        (
+            ScaleSpec(1.0, "scale_down", executor_id=7),
+            ScaleSpec(2.0, "scale_up"),
+        )
+    )
+    assert len(schedule) == 2
+    clamped = schedule.clamped_to(4)
+    downs = [s for s in clamped.in_order() if s.kind == "scale_down"]
+    assert downs[0].executor_id == 7 % 4
+
+
+def test_seeded_is_deterministic_and_in_horizon():
+    a = ScaleSchedule.seeded(42, horizon_seconds=10.0, num_executors=4)
+    b = ScaleSchedule.seeded(42, horizon_seconds=10.0, num_executors=4)
+    assert a.in_order() == b.in_order()
+    assert len(a) == 4  # default num_events
+    for spec in a.in_order():
+        assert 0.0 <= spec.at <= 10.0
+        assert spec.kind in SCALE_KINDS
+        assert 1 <= spec.count <= 2
+        if spec.kind == "scale_up":
+            assert spec.executor_id is None
+        else:
+            assert 0 <= spec.executor_id < 4
+
+
+def test_seeded_differs_across_seeds_and_streams():
+    from repro.faults import FaultSchedule
+
+    a = ScaleSchedule.seeded(1, horizon_seconds=10.0, num_executors=4)
+    b = ScaleSchedule.seeded(2, horizon_seconds=10.0, num_executors=4)
+    assert a.in_order() != b.in_order()
+    # The scale stream is independent of the fault stream: same seed must
+    # not produce correlated fire times (spawn-key discipline).
+    faults = FaultSchedule.seeded(1, horizon_seconds=10.0, num_executors=4)
+    assert [s.at for s in a.in_order()] != [f.at for f in faults.in_order()]
+
+
+def test_seeded_kind_restriction():
+    sched = ScaleSchedule.seeded(
+        7, horizon_seconds=5.0, num_executors=2, num_events=6,
+        kinds=("scale_up", "scale_down"),
+    )
+    assert all(s.kind in ("scale_up", "scale_down") for s in sched.in_order())

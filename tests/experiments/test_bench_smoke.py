@@ -25,6 +25,11 @@ layers are actually engaged:
   between the planes.  (No speedup bar at smoke scale — tiny partitions
   sit below the regime the kernels target; ``BENCH_pr8.json`` carries
   the paper-scale numbers.)
+- elastic suite: the fixed-fleet Pareto covers at least three fleet
+  sizes with positive provisioned cost, the diurnal schedule lands every
+  event class (including a spot preemption), and the elastic run
+  converges to the fixed-base-fleet oracle with byte-identical traces
+  across repeats.
 """
 
 import json
@@ -212,6 +217,45 @@ def test_bench_smoke_scale(tmp_path):
         assert cell["single_dnf"] is False
         # No speedup bar at smoke scale (process spawn dominates tiny
         # cells); BENCH_pr9.json carries the 256/1024-executor numbers.
+
+
+def test_bench_smoke_elastic(tmp_path):
+    doc = _run_smoke(tmp_path, "--suite", "elastic")
+    elastic = doc["elastic"]
+    assert elastic["cells"], "smoke must produce at least one elastic cell"
+    assert elastic["all_converged"] is True
+    assert elastic["all_deterministic"] is True
+    assert elastic["all_results_identical"] is True
+    assert elastic["all_schedules_engaged"] is True
+    for cell in elastic["cells"]:
+        # The Pareto sweep covers every advertised fleet size ...
+        sizes = [p["fleet_size"] for p in cell["pareto"]]
+        assert sizes == elastic["fleet_sizes"]
+        assert len(sizes) >= 3
+        for point in cell["pareto"]:
+            assert point["fleet_seconds"] > 0
+            assert point["cost_per_job"] > 0
+            assert point["jobs"] > 0
+        # ... and fleet size never moves the computed answer.
+        assert cell["results_identical"] is True
+        d = cell["diurnal"]
+        # The diurnal schedule really fired: every event class landed,
+        # including the spot preemption (lineage recovery engaged).
+        counters = d["elastic_counters"]
+        assert counters["scale_events"] == d["schedule_events"] >= 4
+        assert counters["preemptions"] >= 1
+        assert counters["scale_ups"] >= 1
+        assert counters["scale_downs"] >= 1
+        assert counters["executors_added"] >= 1
+        assert counters["executors_removed"] >= 1
+        # Provisioned cost is a step integral over the fleet.scale trace;
+        # it must be positive and the per-job figure derived from it.
+        assert d["fleet_seconds"] > 0
+        assert d["cost_per_job"] > 0
+        # Correctness oracle: the elastic run converges to the fixed
+        # base-fleet answer and replays byte-identically.
+        assert d["converged"] is True
+        assert d["deterministic"] is True
 
 
 def test_bench_smoke_profile_mode(tmp_path):

@@ -140,6 +140,117 @@ def test_deep_lineage_recovery_within_declared_tolerance():
     assert all(s.measured_seconds > 3 * single_edge for s in gone)
 
 
+# ----------------------------------------------------------------------
+# Remote-memory tier (``repro.elastic``): the tier's read-back and its
+# place in Eq. 4's parent recursion calibrate like the disk tier does.
+# ----------------------------------------------------------------------
+def _elastic_blaze_ctx(memory_mb: float = 512) -> BlazeContext:
+    from repro.config import ElasticConfig
+
+    bcfg = BlazeConfig(
+        autocache_enabled=False,
+        ilp_enabled=False,
+        fault_injection=True,
+        elastic=ElasticConfig(enabled=True),
+    )
+    return BlazeContext(
+        make_cluster_config(memory_mb=memory_mb),
+        BlazeCacheManager(config=bcfg),
+        blaze_config=bcfg,
+        fault_schedule=FaultSchedule(),  # calibration-only: nothing injected
+    )
+
+
+def _demote_all_cached(ctx: BlazeContext, rdd_id: int) -> int:
+    """Push every memory-resident partition of ``rdd_id`` to the remote tier."""
+    from repro.metrics.collector import TaskMetrics
+
+    moved = 0
+    for executor in ctx.cluster.executors:
+        for block in list(executor.bm.memory.blocks()):
+            if block.rdd_id == rdd_id:
+                assert executor.bm.demote_to_remote(block.block_id, TaskMetrics())
+                moved += 1
+    return moved
+
+
+def test_remote_readback_calibrates_to_charged_transfer():
+    """The remote model must price exactly what ``read_from_remote`` charges."""
+    ctx = _elastic_blaze_ctx()
+    data = ctx.parallelize(
+        list(range(64)), 4,
+        op_cost=OpCost(per_element_out=5e-2),
+        size_model=SizeModel(bytes_per_element=0.25 * MiB),
+    )
+    data.cache()
+    expected = sorted(data.collect())
+    assert _demote_all_cached(ctx, data.rdd_id) == 4
+
+    assert sorted(data.collect()) == expected
+    remote = _samples(ctx, "remote")
+    assert len(remote) >= 4
+    for sample in remote:
+        assert sample.measured_seconds > 0
+        assert sample.relative_error <= EXACT_TOL, sample
+
+
+def test_remote_parent_recovery_is_exact():
+    """Lost partition whose parent sits in the remote tier: Eq. 4 prices
+    the parent through ``cost_remote``, which mirrors the engine's charge
+    operand for operand — prediction must be exact."""
+    ctx = _elastic_blaze_ctx()
+    base = ctx.parallelize(
+        list(range(40)), 4,
+        op_cost=OpCost(per_element_out=1e-3),
+        size_model=SizeModel(bytes_per_element=0.05 * MiB),
+    )
+    base.cache()
+    top = base.map(lambda x: x + 1).named("top")
+    top.cache()
+    expected = sorted(top.collect())
+    assert _demote_all_cached(ctx, base.rdd_id) == 4
+    assert _lose_all_cached(ctx, top.rdd_id) == 4
+
+    assert sorted(top.collect()) == expected
+    gone = _samples(ctx, "gone")
+    assert len(gone) == 4
+    for sample in gone:
+        assert sample.measured_seconds > 0
+        assert sample.relative_error <= EXACT_TOL, sample
+    # Non-vacuity: the recovery really crossed the tier.
+    assert ctx.metrics.remote_tier_hits >= 4
+
+
+def test_deep_chain_over_remote_parent_within_tolerance():
+    """A 6-op uncached chain rooted in a remote-resident partition stays
+    within the declared chain tolerance (worst-parent vs. linear sum)."""
+    ctx = _elastic_blaze_ctx()
+    base = ctx.parallelize(
+        list(range(40)), 4,
+        op_cost=OpCost(per_element_out=1e-3),
+        size_model=SizeModel(bytes_per_element=0.01 * MiB),
+    )
+    base.cache()
+    rdd = base
+    for i in range(5):  # uncached intermediates: recovery walks them all
+        rdd = rdd.map(
+            lambda x, c=i: x + c, op_cost=OpCost(per_element_out=1e-3)
+        )
+    rdd = rdd.named("deep-remote")
+    rdd.cache()
+    expected = sorted(rdd.collect())
+    assert _demote_all_cached(ctx, base.rdd_id) == 4
+    assert _lose_all_cached(ctx, rdd.rdd_id) == 4
+
+    assert sorted(rdd.collect()) == expected
+    gone = _samples(ctx, "gone")
+    assert len(gone) == 4
+    for sample in gone:
+        assert sample.measured_seconds > 0
+        assert sample.relative_error <= CHAIN_TOL, sample
+    assert ctx.metrics.remote_tier_hits >= 4
+
+
 def test_calibration_summary_aggregates_samples():
     ctx = _blaze_ctx()
     data = ctx.parallelize(

@@ -14,7 +14,16 @@ from __future__ import annotations
 
 import pytest
 
-from repro.config import BlazeConfig, DiskConfig, ClusterConfig, GiB, MiB, ObsConfig
+from repro.config import (
+    BlazeConfig,
+    ClusterConfig,
+    DiskConfig,
+    ElasticConfig,
+    GiB,
+    MiB,
+    ObsConfig,
+)
+from repro.elastic import ScaleSchedule, ScaleSpec
 from repro.experiments.runner import run_experiment
 from repro.faults import FaultSchedule, FaultSpec
 from repro.tracing import InMemoryTracer, to_jsonl
@@ -40,12 +49,16 @@ def _trace(system: str, incremental: bool = True, fused: bool = True,
            workload_overrides: dict | None = None,
            require_evictions: bool = True,
            min_kernel_partitions: int = 0,
-           sharded: bool = False) -> str:
+           sharded: bool = False,
+           scale_schedule: ScaleSchedule | None = None,
+           elastic: bool | None = None) -> str:
     wl = replace_params(
         make_workload(workload, "tiny"),
         num_partitions=24,
         **(workload_overrides or {}),
     )
+    if elastic is None:
+        elastic = scale_schedule is not None
     tracer = InMemoryTracer()
     result = run_experiment(
         system,
@@ -59,9 +72,11 @@ def _trace(system: str, incremental: bool = True, fused: bool = True,
             obs=ObsConfig(enabled=obs),
             columnar_backend=columnar,
             sharded_engine=sharded, num_shards=2,
+            elastic=ElasticConfig(enabled=elastic),
         ),
         tracer=tracer,
         fault_schedule=schedule,
+        scale_schedule=scale_schedule,
     )
     if require_evictions:
         assert result.eviction_count > 0, "config must generate memory pressure"
@@ -69,6 +84,8 @@ def _trace(system: str, incremental: bool = True, fused: bool = True,
     assert kernel_partitions >= min_kernel_partitions, "kernels must engage"
     if schedule is not None:
         assert result.report.fault_counters["faults_injected"] > 0
+    if scale_schedule is not None and elastic:
+        assert result.report.elastic_counters["scale_events"] > 0
     return to_jsonl(tracer.events)
 
 
@@ -208,3 +225,120 @@ def test_sharded_chain_trace_is_byte_identical(system):
         system, workload="chain", workload_overrides=overrides,
         require_evictions=False, sharded=True,
     )
+
+
+# Elastic fleets and the remote-memory tier (PR 10) fire scale events at
+# stage boundaries on the virtual clock, so the same seed + the same
+# scale schedule must replay byte-identically — fleet.scale events,
+# migrations, remote demotions/reads, recoveries and all — including
+# stacked with fault injection and the sharded engine.
+def _scale_schedule() -> ScaleSchedule:
+    return ScaleSchedule(
+        (
+            ScaleSpec(0.1, "scale_up", count=2),
+            ScaleSpec(0.4, "scale_down", executor_id=1),
+            ScaleSpec(0.8, "preemption", executor_id=0),
+            ScaleSpec(1.2, "scale_up", count=1),
+        )
+    )
+
+
+@pytest.mark.parametrize("system", sorted(SYSTEMS))
+def test_elastic_trace_is_deterministic_across_repeats(system):
+    first = _trace(system, scale_schedule=_scale_schedule())
+    second = _trace(system, scale_schedule=_scale_schedule())
+    assert first == second
+
+
+@pytest.mark.parametrize("system", ["blaze", "costaware", "spark_mem_disk", "spark_lrc"])
+def test_elastic_faulted_trace_is_deterministic_across_repeats(system):
+    first = _trace(
+        system, schedule=_fault_schedule(), scale_schedule=_scale_schedule()
+    )
+    second = _trace(
+        system, schedule=_fault_schedule(), scale_schedule=_scale_schedule()
+    )
+    assert first == second
+
+
+@pytest.mark.parametrize("system", ["blaze", "spark_mem_disk"])
+def test_elastic_sharded_trace_is_deterministic_across_repeats(system):
+    first = _trace(system, sharded=True, scale_schedule=_scale_schedule())
+    second = _trace(system, sharded=True, scale_schedule=_scale_schedule())
+    assert first == second
+
+
+@pytest.mark.parametrize("system", ["blaze"])
+def test_elastic_faulted_sharded_trace_is_deterministic(system):
+    kwargs = dict(
+        schedule=_fault_schedule(), sharded=True,
+        scale_schedule=_scale_schedule(),
+    )
+    assert _trace(system, **kwargs) == _trace(system, **kwargs)
+
+
+# Kill-switch discipline: a scale schedule handed to a run with
+# ``BlazeConfig.elastic`` down must be invisible in the JSONL.
+@pytest.mark.parametrize("system", ["blaze", "spark_mem_disk"])
+def test_scale_schedule_without_flag_is_byte_identical(system):
+    assert _trace(system) == _trace(
+        system, scale_schedule=_scale_schedule(), elastic=False
+    )
+
+
+# Multi-tenant service runs on an elastic fleet replay deterministically
+# too: two tenants, interleaved jobs, the forced schedule, repeated twice.
+def test_elastic_service_trace_is_deterministic_across_repeats():
+    from repro.caching.manager import SparkCacheManager
+    from repro.caching.storage_level import StorageMode
+    from repro.dataflow.operators import SizeModel
+    from repro.service import JobService
+
+    # The service jobs are short on the virtual clock, so the schedule
+    # fires everything at the first stage boundaries.
+    schedule = ScaleSchedule(
+        (
+            ScaleSpec(0.0, "scale_up", count=2),
+            ScaleSpec(0.0, "scale_down", executor_id=1),
+            ScaleSpec(1e-6, "preemption", executor_id=0),
+            ScaleSpec(2e-6, "scale_up", count=1),
+        )
+    )
+
+    def run_once() -> str:
+        tracer = InMemoryTracer()
+        service = JobService(
+            ClusterConfig(
+                num_executors=2, slots_per_executor=2,
+                memory_store_bytes=64 * MiB,
+                disk=DiskConfig(capacity_bytes=5 * GiB),
+            ),
+            SparkCacheManager(StorageMode.MEM_AND_DISK, "lru"),
+            seed=SEED,
+            tracer=tracer,
+            blaze_config=BlazeConfig(elastic=ElasticConfig(enabled=True)),
+            scale_schedule=schedule,
+        )
+        try:
+            results = []
+            for tenant in ("a", "b"):
+                client = service.session(tenant=tenant)
+                data = client.parallelize(
+                    range(64), 4,
+                    size_model=SizeModel(bytes_per_element=0.25 * MiB),
+                )
+                squared = data.map(lambda x: x * x)
+                squared.cache()
+                for _ in range(2):
+                    results.append(
+                        sum(client.run_job(squared, lambda _s, p: sum(p)))
+                    )
+            assert service.metrics.scale_events > 0
+            return to_jsonl(tracer.events), results
+        finally:
+            service.shutdown()
+
+    first_trace, first_results = run_once()
+    second_trace, second_results = run_once()
+    assert first_trace == second_trace
+    assert first_results == second_results
